@@ -1,0 +1,54 @@
+"""Ablation A3 benchmark: index-assisted candidate pre-filtering.
+
+Measures bulk-loading the two index substrates and probing them with a
+corridor around a query trajectory, which is how the query façade narrows the
+candidate set before building distance functions (the U-tree-style direction
+of the paper's future work).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.grid import GridIndex
+from repro.index.rtree import STRRTree
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+
+@pytest.fixture(scope="module")
+def index_workload():
+    config = RandomWaypointConfig(num_objects=500, uncertainty_radius=0.5, seed=19)
+    trajectories = generate_trajectories(config)
+    return trajectories[0], trajectories[1:]
+
+
+def test_ablation_grid_bulk_load(benchmark, index_workload):
+    """Building the uniform grid over 500 objects."""
+    _, candidates = index_workload
+    index = benchmark(GridIndex.covering, candidates, 32)
+    assert len(index) == len(candidates)
+
+
+def test_ablation_rtree_bulk_load(benchmark, index_workload):
+    """STR bulk-loading the R-tree over 500 objects."""
+    _, candidates = index_workload
+    index = benchmark(STRRTree.from_trajectories, candidates)
+    assert len(index) == len(candidates)
+
+
+def test_ablation_grid_corridor_probe(benchmark, index_workload):
+    """Corridor probe (5 miles around the query) against the grid."""
+    query, candidates = index_workload
+    index = GridIndex.covering(candidates, cells=32)
+    found = benchmark(index.query_corridor, query, 5.0, 0.0, 60.0)
+    assert len(found) <= len(candidates)
+    benchmark.extra_info["candidates_retained"] = len(found)
+
+
+def test_ablation_rtree_corridor_probe(benchmark, index_workload):
+    """Corridor probe (5 miles around the query) against the R-tree."""
+    query, candidates = index_workload
+    index = STRRTree.from_trajectories(candidates)
+    found = benchmark(index.query_corridor, query, 5.0, 0.0, 60.0)
+    assert len(found) <= len(candidates)
+    benchmark.extra_info["candidates_retained"] = len(found)

@@ -1,0 +1,47 @@
+"""Ablation A1 benchmark: the cost of Theorem 1's shortcut.
+
+Theorem 1 replaces a numeric NN-probability evaluation (Eq. 5 over the
+convolved pdfs) with a sort of expected-location distances.  These benchmarks
+measure both sides so the speedup the theorem buys is visible, and they
+assert that the two rankings agree on the probability-bearing prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ranking import (
+    ranking_by_expected_distance,
+    ranking_by_nn_probability,
+    validate_theorem1,
+)
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+
+@pytest.fixture(scope="module")
+def ranking_mod() -> MovingObjectsDatabase:
+    config = RandomWaypointConfig(num_objects=30, uncertainty_radius=0.5, seed=17)
+    return MovingObjectsDatabase(generate_trajectories(config))
+
+
+def test_ablation_ranking_by_expected_distance(benchmark, ranking_mod):
+    """The cheap side: sort candidates by expected-location distance."""
+    ranking = benchmark(ranking_by_expected_distance, ranking_mod, 0, 30.0)
+    assert len(ranking) == len(ranking_mod) - 1
+
+
+def test_ablation_ranking_by_nn_probability(benchmark, ranking_mod):
+    """The expensive side: numeric Eq. 5 on the convolved pdfs."""
+    ranking = benchmark(
+        ranking_by_nn_probability, ranking_mod, 0, 30.0, 128
+    )
+    assert len(ranking) == len(ranking_mod) - 1
+
+
+def test_ablation_rankings_agree(benchmark, ranking_mod):
+    """Theorem 1 holds: the two rankings agree on the meaningful prefix."""
+    comparison = benchmark(
+        validate_theorem1, ranking_mod, 0, 30.0, 3, 128
+    )
+    assert comparison.agrees

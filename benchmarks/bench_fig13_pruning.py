@@ -1,0 +1,47 @@
+"""Figure 13 benchmark: pruning power of the lower envelope vs uncertainty radius.
+
+The paper fixes the population (2,000 and 10,000 objects) and varies the
+uncertainty radius from 0.1 to 2 miles, reporting the fraction of objects
+that still need probability integration after the 4r-band pruning.  These
+benchmarks measure the pruning pass itself and record the surviving fraction
+as ``extra_info`` so the shape (more radius → less pruning) is visible in the
+benchmark report; the dedicated sweep lives in ``repro.experiments.fig13``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pruning import prune_by_band
+from repro.geometry.envelope.divide_conquer import lower_envelope
+
+from .conftest import build_functions
+
+
+@pytest.mark.parametrize("radius", [0.1, 0.5, 1.0, 2.0])
+def test_fig13_band_pruning_by_radius(benchmark, radius):
+    """Band pruning pass for one query, 200 objects, varying radius."""
+    functions, query = build_functions(200, radius=radius)
+    envelope = lower_envelope(functions, query.start_time, query.end_time)
+    band_width = 4.0 * radius
+
+    survivors, stats = benchmark(
+        prune_by_band, functions, envelope, band_width, query.start_time, query.end_time
+    )
+    assert stats.total_candidates == len(functions)
+    benchmark.extra_info["radius_miles"] = radius
+    benchmark.extra_info["integration_fraction"] = round(stats.survival_ratio, 4)
+
+
+@pytest.mark.parametrize("num_objects", [100, 400])
+def test_fig13_band_pruning_by_population(benchmark, num_objects):
+    """Band pruning pass at a fixed 0.5-mile radius, varying population."""
+    functions, query = build_functions(num_objects, radius=0.5)
+    envelope = lower_envelope(functions, query.start_time, query.end_time)
+
+    survivors, stats = benchmark(
+        prune_by_band, functions, envelope, 2.0, query.start_time, query.end_time
+    )
+    assert stats.total_candidates == num_objects
+    benchmark.extra_info["num_objects"] = num_objects
+    benchmark.extra_info["integration_fraction"] = round(stats.survival_ratio, 4)

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks reuse the paper's random-waypoint workload at sizes that keep a
+full ``pytest benchmarks/ --benchmark-only`` run in the minutes range.  The
+paper-scale sweeps (up to 12,000 objects) are available through
+``python -m repro.experiments --paper-scale``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trajectories.difference import difference_distance_functions
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+
+def build_functions(num_objects: int, radius: float = 0.5, segments: int = 1, seed: int = 7):
+    """Distance functions of a random-waypoint workload relative to object 0."""
+    config = RandomWaypointConfig(
+        num_objects=num_objects + 1,
+        uncertainty_radius=radius,
+        segments_per_trajectory=segments,
+        seed=seed,
+    )
+    trajectories = generate_trajectories(config)
+    query = trajectories[0]
+    functions = difference_distance_functions(
+        trajectories[1:], query, query.start_time, query.end_time
+    )
+    return functions, query
+
+
+@pytest.fixture(scope="module")
+def medium_workload():
+    """200 candidate distance functions over the hour (plus the query)."""
+    return build_functions(200)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    """60 candidate distance functions over the hour (plus the query)."""
+    return build_functions(60)

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment used for development has no ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  This shim keeps
+``pip install -e . --no-use-pep517`` working there; normal environments can
+ignore it and use ``pyproject.toml`` directly.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — Continuous probabilistic NN queries for uncertain trajectories.
+
+A from-scratch Python reproduction of Trajcevski, Tamassia, Ding,
+Scheuermann, Cruz: "Continuous Probabilistic Nearest-Neighbor Queries for
+Uncertain Trajectories" (EDBT 2009).
+
+The public API re-exports the pieces most users need:
+
+* the trajectory model and the MOD store (:mod:`repro.trajectories`);
+* the location pdfs and probability machinery (:mod:`repro.uncertainty`);
+* the envelope algorithms (:mod:`repro.geometry.envelope`);
+* the query façade, IPAC-NN trees and query variants (:mod:`repro.core`);
+* the synthetic workloads of the paper's evaluation (:mod:`repro.workloads`).
+"""
+
+from .core import (
+    ContinuousProbabilisticNNQuery,
+    IPACNode,
+    IPACTree,
+    ProbabilityDescriptor,
+    QueryContext,
+    build_ipac_tree,
+)
+from .trajectories import (
+    MovingObjectsDatabase,
+    Trajectory,
+    TrajectorySample,
+    UncertainTrajectory,
+)
+from .uncertainty import ConePDF, CrispPDF, TruncatedGaussianPDF, UniformDiskPDF
+from .workloads import RandomWaypointConfig, generate_mod, generate_trajectories
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ConePDF",
+    "ContinuousProbabilisticNNQuery",
+    "CrispPDF",
+    "IPACNode",
+    "IPACTree",
+    "MovingObjectsDatabase",
+    "ProbabilityDescriptor",
+    "QueryContext",
+    "RandomWaypointConfig",
+    "Trajectory",
+    "TrajectorySample",
+    "TruncatedGaussianPDF",
+    "UncertainTrajectory",
+    "UniformDiskPDF",
+    "build_ipac_tree",
+    "generate_mod",
+    "generate_trajectories",
+    "__version__",
+]

@@ -1,0 +1,286 @@
+"""The 4r pruning band (Section 3.2) and band-membership computations.
+
+A trajectory can have non-zero probability of being the nearest neighbor of
+the query at time ``t`` only if its distance function lies within ``4r`` of
+the lower envelope at ``t`` (for the paper's equal-radius uniform model;
+``2·(r_i + r_q)`` in general — see
+:func:`repro.uncertainty.within_distance.effective_pruning_radius`).  Every
+query category of Section 4 reduces to questions about when a distance
+function is inside that band, so this module provides:
+
+* interval extraction — the exact sub-intervals of the query window during
+  which a function is inside the band;
+* the existential / universal / duration predicates built on top of them;
+* whole-collection pruning with the statistics reported by Figure 13.
+
+The band test compares two hyperbolas offset by a constant, which is not a
+polynomial comparison; sign changes of the gap function are bracketed on a
+per-piece sample grid (endpoints, curve vertices, and a fixed number of
+interior points) and refined with Brent's method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from scipy.optimize import brentq
+
+from ..geometry.envelope.hyperbola import DistanceFunction
+from ..geometry.envelope.pieces import Envelope
+
+_TIME_TOLERANCE = 1e-9
+#: Interior sample points per elementary interval used to bracket band crossings.
+_SAMPLES_PER_INTERVAL = 12
+
+
+@dataclass(frozen=True, slots=True)
+class PruningStatistics:
+    """Outcome of pruning a candidate set against the band (Figure 13)."""
+
+    total_candidates: int
+    surviving_candidates: int
+
+    @property
+    def pruned_candidates(self) -> int:
+        """Number of candidates eliminated."""
+        return self.total_candidates - self.surviving_candidates
+
+    @property
+    def survival_ratio(self) -> float:
+        """Fraction of candidates that still require probability integration."""
+        if self.total_candidates == 0:
+            return 0.0
+        return self.surviving_candidates / self.total_candidates
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of candidates pruned away."""
+        return 1.0 - self.survival_ratio
+
+
+def band_intervals(
+    function: DistanceFunction,
+    envelope: Envelope,
+    band_width: float,
+    t_lo: float,
+    t_hi: float,
+) -> List[Tuple[float, float]]:
+    """Sub-intervals of ``[t_lo, t_hi]`` where the function is inside the band.
+
+    The band at time ``t`` is ``[envelope(t), envelope(t) + band_width]``;
+    since every distance function lies on or above the envelope, membership
+    is simply ``function(t) <= envelope(t) + band_width``.
+
+    Args:
+        function: the candidate's distance function.
+        envelope: the level-1 lower envelope.
+        band_width: the pruning band width (``4r`` in the paper's model).
+        t_lo: window start.
+        t_hi: window end.
+
+    Returns:
+        Disjoint, time-ordered ``(start, end)`` intervals (possibly empty).
+    """
+    if band_width < 0:
+        raise ValueError("band width must be non-negative")
+    if t_hi < t_lo:
+        raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+    if t_hi == t_lo:
+        gap = envelope.value(t_lo) + band_width - function.value(t_lo)
+        return [(t_lo, t_hi)] if gap >= -_TIME_TOLERANCE else []
+
+    boundaries = _elementary_boundaries(function, envelope, t_lo, t_hi)
+    inside_intervals: List[Tuple[float, float]] = []
+
+    for interval_start, interval_end in zip(boundaries, boundaries[1:]):
+        if interval_end - interval_start <= _TIME_TOLERANCE:
+            continue
+        piece = envelope.piece_at((interval_start + interval_end) / 2.0)
+
+        def gap(t: float) -> float:
+            return piece.function.value(t) + band_width - function.value(t)
+
+        crossings = _sign_change_roots(gap, interval_start, interval_end, function, piece)
+        marks = [interval_start] + crossings + [interval_end]
+        for sub_start, sub_end in zip(marks, marks[1:]):
+            if sub_end - sub_start <= _TIME_TOLERANCE:
+                continue
+            midpoint = (sub_start + sub_end) / 2.0
+            if gap(midpoint) >= 0.0:
+                inside_intervals.append((sub_start, sub_end))
+
+    return _merge_intervals(inside_intervals)
+
+
+def is_within_band_sometime(
+    function: DistanceFunction,
+    envelope: Envelope,
+    band_width: float,
+    t_lo: float,
+    t_hi: float,
+) -> bool:
+    """True when the function enters the band at some time in the window (UQ11 core)."""
+    return bool(band_intervals(function, envelope, band_width, t_lo, t_hi))
+
+
+def is_within_band_always(
+    function: DistanceFunction,
+    envelope: Envelope,
+    band_width: float,
+    t_lo: float,
+    t_hi: float,
+) -> bool:
+    """True when the function stays inside the band throughout the window (UQ12 core)."""
+    intervals = band_intervals(function, envelope, band_width, t_lo, t_hi)
+    covered = sum(end - start for start, end in intervals)
+    return covered >= (t_hi - t_lo) - 1e-6
+
+
+def time_within_band(
+    function: DistanceFunction,
+    envelope: Envelope,
+    band_width: float,
+    t_lo: float,
+    t_hi: float,
+) -> float:
+    """Total duration during which the function is inside the band (UQ13 core)."""
+    intervals = band_intervals(function, envelope, band_width, t_lo, t_hi)
+    return sum(end - start for start, end in intervals)
+
+
+def prune_by_band(
+    functions: Sequence[DistanceFunction],
+    envelope: Envelope,
+    band_width: float,
+    t_lo: float,
+    t_hi: float,
+) -> Tuple[List[DistanceFunction], PruningStatistics]:
+    """Split candidates into band-survivors and pruned objects.
+
+    Returns:
+        ``(survivors, statistics)`` where survivors preserve the input order.
+    """
+    survivors = [
+        function
+        for function in functions
+        if is_within_band_sometime(function, envelope, band_width, t_lo, t_hi)
+    ]
+    return survivors, PruningStatistics(len(functions), len(survivors))
+
+
+def minimum_band_gap(
+    function: DistanceFunction,
+    envelope: Envelope,
+    t_lo: float,
+    t_hi: float,
+    samples_per_interval: int = _SAMPLES_PER_INTERVAL,
+) -> float:
+    """Smallest value of ``function(t) − envelope(t)`` over the window.
+
+    Useful for diagnostics ("how far from mattering is this object?") and for
+    choosing band widths in the ablation benchmarks.  The result is
+    approximate with the same sampling resolution as the band test.
+    """
+    boundaries = _elementary_boundaries(function, envelope, t_lo, t_hi)
+    best = float("inf")
+    for interval_start, interval_end in zip(boundaries, boundaries[1:]):
+        if interval_end - interval_start <= _TIME_TOLERANCE:
+            continue
+        piece = envelope.piece_at((interval_start + interval_end) / 2.0)
+        for t in _sample_times(
+            interval_start, interval_end, function, piece, samples_per_interval
+        ):
+            gap = function.value(t) - piece.function.value(t)
+            if gap < best:
+                best = gap
+    return best
+
+
+# ----------------------------------------------------------------------
+# Internals.
+# ----------------------------------------------------------------------
+
+
+def _elementary_boundaries(
+    function: DistanceFunction, envelope: Envelope, t_lo: float, t_hi: float
+) -> List[float]:
+    """Envelope critical times and function breakpoints restricted to the window."""
+    times = [t_lo, t_hi]
+    times.extend(t for t in envelope.critical_times if t_lo < t < t_hi)
+    times.extend(function.breakpoints(t_lo, t_hi))
+    times.sort()
+    boundaries: List[float] = []
+    for t in times:
+        if not boundaries or t - boundaries[-1] > _TIME_TOLERANCE:
+            boundaries.append(t)
+    if boundaries[-1] < t_hi - _TIME_TOLERANCE:
+        boundaries.append(t_hi)
+    boundaries[0] = t_lo
+    boundaries[-1] = t_hi
+    return boundaries
+
+
+def _sample_times(
+    interval_start: float,
+    interval_end: float,
+    function: DistanceFunction,
+    envelope_piece,
+    samples: int = _SAMPLES_PER_INTERVAL,
+) -> List[float]:
+    """Sample grid for one elementary interval, including curve vertices."""
+    span = interval_end - interval_start
+    times = [
+        interval_start + span * index / (samples - 1) for index in range(samples)
+    ]
+    for candidate_function in (function, envelope_piece.function):
+        for piece in candidate_function.pieces:
+            vertex = piece.curve.vertex_time
+            if vertex is not None and interval_start < vertex < interval_end:
+                times.append(vertex)
+    times.sort()
+    return times
+
+
+def _sign_change_roots(
+    gap,
+    interval_start: float,
+    interval_end: float,
+    function: DistanceFunction,
+    envelope_piece,
+) -> List[float]:
+    """Roots of the gap function inside an elementary interval."""
+    times = _sample_times(interval_start, interval_end, function, envelope_piece)
+    values = [gap(t) for t in times]
+    roots: List[float] = []
+    for (t_a, v_a), (t_b, v_b) in zip(zip(times, values), zip(times[1:], values[1:])):
+        if v_a == 0.0:
+            roots.append(t_a)
+            continue
+        if v_a * v_b < 0.0:
+            try:
+                roots.append(float(brentq(gap, t_a, t_b, xtol=1e-10)))
+            except ValueError:  # pragma: no cover - defensive against flat brackets
+                roots.append((t_a + t_b) / 2.0)
+    deduplicated: List[float] = []
+    for root in sorted(roots):
+        if interval_start < root < interval_end and (
+            not deduplicated or root - deduplicated[-1] > _TIME_TOLERANCE
+        ):
+            deduplicated.append(root)
+    return deduplicated
+
+
+def _merge_intervals(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge touching/overlapping intervals into a canonical disjoint list."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end + 1e-7:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged

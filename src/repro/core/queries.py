@@ -1,0 +1,405 @@
+"""The four categories of continuous probabilistic NN queries (Section 4).
+
+All queries operate on a prepared :class:`QueryContext`, which bundles the
+difference distance functions, the level-1 lower envelope, the pruning band
+width, and (lazily) the level envelopes and the IPAC-NN tree.  The context is
+the "after O(N log N) pre-processing" object the complexity claims of
+Section 4 refer to; every predicate below is then linear (Category 1) or
+O(kN)/O((N/K)²) (Categories 2–4) on top of it.
+
+Naive baselines (used by the Figure 12 experiment) are provided alongside:
+they rebuild the pointwise minimum from all pairwise intersections on every
+call, mirroring the paper's "check all pairwise intersection times"
+comparison approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry.envelope.divide_conquer import lower_envelope
+from ..geometry.envelope.hyperbola import DistanceFunction
+from ..geometry.envelope.klevel import LevelEnvelopes, k_level_envelopes
+from ..geometry.envelope.naive import naive_lower_envelope
+from ..geometry.envelope.pieces import Envelope
+from .answer import IPACTree
+from .ipacnn import build_ipac_tree
+from .pruning import (
+    PruningStatistics,
+    band_intervals,
+    is_within_band_always,
+    is_within_band_sometime,
+    prune_by_band,
+    time_within_band,
+)
+
+_FULL_COVERAGE_SLACK = 1e-6
+
+
+@dataclass
+class QueryContext:
+    """Pre-processed state for continuous probabilistic NN queries.
+
+    Attributes:
+        query_id: identifier of the query trajectory.
+        t_start: query window start.
+        t_end: query window end.
+        band_width: pruning band width (``4r`` in the paper's model).
+        functions: difference distance functions, keyed by object id.
+        envelope: the level-1 lower envelope.
+    """
+
+    query_id: object
+    t_start: float
+    t_end: float
+    band_width: float
+    functions: Dict[object, DistanceFunction]
+    envelope: Envelope
+    _levels: Optional[LevelEnvelopes] = None
+    _levels_depth: int = 0
+    _tree: Optional[IPACTree] = None
+    _survivors: Optional[List[DistanceFunction]] = None
+    _pruning_stats: Optional[PruningStatistics] = None
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def build(
+        functions: Sequence[DistanceFunction],
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        band_width: float,
+    ) -> "QueryContext":
+        """Build a context: O(N log N) envelope construction plus bookkeeping."""
+        if not functions:
+            raise ValueError("need at least one candidate distance function")
+        if t_end < t_start:
+            raise ValueError(f"empty query window [{t_start}, {t_end}]")
+        if band_width < 0:
+            raise ValueError("band width must be non-negative")
+        by_id = {function.object_id: function for function in functions}
+        if len(by_id) != len(functions):
+            raise ValueError("distance functions must have unique object ids")
+        envelope = lower_envelope(list(functions), t_start, t_end)
+        return QueryContext(
+            query_id=query_id,
+            t_start=t_start,
+            t_end=t_end,
+            band_width=band_width,
+            functions=by_id,
+            envelope=envelope,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared lazily-computed artefacts.
+    # ------------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Length of the query window."""
+        return self.t_end - self.t_start
+
+    def function_of(self, object_id: object) -> DistanceFunction:
+        """Distance function of a candidate.
+
+        Raises:
+            KeyError: for the query's own id or an unknown id.
+        """
+        if object_id == self.query_id:
+            raise KeyError("the query trajectory is not a candidate of its own query")
+        if object_id not in self.functions:
+            raise KeyError(f"unknown candidate {object_id!r}")
+        return self.functions[object_id]
+
+    def survivors(self) -> List[DistanceFunction]:
+        """Candidates that survive the 4r-band pruning (computed once)."""
+        if self._survivors is None:
+            self._survivors, self._pruning_stats = prune_by_band(
+                list(self.functions.values()),
+                self.envelope,
+                self.band_width,
+                self.t_start,
+                self.t_end,
+            )
+        return self._survivors
+
+    def pruning_statistics(self) -> PruningStatistics:
+        """Pruning statistics of the band (the Figure 13 quantity)."""
+        self.survivors()
+        assert self._pruning_stats is not None
+        return self._pruning_stats
+
+    def level_envelopes(self, max_level: int) -> LevelEnvelopes:
+        """Level envelopes 1..max_level over the surviving candidates."""
+        if max_level < 1:
+            raise ValueError("levels are 1-based")
+        if self._levels is None or self._levels_depth < max_level:
+            survivors = self.survivors()
+            if not survivors:
+                survivors = list(self.functions.values())
+            self._levels = k_level_envelopes(
+                survivors, self.t_start, self.t_end, max_levels=max_level
+            )
+            self._levels_depth = max_level
+        return self._levels
+
+    def ipac_tree(self, max_levels: Optional[int] = None) -> IPACTree:
+        """The IPAC-NN tree (cached for unbounded depth)."""
+        if max_levels is not None:
+            return build_ipac_tree(
+                list(self.functions.values()),
+                self.query_id,
+                self.t_start,
+                self.t_end,
+                self.band_width,
+                max_levels=max_levels,
+            )
+        if self._tree is None:
+            self._tree = build_ipac_tree(
+                list(self.functions.values()),
+                self.query_id,
+                self.t_start,
+                self.t_end,
+                self.band_width,
+            )
+        return self._tree
+
+    # ------------------------------------------------------------------
+    # Category 1: single trajectory, non-zero NN probability.
+    # ------------------------------------------------------------------
+
+    def uq11_sometime(self, object_id: object) -> bool:
+        """UQ11(∃t): non-zero NN probability at some time during the window."""
+        return is_within_band_sometime(
+            self.function_of(object_id),
+            self.envelope,
+            self.band_width,
+            self.t_start,
+            self.t_end,
+        )
+
+    def uq12_always(self, object_id: object) -> bool:
+        """UQ12(∀t): non-zero NN probability throughout the window."""
+        return is_within_band_always(
+            self.function_of(object_id),
+            self.envelope,
+            self.band_width,
+            self.t_start,
+            self.t_end,
+        )
+
+    def uq13_fraction(self, object_id: object) -> float:
+        """Fraction of the window with non-zero NN probability (UQ13 support)."""
+        if self.duration <= 0:
+            return 1.0 if self.uq11_sometime(object_id) else 0.0
+        covered = time_within_band(
+            self.function_of(object_id),
+            self.envelope,
+            self.band_width,
+            self.t_start,
+            self.t_end,
+        )
+        return min(1.0, covered / self.duration)
+
+    def uq13_at_least(self, object_id: object, fraction: float) -> bool:
+        """UQ13(X%): non-zero NN probability at least ``fraction`` of the window."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        return self.uq13_fraction(object_id) >= fraction - _FULL_COVERAGE_SLACK
+
+    def nonzero_probability_intervals(
+        self, object_id: object
+    ) -> List[Tuple[float, float]]:
+        """The exact sub-intervals with non-zero NN probability for one candidate."""
+        return band_intervals(
+            self.function_of(object_id),
+            self.envelope,
+            self.band_width,
+            self.t_start,
+            self.t_end,
+        )
+
+    # ------------------------------------------------------------------
+    # Category 2: single trajectory, rank-k.
+    # ------------------------------------------------------------------
+
+    def uq21_rank_sometime(self, object_id: object, k: int) -> bool:
+        """UQ21: labelled on some IPAC-NN node at level ≤ k (some time in the window)."""
+        return self._rank_duration(object_id, k) > 0.0
+
+    def uq22_rank_always(self, object_id: object, k: int) -> bool:
+        """UQ22: among the top-k labels throughout the window."""
+        return (
+            self._rank_duration(object_id, k)
+            >= self.duration - _FULL_COVERAGE_SLACK * max(1.0, self.duration)
+        )
+
+    def uq23_rank_fraction(self, object_id: object, k: int) -> float:
+        """Fraction of the window during which the object ranks within the top k."""
+        if self.duration <= 0:
+            return 1.0 if self.uq21_rank_sometime(object_id, k) else 0.0
+        return min(1.0, self._rank_duration(object_id, k) / self.duration)
+
+    def uq23_rank_at_least(self, object_id: object, k: int, fraction: float) -> bool:
+        """UQ23: ranked within the top k at least ``fraction`` of the window."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        return self.uq23_rank_fraction(object_id, k) >= fraction - _FULL_COVERAGE_SLACK
+
+    def _rank_duration(self, object_id: object, k: int) -> float:
+        """Total time the object owns one of the level-1..k envelopes."""
+        if k < 1:
+            raise ValueError("rank k must be at least 1")
+        if object_id == self.query_id:
+            raise KeyError("the query trajectory is not a candidate of its own query")
+        if object_id not in self.functions:
+            raise KeyError(f"unknown candidate {object_id!r}")
+        levels = self.level_envelopes(k)
+        total = 0.0
+        for level_index in range(1, min(k, len(levels)) + 1):
+            total += levels.level(level_index).total_duration_of(object_id)
+        return total
+
+    # ------------------------------------------------------------------
+    # Category 3: whole MOD, non-zero NN probability.
+    # ------------------------------------------------------------------
+
+    def uq31_all_sometime(self) -> List[object]:
+        """UQ31: every trajectory with non-zero NN probability at some time."""
+        return [function.object_id for function in self.survivors()]
+
+    def uq32_all_always(self) -> List[object]:
+        """UQ32: every trajectory with non-zero NN probability throughout the window."""
+        return [
+            function.object_id
+            for function in self.survivors()
+            if is_within_band_always(
+                function, self.envelope, self.band_width, self.t_start, self.t_end
+            )
+        ]
+
+    def uq33_all_at_least(self, fraction: float) -> List[object]:
+        """UQ33: trajectories with non-zero NN probability at least ``fraction`` of the window."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if self.duration <= 0:
+            return self.uq31_all_sometime()
+        matching = []
+        for function in self.survivors():
+            covered = time_within_band(
+                function, self.envelope, self.band_width, self.t_start, self.t_end
+            )
+            if covered / self.duration >= fraction - _FULL_COVERAGE_SLACK:
+                matching.append(function.object_id)
+        return matching
+
+    # ------------------------------------------------------------------
+    # Category 4: whole MOD, rank-k.
+    # ------------------------------------------------------------------
+
+    def uq41_all_rank_sometime(self, k: int) -> List[object]:
+        """Category 4 (∃t): trajectories ranked within the top k at some time."""
+        if k < 1:
+            raise ValueError("rank k must be at least 1")
+        levels = self.level_envelopes(k)
+        seen: List[object] = []
+        for level_index in range(1, min(k, len(levels)) + 1):
+            for object_id in levels.level(level_index).distinct_owner_ids:
+                if object_id not in seen:
+                    seen.append(object_id)
+        return seen
+
+    def uq42_all_rank_always(self, k: int) -> List[object]:
+        """Category 4 (∀t): trajectories ranked within the top k throughout the window."""
+        return [
+            object_id
+            for object_id in self.uq41_all_rank_sometime(k)
+            if self.uq22_rank_always(object_id, k)
+        ]
+
+    def uq43_all_rank_at_least(self, k: int, fraction: float) -> List[object]:
+        """Category 4 (X%): trajectories ranked within the top k at least a fraction of the window."""
+        return [
+            object_id
+            for object_id in self.uq41_all_rank_sometime(k)
+            if self.uq23_rank_at_least(object_id, k, fraction)
+        ]
+
+    # ------------------------------------------------------------------
+    # Fixed-time variants (Section 4, closing remark).
+    # ------------------------------------------------------------------
+
+    def candidates_at(self, t: float) -> List[object]:
+        """Trajectories with non-zero NN probability at the fixed time ``t``."""
+        self._check_time(t)
+        threshold = self.envelope.value(t) + self.band_width
+        return [
+            function.object_id
+            for function in self.functions.values()
+            if function.value(t) <= threshold + 1e-12
+        ]
+
+    def ranking_at(self, t: float, k: int) -> List[object]:
+        """Top-k ranking (by envelope level ownership) at the fixed time ``t``."""
+        self._check_time(t)
+        levels = self.level_envelopes(k)
+        return levels.owners_at(t)[:k]
+
+    def _check_time(self, t: float) -> None:
+        if not self.t_start - 1e-9 <= t <= self.t_end + 1e-9:
+            raise ValueError(
+                f"time {t} outside query window [{self.t_start}, {self.t_end}]"
+            )
+
+
+# ----------------------------------------------------------------------
+# Naive baselines (Figure 12).
+# ----------------------------------------------------------------------
+
+
+def naive_uq11_sometime(
+    functions: Sequence[DistanceFunction],
+    target_id: object,
+    t_start: float,
+    t_end: float,
+    band_width: float,
+) -> bool:
+    """Naive UQ11: rebuild the pointwise minimum from all pairwise intersections.
+
+    This is the paper's comparison baseline: no precomputed envelope is
+    available, so every query pays the O(N² log N) pairwise-intersection
+    sweep before the O(N) check.
+    """
+    envelope = naive_lower_envelope(list(functions), t_start, t_end)
+    target = _find_function(functions, target_id)
+    return is_within_band_sometime(target, envelope, band_width, t_start, t_end)
+
+
+def naive_uq13_fraction(
+    functions: Sequence[DistanceFunction],
+    target_id: object,
+    t_start: float,
+    t_end: float,
+    band_width: float,
+) -> float:
+    """Naive UQ13: pairwise-intersection sweep plus duration accumulation."""
+    envelope = naive_lower_envelope(list(functions), t_start, t_end)
+    target = _find_function(functions, target_id)
+    duration = t_end - t_start
+    if duration <= 0:
+        return 1.0 if is_within_band_sometime(target, envelope, band_width, t_start, t_end) else 0.0
+    covered = time_within_band(target, envelope, band_width, t_start, t_end)
+    return min(1.0, covered / duration)
+
+
+def _find_function(
+    functions: Sequence[DistanceFunction], target_id: object
+) -> DistanceFunction:
+    for function in functions:
+        if function.object_id == target_id:
+            return function
+    raise KeyError(f"unknown candidate {target_id!r}")

@@ -1,0 +1,155 @@
+"""Reverse and all-pairs continuous probabilistic NN queries (Section 7 extensions).
+
+The paper's future work lists "other variants of continuous probabilistic NN
+queries (e.g., all pairs, reverse)".  Both reduce to the machinery already in
+place:
+
+* **Reverse** — "which objects have the query among their own possible
+  nearest neighbors?"  For each candidate ``o`` we build the query context
+  *centred on o* and ask the ordinary UQ11/UQ12/UQ13 questions about the
+  original query object.
+* **All pairs** — the full relation: for every ordered pair ``(a, b)``,
+  can ``b`` be the nearest neighbor of ``a`` at some time in the window?
+
+Both are quadratic in the number of objects (they run N ordinary queries),
+which is the natural cost of the problem; the per-query work still benefits
+from the envelope construction and the 4r pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trajectories.mod import MovingObjectsDatabase
+from ..uncertainty.within_distance import effective_pruning_radius
+from .queries import QueryContext
+
+
+@dataclass(frozen=True, slots=True)
+class ReverseNNResult:
+    """Reverse-NN outcome for one candidate object."""
+
+    object_id: object
+    sometime: bool
+    always: bool
+    fraction: float
+
+
+def _context_for(
+    mod: MovingObjectsDatabase,
+    center_id: object,
+    t_start: float,
+    t_end: float,
+    band_width: Optional[float],
+) -> QueryContext:
+    """Query context centred on ``center_id`` (helper shared by both variants)."""
+    if band_width is None:
+        center = mod.get(center_id)
+        band_width = max(
+            effective_pruning_radius(trajectory.pdf, center.pdf)
+            for trajectory in mod
+            if trajectory.object_id != center_id
+        )
+    functions = mod.distance_functions(center_id, t_start, t_end)
+    return QueryContext.build(functions, center_id, t_start, t_end, band_width)
+
+
+def reverse_nn_query(
+    mod: MovingObjectsDatabase,
+    query_id: object,
+    t_start: float,
+    t_end: float,
+    band_width: Optional[float] = None,
+    candidate_ids: Optional[Sequence[object]] = None,
+) -> List[ReverseNNResult]:
+    """Objects that may have the query as *their* nearest neighbor.
+
+    Args:
+        mod: the moving objects database.
+        query_id: the object whose "reverse neighbors" are sought.
+        t_start: window start.
+        t_end: window end.
+        band_width: pruning band width used in each per-candidate context;
+            defaults to the 4r-style width derived from the pdfs.
+        candidate_ids: restrict the reverse search to these objects.
+
+    Returns:
+        One :class:`ReverseNNResult` per candidate for which the query has a
+        non-zero probability of being the nearest neighbor at some time,
+        sorted by decreasing fraction of time.
+    """
+    if query_id not in mod:
+        raise KeyError(f"unknown query object {query_id!r}")
+    if candidate_ids is None:
+        candidate_ids = [oid for oid in mod.object_ids if oid != query_id]
+
+    results: List[ReverseNNResult] = []
+    for candidate_id in candidate_ids:
+        if candidate_id == query_id:
+            continue
+        context = _context_for(mod, candidate_id, t_start, t_end, band_width)
+        if query_id not in context.functions:
+            continue
+        sometime = context.uq11_sometime(query_id)
+        if not sometime:
+            continue
+        results.append(
+            ReverseNNResult(
+                candidate_id,
+                True,
+                context.uq12_always(query_id),
+                context.uq13_fraction(query_id),
+            )
+        )
+    results.sort(key=lambda result: -result.fraction)
+    return results
+
+
+def all_pairs_nn_matrix(
+    mod: MovingObjectsDatabase,
+    t_start: float,
+    t_end: float,
+    band_width: Optional[float] = None,
+) -> Dict[object, List[object]]:
+    """For every object, the objects that can be its nearest neighbor sometime.
+
+    Returns:
+        Mapping ``a -> [b, ...]`` meaning *b has non-zero probability of being
+        the nearest neighbor of a* at some time during the window.  The lists
+        reuse UQ31 per center object.
+    """
+    matrix: Dict[object, List[object]] = {}
+    for center_id in mod.object_ids:
+        if len(mod) < 2:
+            matrix[center_id] = []
+            continue
+        context = _context_for(mod, center_id, t_start, t_end, band_width)
+        matrix[center_id] = context.uq31_all_sometime()
+    return matrix
+
+
+def mutual_nn_pairs(
+    mod: MovingObjectsDatabase,
+    t_start: float,
+    t_end: float,
+    band_width: Optional[float] = None,
+) -> List[Tuple[object, object]]:
+    """Unordered pairs that can be each other's nearest neighbor sometime.
+
+    Built on :func:`all_pairs_nn_matrix`: the pair ``{a, b}`` qualifies when
+    ``b`` appears in ``a``'s candidate list and vice versa.  Useful for
+    convoy/encounter detection on top of the probabilistic NN machinery.
+    """
+    matrix = all_pairs_nn_matrix(mod, t_start, t_end, band_width)
+    pairs: List[Tuple[object, object]] = []
+    seen = set()
+    for a, candidates in matrix.items():
+        for b in candidates:
+            key = tuple(sorted((str(a), str(b))))
+            if key in seen:
+                continue
+            if a in matrix.get(b, []):
+                seen.add(key)
+                pairs.append((a, b))
+    return pairs

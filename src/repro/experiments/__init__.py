@@ -1,0 +1,43 @@
+"""Experiment harness: one runner per figure of the paper plus ablations."""
+
+from .ablations import (
+    IndexAblationRow,
+    RankingAblationRow,
+    SegmentsAblationRow,
+    index_ablation_table,
+    ranking_ablation_table,
+    run_index_ablation,
+    run_ranking_ablation,
+    run_segments_ablation,
+    segments_ablation_table,
+)
+from .config import Figure11Config, Figure12Config, Figure13Config
+from .fig11 import Figure11Row, figure11_table, run_figure11
+from .fig12 import Figure12Row, figure12_table, run_figure12
+from .fig13 import Figure13Row, figure13_table, run_figure13
+from .report import format_table
+
+__all__ = [
+    "Figure11Config",
+    "Figure11Row",
+    "Figure12Config",
+    "Figure12Row",
+    "Figure13Config",
+    "Figure13Row",
+    "IndexAblationRow",
+    "RankingAblationRow",
+    "SegmentsAblationRow",
+    "figure11_table",
+    "figure12_table",
+    "figure13_table",
+    "format_table",
+    "index_ablation_table",
+    "ranking_ablation_table",
+    "run_figure11",
+    "run_figure12",
+    "run_figure13",
+    "run_index_ablation",
+    "run_ranking_ablation",
+    "run_segments_ablation",
+    "segments_ablation_table",
+]

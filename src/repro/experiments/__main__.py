@@ -1,0 +1,54 @@
+"""Command-line entry point: ``python -m repro.experiments [fig11|fig12|fig13|ablations|all]``.
+
+Add ``--paper-scale`` to run the paper's full object counts (slow for the
+naive baselines); the default "smoke" scale reproduces the same qualitative
+shapes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import ablations, fig11, fig12, fig13
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures as text tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig11", "fig12", "fig13", "ablations", "all"],
+        nargs="?",
+        default="all",
+        help="which experiment to run (default: all)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's object counts instead of the quick smoke scale",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("fig11", "all"):
+        fig11.main(paper_scale=args.paper_scale)
+        print()
+    if args.experiment in ("fig12", "all"):
+        fig12.main(paper_scale=args.paper_scale)
+        print()
+    if args.experiment in ("fig13", "all"):
+        fig13.main(paper_scale=args.paper_scale)
+        print()
+    if args.experiment in ("ablations", "all"):
+        print(ablations.ranking_ablation_table(ablations.run_ranking_ablation()))
+        print()
+        print(ablations.segments_ablation_table(ablations.run_segments_ablation()))
+        print()
+        print(ablations.index_ablation_table(ablations.run_index_ablation()))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI only
+    raise SystemExit(main())

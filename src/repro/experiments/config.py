@@ -1,0 +1,67 @@
+"""Shared experiment configuration.
+
+The paper's sweeps use up to 12,000 moving objects on a 2009 C++ testbed;
+the pure-Python naive baselines are orders of magnitude slower per object,
+so each experiment exposes two presets:
+
+* ``smoke`` — a quick setting for CI / pytest-benchmark runs;
+* ``paper`` — the object counts of the paper (slow for the naive baselines;
+  intended for standalone runs via ``python -m repro.experiments``).
+
+Both presets reproduce the same qualitative shape (the crossover and the
+orders-of-magnitude gaps); only the absolute counts differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Figure11Config:
+    """Lower-envelope construction: naive vs divide-and-conquer (Figure 11)."""
+
+    object_counts: List[int] = field(default_factory=lambda: [50, 100, 200, 400])
+    uncertainty_radius: float = 0.5
+    seed: int = 7
+
+    @staticmethod
+    def paper() -> "Figure11Config":
+        """The paper's sweep (1000–12000 objects). Slow for the naive baseline."""
+        return Figure11Config(object_counts=[1000, 2000, 4000, 8000, 12000])
+
+
+@dataclass(frozen=True)
+class Figure12Config:
+    """Existential/quantitative query time: naive vs envelope-based (Figure 12)."""
+
+    object_counts: List[int] = field(default_factory=lambda: [50, 100, 200])
+    queries_per_count: int = 5
+    quantitative_fraction: float = 0.5
+    uncertainty_radius: float = 0.5
+    seed: int = 7
+
+    @staticmethod
+    def paper() -> "Figure12Config":
+        """The paper's sweep (1000–12000 objects, 100 random query objects)."""
+        return Figure12Config(
+            object_counts=[1000, 2000, 4000, 8000, 12000], queries_per_count=100
+        )
+
+
+@dataclass(frozen=True)
+class Figure13Config:
+    """Pruning power of the lower envelope vs uncertainty radius (Figure 13)."""
+
+    radii_miles: List[float] = field(
+        default_factory=lambda: [0.1, 0.25, 0.5, 1.0, 1.5, 2.0]
+    )
+    object_counts: List[int] = field(default_factory=lambda: [200, 1000])
+    queries_per_setting: int = 5
+    seed: int = 7
+
+    @staticmethod
+    def paper() -> "Figure13Config":
+        """The paper's populations (2000 and 10000 objects)."""
+        return Figure13Config(object_counts=[2000, 10000], queries_per_setting=10)

@@ -1,0 +1,32 @@
+"""Geometric primitives: points, disks, circle operations, segments, envelopes."""
+
+from .circle_ops import (
+    annulus_area,
+    chord_angles,
+    circle_circle_intersection_points,
+    circle_intersection_area,
+    disk_intersection_area,
+)
+from .disk import Disk
+from .point import ORIGIN, Point2D, Vector2D, ZERO_VECTOR
+from .segment import (
+    SpaceTimeSegment,
+    euclidean_speed,
+    segments_distance_squared_coefficients,
+)
+
+__all__ = [
+    "ORIGIN",
+    "ZERO_VECTOR",
+    "Disk",
+    "Point2D",
+    "SpaceTimeSegment",
+    "Vector2D",
+    "annulus_area",
+    "chord_angles",
+    "circle_circle_intersection_points",
+    "circle_intersection_area",
+    "disk_intersection_area",
+    "euclidean_speed",
+    "segments_distance_squared_coefficients",
+]

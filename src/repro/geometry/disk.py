@@ -1,0 +1,87 @@
+"""Disks (uncertainty zones) and elementary disk relations.
+
+The uncertainty model of the paper bounds the possible location of a moving
+object at any time instant by a disk of radius ``r`` centered at the expected
+location (Section 2.1).  This module provides the disk value object plus the
+containment / overlap predicates that the pruning rules of Section 2.2 and
+3.1 are phrased in terms of (``R_min``, ``R_max`` distances to a disk,
+Minkowski sums of disks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import Point2D
+
+
+@dataclass(frozen=True, slots=True)
+class Disk:
+    """A closed disk in the plane: all points within ``radius`` of ``center``."""
+
+    center: Point2D
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"disk radius must be non-negative, got {self.radius}")
+
+    @property
+    def area(self) -> float:
+        """Area of the disk."""
+        return math.pi * self.radius * self.radius
+
+    def contains_point(self, point: Point2D, tolerance: float = 1e-12) -> bool:
+        """True when ``point`` lies inside or on the boundary of the disk."""
+        return self.center.distance_to(point) <= self.radius + tolerance
+
+    def contains_disk(self, other: "Disk", tolerance: float = 1e-12) -> bool:
+        """True when ``other`` lies entirely inside this disk."""
+        return (
+            self.center.distance_to(other.center) + other.radius
+            <= self.radius + tolerance
+        )
+
+    def intersects(self, other: "Disk", tolerance: float = 1e-12) -> bool:
+        """True when the two disks share at least one point."""
+        return (
+            self.center.distance_to(other.center)
+            <= self.radius + other.radius + tolerance
+        )
+
+    def min_distance_to_point(self, point: Point2D) -> float:
+        """Smallest distance from ``point`` to any point of the disk.
+
+        This is the ``R_min`` quantity of Section 2.2: zero when the point is
+        inside the disk.
+        """
+        return max(0.0, self.center.distance_to(point) - self.radius)
+
+    def max_distance_to_point(self, point: Point2D) -> float:
+        """Largest distance from ``point`` to any point of the disk (``R_max``)."""
+        return self.center.distance_to(point) + self.radius
+
+    def min_distance_to_disk(self, other: "Disk") -> float:
+        """Smallest distance between any pair of points of the two disks."""
+        return max(
+            0.0, self.center.distance_to(other.center) - self.radius - other.radius
+        )
+
+    def max_distance_to_disk(self, other: "Disk") -> float:
+        """Largest distance between any pair of points of the two disks."""
+        return self.center.distance_to(other.center) + self.radius + other.radius
+
+    def minkowski_sum(self, radius: float) -> "Disk":
+        """Minkowski sum of this disk with a disk of given ``radius`` at the origin.
+
+        ``D ⊕ R_d`` in the paper's notation (Section 3.1, step 1): the result
+        is simply a concentric disk whose radius is the sum of the radii.
+        """
+        if radius < 0:
+            raise ValueError("Minkowski sum radius must be non-negative")
+        return Disk(self.center, self.radius + radius)
+
+    def translated(self, dx: float, dy: float) -> "Disk":
+        """Return a copy of the disk translated by ``(dx, dy)``."""
+        return Disk(Point2D(self.center.x + dx, self.center.y + dy), self.radius)

@@ -1,0 +1,23 @@
+"""Lower-envelope machinery for hyperbolic distance functions (Section 3.2)."""
+
+from .divide_conquer import lower_envelope
+from .env2 import pairwise_envelope
+from .hyperbola import DistanceFunction, Hyperbola, HyperbolaPiece
+from .klevel import LevelEnvelopes, k_level_envelopes
+from .merge import merge_envelopes
+from .naive import naive_lower_envelope
+from .pieces import Envelope, EnvelopePiece
+
+__all__ = [
+    "DistanceFunction",
+    "Envelope",
+    "EnvelopePiece",
+    "Hyperbola",
+    "HyperbolaPiece",
+    "LevelEnvelopes",
+    "k_level_envelopes",
+    "lower_envelope",
+    "merge_envelopes",
+    "naive_lower_envelope",
+    "pairwise_envelope",
+]

@@ -1,0 +1,55 @@
+"""``LE_Alg`` (Algorithm 1): divide-and-conquer lower envelope construction.
+
+The recursion mirrors MergeSort: split the set of distance functions in two,
+construct each half's envelope, and combine them with ``Merge_LE``.  Because
+two hyperbolic distance functions cross at most twice, the envelope's
+combinatorial complexity is linear in the number of functions
+(Davenport–Schinzel λ₂), and the overall running time is O(N log N) — the
+asymptotic advantage demonstrated by Figure 11 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .hyperbola import DistanceFunction
+from .merge import merge_envelopes
+from .pieces import Envelope, EnvelopePiece
+
+
+def lower_envelope(
+    functions: Sequence[DistanceFunction], t_lo: float, t_hi: float
+) -> Envelope:
+    """Lower envelope of a collection of distance functions over ``[t_lo, t_hi]``.
+
+    Args:
+        functions: the distance functions (at least one); each must cover the
+            whole window.
+        t_lo: window start.
+        t_hi: window end.
+
+    Returns:
+        The level-1 lower envelope as an :class:`Envelope`.
+    """
+    if not functions:
+        raise ValueError("cannot build the lower envelope of an empty collection")
+    if t_hi < t_lo:
+        raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+    return _lower_envelope_recursive(list(functions), 0, len(functions), t_lo, t_hi)
+
+
+def _lower_envelope_recursive(
+    functions: Sequence[DistanceFunction],
+    start: int,
+    end: int,
+    t_lo: float,
+    t_hi: float,
+) -> Envelope:
+    """Envelope of ``functions[start:end]`` (non-empty) over the window."""
+    count = end - start
+    if count == 1:
+        return Envelope([EnvelopePiece(functions[start], t_lo, t_hi)])
+    middle = start + count // 2
+    left = _lower_envelope_recursive(functions, start, middle, t_lo, t_hi)
+    right = _lower_envelope_recursive(functions, middle, end, t_lo, t_hi)
+    return merge_envelopes(left, right)

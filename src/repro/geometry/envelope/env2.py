@@ -1,0 +1,78 @@
+"""``Env2``: lower envelope of exactly two distance functions.
+
+This is the O(1) primitive of Section 3.2 — two hyperbolic distance
+functions intersect in at most two points, so their lower envelope over a
+window consists of at most three pieces (more only when the functions are
+piecewise because the trajectories have several segments).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .hyperbola import DistanceFunction
+from .pieces import Envelope, EnvelopePiece
+
+_TIME_TOLERANCE = 1e-9
+
+
+def pairwise_envelope(
+    first: DistanceFunction,
+    second: DistanceFunction,
+    t_lo: float,
+    t_hi: float,
+) -> Envelope:
+    """Lower envelope of two distance functions over ``[t_lo, t_hi]``.
+
+    Args:
+        first: one distance function (must cover the window).
+        second: the other distance function (must cover the window).
+        t_lo: window start.
+        t_hi: window end (must be >= ``t_lo``).
+
+    Returns:
+        The :class:`Envelope` whose value at every ``t`` in the window is
+        ``min(first(t), second(t))``.
+    """
+    if t_hi < t_lo:
+        raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+    if t_hi == t_lo:
+        winner = first if first.value(t_lo) <= second.value(t_lo) else second
+        return Envelope([EnvelopePiece(winner, t_lo, t_hi)])
+
+    critical = _critical_times(first, second, t_lo, t_hi)
+    pieces: List[EnvelopePiece] = []
+    for interval_start, interval_end in zip(critical, critical[1:]):
+        midpoint = (interval_start + interval_end) / 2.0
+        if first.value(midpoint) <= second.value(midpoint):
+            winner = first
+        else:
+            winner = second
+        pieces.append(EnvelopePiece(winner, interval_start, interval_end))
+    return Envelope(pieces)
+
+
+def _critical_times(
+    first: DistanceFunction,
+    second: DistanceFunction,
+    t_lo: float,
+    t_hi: float,
+) -> List[float]:
+    """Sorted candidate breakpoints of the two-function envelope."""
+    times = [t_lo, t_hi]
+    times.extend(first.intersection_times(second, t_lo, t_hi))
+    times.extend(first.breakpoints(t_lo, t_hi))
+    times.extend(second.breakpoints(t_lo, t_hi))
+    times.sort()
+    deduplicated: List[float] = []
+    for t in times:
+        if not deduplicated or t - deduplicated[-1] > _TIME_TOLERANCE:
+            deduplicated.append(t)
+    if len(deduplicated) == 1:
+        deduplicated.append(deduplicated[0])
+    # Guard against losing the window end to deduplication.
+    if deduplicated[-1] < t_hi - _TIME_TOLERANCE:
+        deduplicated.append(t_hi)
+    deduplicated[0] = t_lo
+    deduplicated[-1] = t_hi
+    return deduplicated

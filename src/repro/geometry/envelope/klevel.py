@@ -1,0 +1,152 @@
+"""k-level envelopes: the flat (per-level) view of the IPAC-NN structure.
+
+The level-1 envelope tells which trajectory is (most probably) the nearest
+neighbor at every instant.  The level-k envelope tells which trajectory is
+the k-th ranked candidate at every instant: it is the lower envelope of the
+remaining functions once, for each elementary interval, the owners of levels
+1..k-1 over that interval have been excluded.  The IPAC-NN tree of the paper
+stores exactly this information with parent/child links; the flat level view
+here is what the Category-2 and Category-4 queries of Section 4 consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .divide_conquer import lower_envelope
+from .hyperbola import DistanceFunction
+from .pieces import Envelope, EnvelopePiece
+
+_TIME_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class _IntervalExclusion:
+    """A time interval together with the object ids excluded from it."""
+
+    t_start: float
+    t_end: float
+    excluded: FrozenSet[object]
+
+
+class LevelEnvelopes:
+    """The stack of level-1..level-L lower envelopes over a common window.
+
+    Levels are 1-based to match the paper's wording ("Level 1 of the IPAC-NN
+    tree is the lower envelope").  A level may be ``None``-like (absent) past
+    the number of available functions.
+    """
+
+    __slots__ = ("t_start", "t_end", "levels")
+
+    def __init__(self, t_start: float, t_end: float, levels: Sequence[Envelope]):
+        self.t_start = t_start
+        self.t_end = t_end
+        self.levels: Tuple[Envelope, ...] = tuple(levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def level(self, k: int) -> Envelope:
+        """The level-``k`` envelope (1-based).
+
+        Raises:
+            IndexError: when fewer than ``k`` levels exist.
+        """
+        if k < 1:
+            raise IndexError("envelope levels are 1-based")
+        if k > len(self.levels):
+            raise IndexError(f"only {len(self.levels)} levels available, asked for {k}")
+        return self.levels[k - 1]
+
+    def rank_of(self, object_id: object, t: float) -> Optional[int]:
+        """Rank (1-based level) of ``object_id`` at time ``t``.
+
+        Returns ``None`` when the object does not own any level at ``t``
+        (it was either pruned or ranks below the computed levels).
+        """
+        for index, envelope in enumerate(self.levels, start=1):
+            try:
+                if envelope.owner_at(t) == object_id:
+                    return index
+            except ValueError:
+                continue
+        return None
+
+    def owners_at(self, t: float) -> List[object]:
+        """Owners of levels 1..L at time ``t`` (ranking of the candidates)."""
+        owners = []
+        for envelope in self.levels:
+            try:
+                owners.append(envelope.owner_at(t))
+            except ValueError:
+                break
+        return owners
+
+
+def k_level_envelopes(
+    functions: Sequence[DistanceFunction],
+    t_lo: float,
+    t_hi: float,
+    max_levels: Optional[int] = None,
+) -> LevelEnvelopes:
+    """Compute the first ``max_levels`` level envelopes of a function set.
+
+    Args:
+        functions: distance functions covering ``[t_lo, t_hi]``.
+        t_lo: window start.
+        t_hi: window end.
+        max_levels: number of levels to materialize; defaults to the number
+            of functions (the full arrangement depth).
+
+    Returns:
+        A :class:`LevelEnvelopes` stack.
+    """
+    if not functions:
+        raise ValueError("cannot build level envelopes of an empty collection")
+    limit = len(functions) if max_levels is None else min(max_levels, len(functions))
+    if limit < 1:
+        raise ValueError("max_levels must be at least 1")
+
+    by_id: Dict[object, DistanceFunction] = {f.object_id: f for f in functions}
+    if len(by_id) != len(functions):
+        raise ValueError("distance functions must have unique object ids")
+
+    levels: List[Envelope] = []
+    first = lower_envelope(functions, t_lo, t_hi)
+    levels.append(first)
+    exclusions: List[_IntervalExclusion] = [
+        _IntervalExclusion(piece.t_start, piece.t_end, frozenset([piece.object_id]))
+        for piece in first.pieces
+    ]
+
+    for _ in range(1, limit):
+        next_pieces: List[EnvelopePiece] = []
+        next_exclusions: List[_IntervalExclusion] = []
+        for interval in exclusions:
+            if interval.t_end - interval.t_start <= _TIME_TOLERANCE:
+                continue
+            candidates = [
+                function
+                for object_id, function in by_id.items()
+                if object_id not in interval.excluded
+            ]
+            if not candidates:
+                continue
+            envelope = lower_envelope(candidates, interval.t_start, interval.t_end)
+            for piece in envelope.pieces:
+                next_pieces.append(piece)
+                next_exclusions.append(
+                    _IntervalExclusion(
+                        piece.t_start,
+                        piece.t_end,
+                        interval.excluded | {piece.object_id},
+                    )
+                )
+        if not next_pieces:
+            break
+        levels.append(Envelope(next_pieces))
+        exclusions = next_exclusions
+
+    return LevelEnvelopes(t_lo, t_hi, levels)

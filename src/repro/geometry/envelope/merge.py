@@ -1,0 +1,75 @@
+"""``Merge_LE`` (Algorithm 2): sweep-merge of two lower envelopes.
+
+The merge sweeps over the union of the critical time points of the two input
+envelopes.  Inside each elementary interval each envelope is defined by a
+single distance function, so the combined envelope there is given by
+``Env2``; the ⊎-concatenation (coalescing of adjacent pieces with the same
+owner) happens inside the :class:`~repro.geometry.envelope.pieces.Envelope`
+constructor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .env2 import pairwise_envelope
+from .pieces import Envelope, EnvelopePiece
+
+_TIME_TOLERANCE = 1e-9
+
+
+def merge_envelopes(first: Envelope, second: Envelope) -> Envelope:
+    """Lower envelope of the pointwise minimum of two envelopes.
+
+    Both inputs must span the same time window (as produced by the
+    divide-and-conquer recursion of Algorithm 1).
+
+    Args:
+        first: a lower envelope.
+        second: another lower envelope over the same window.
+
+    Returns:
+        The merged lower envelope.
+    """
+    if (
+        abs(first.t_start - second.t_start) > 1e-6
+        or abs(first.t_end - second.t_end) > 1e-6
+    ):
+        raise ValueError(
+            "can only merge envelopes over the same time window: "
+            f"[{first.t_start}, {first.t_end}] vs [{second.t_start}, {second.t_end}]"
+        )
+
+    sweep_times = _merged_critical_times(first, second)
+    pieces: List[EnvelopePiece] = []
+    for interval_start, interval_end in zip(sweep_times, sweep_times[1:]):
+        if interval_end - interval_start <= _TIME_TOLERANCE:
+            continue
+        midpoint = (interval_start + interval_end) / 2.0
+        function_a = first.piece_at(midpoint).function
+        function_b = second.piece_at(midpoint).function
+        if function_a is function_b:
+            pieces.append(EnvelopePiece(function_a, interval_start, interval_end))
+            continue
+        local = pairwise_envelope(function_a, function_b, interval_start, interval_end)
+        pieces.extend(local.pieces)
+    if not pieces:
+        # Degenerate zero-length window: fall back to comparing at the single instant.
+        t = first.t_start
+        winner = (
+            first.piece_at(t).function
+            if first.value(t) <= second.value(t)
+            else second.piece_at(t).function
+        )
+        pieces = [EnvelopePiece(winner, t, first.t_end)]
+    return Envelope(pieces)
+
+
+def _merged_critical_times(first: Envelope, second: Envelope) -> List[float]:
+    """Union of the two envelopes' critical times, sorted and deduplicated."""
+    times = sorted(set(first.critical_times) | set(second.critical_times))
+    deduplicated: List[float] = []
+    for t in times:
+        if not deduplicated or t - deduplicated[-1] > _TIME_TOLERANCE:
+            deduplicated.append(t)
+    return deduplicated

@@ -1,0 +1,228 @@
+"""Envelope representation: piecewise "which distance function is lowest".
+
+A lower envelope over a time window is a sequence of
+:class:`EnvelopePiece` objects — (owner distance function, time interval) —
+ordered by time.  The level-1 envelope produced by Algorithm 1 of the paper
+is contiguous; higher-level envelopes (used by the IPAC-NN tree and the
+k-ranked queries) may contain gaps when fewer candidates remain, so the
+container tolerates gaps but never overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .hyperbola import DistanceFunction
+
+_TIME_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class EnvelopePiece:
+    """One maximal interval on which a single distance function is the envelope."""
+
+    function: DistanceFunction
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start - _TIME_TOLERANCE:
+            raise ValueError(
+                f"piece end time {self.t_end} precedes start time {self.t_start}"
+            )
+
+    @property
+    def object_id(self) -> object:
+        """Identifier of the trajectory owning this piece."""
+        return self.function.object_id
+
+    @property
+    def duration(self) -> float:
+        """Length of the piece's time interval."""
+        return max(0.0, self.t_end - self.t_start)
+
+    def contains(self, t: float, tolerance: float = _TIME_TOLERANCE) -> bool:
+        """True when ``t`` lies inside the piece's interval."""
+        return self.t_start - tolerance <= t <= self.t_end + tolerance
+
+    def value(self, t: float) -> float:
+        """Envelope value at ``t`` (must lie inside the piece)."""
+        return self.function.value(t)
+
+    def clipped(self, t_lo: float, t_hi: float) -> Optional["EnvelopePiece"]:
+        """Restriction of the piece to ``[t_lo, t_hi]``, or ``None`` if disjoint."""
+        lo = max(self.t_start, t_lo)
+        hi = min(self.t_end, t_hi)
+        if hi < lo - _TIME_TOLERANCE:
+            return None
+        if hi < lo:
+            hi = lo
+        return EnvelopePiece(self.function, lo, hi)
+
+
+class Envelope:
+    """An ordered, non-overlapping sequence of envelope pieces.
+
+    The ⊎-concatenation of the paper (merging adjacent pieces owned by the
+    same trajectory) is applied on construction, so the piece list is always
+    in canonical minimal form.
+    """
+
+    __slots__ = ("pieces", "t_start", "t_end")
+
+    def __init__(self, pieces: Sequence[EnvelopePiece]):
+        if not pieces:
+            raise ValueError("an envelope needs at least one piece")
+        ordered = sorted(pieces, key=lambda piece: piece.t_start)
+        for previous, current in zip(ordered, ordered[1:]):
+            if current.t_start < previous.t_end - _TIME_TOLERANCE:
+                raise ValueError(
+                    "envelope pieces overlap: "
+                    f"[{previous.t_start}, {previous.t_end}] and "
+                    f"[{current.t_start}, {current.t_end}]"
+                )
+        self.pieces: Tuple[EnvelopePiece, ...] = tuple(_coalesce(ordered))
+        self.t_start = self.pieces[0].t_start
+        self.t_end = self.pieces[-1].t_end
+
+    def __iter__(self) -> Iterator[EnvelopePiece]:
+        return iter(self.pieces)
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        owners = [piece.object_id for piece in self.pieces]
+        return f"Envelope(span=[{self.t_start:.3f}, {self.t_end:.3f}], owners={owners})"
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when consecutive pieces share endpoints (no gaps)."""
+        for previous, current in zip(self.pieces, self.pieces[1:]):
+            if current.t_start > previous.t_end + _TIME_TOLERANCE:
+                return False
+        return True
+
+    @property
+    def owner_ids(self) -> List[object]:
+        """Owners of the pieces, in temporal order (with repetitions)."""
+        return [piece.object_id for piece in self.pieces]
+
+    @property
+    def distinct_owner_ids(self) -> List[object]:
+        """Owners of the pieces with duplicates removed (stable order)."""
+        seen = set()
+        result = []
+        for piece in self.pieces:
+            if piece.object_id not in seen:
+                seen.add(piece.object_id)
+                result.append(piece.object_id)
+        return result
+
+    @property
+    def critical_times(self) -> List[float]:
+        """All piece boundaries, including the envelope's own endpoints."""
+        times = [self.pieces[0].t_start]
+        for piece in self.pieces:
+            if abs(piece.t_end - times[-1]) > _TIME_TOLERANCE:
+                times.append(piece.t_end)
+        return times
+
+    def piece_at(self, t: float) -> EnvelopePiece:
+        """The piece covering time ``t``.
+
+        Raises:
+            ValueError: when ``t`` lies outside the envelope or inside a gap.
+        """
+        if t < self.t_start - _TIME_TOLERANCE or t > self.t_end + _TIME_TOLERANCE:
+            raise ValueError(
+                f"time {t} outside envelope span [{self.t_start}, {self.t_end}]"
+            )
+        lo, hi = 0, len(self.pieces) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.pieces[mid].t_end < t - _TIME_TOLERANCE:
+                lo = mid + 1
+            else:
+                hi = mid
+        piece = self.pieces[lo]
+        if not piece.contains(t):
+            raise ValueError(f"time {t} falls in a gap of the envelope")
+        return piece
+
+    def value(self, t: float) -> float:
+        """Envelope value (lowest distance) at time ``t``."""
+        return self.piece_at(t).value(t)
+
+    def owner_at(self, t: float) -> object:
+        """Identifier of the trajectory defining the envelope at time ``t``."""
+        return self.piece_at(t).object_id
+
+    def restricted(self, t_lo: float, t_hi: float) -> "Envelope":
+        """Envelope clipped to ``[t_lo, t_hi]``.
+
+        Raises:
+            ValueError: when the window does not intersect the envelope.
+        """
+        if t_hi < t_lo:
+            raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+        clipped = []
+        for piece in self.pieces:
+            restricted = piece.clipped(t_lo, t_hi)
+            if restricted is not None and restricted.duration > _TIME_TOLERANCE:
+                clipped.append(restricted)
+        if not clipped:
+            # Degenerate but valid case: the window collapses onto a single
+            # time instant covered by some piece.
+            for piece in self.pieces:
+                if piece.contains(t_lo):
+                    clipped.append(EnvelopePiece(piece.function, t_lo, min(t_hi, piece.t_end)))
+                    break
+        if not clipped:
+            raise ValueError(
+                f"window [{t_lo}, {t_hi}] does not intersect envelope "
+                f"[{self.t_start}, {self.t_end}]"
+            )
+        return Envelope(clipped)
+
+    def total_duration_of(self, object_id: object) -> float:
+        """Total time during which ``object_id`` owns the envelope."""
+        return sum(
+            piece.duration for piece in self.pieces if piece.object_id == object_id
+        )
+
+    def sample(self, times: Iterable[float]) -> List[Tuple[float, float, object]]:
+        """Evaluate the envelope at the given times.
+
+        Returns:
+            A list of ``(t, value, owner_id)`` triples; times falling in gaps
+            are skipped.
+        """
+        samples = []
+        for t in times:
+            try:
+                piece = self.piece_at(t)
+            except ValueError:
+                continue
+            samples.append((t, piece.value(t), piece.object_id))
+        return samples
+
+
+def _coalesce(pieces: Sequence[EnvelopePiece]) -> List[EnvelopePiece]:
+    """Merge temporally-adjacent pieces owned by the same function (⊎)."""
+    merged: List[EnvelopePiece] = []
+    for piece in pieces:
+        if piece.duration <= _TIME_TOLERANCE and merged:
+            # Zero-length slivers contribute nothing; drop them unless they
+            # are the only content.
+            continue
+        if (
+            merged
+            and merged[-1].function is piece.function
+            and abs(merged[-1].t_end - piece.t_start) <= _TIME_TOLERANCE
+        ):
+            merged[-1] = EnvelopePiece(piece.function, merged[-1].t_start, piece.t_end)
+        else:
+            merged.append(piece)
+    return merged or list(pieces[:1])

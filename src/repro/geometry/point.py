@@ -1,0 +1,142 @@
+"""2D point and vector primitives.
+
+These are deliberately lightweight, immutable value objects: the envelope and
+probability machinery manipulates millions of coordinates through NumPy
+arrays, but the public API and the bookkeeping layers (trajectories, disks,
+query answers) benefit from small named types with exact, readable
+operations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Point2D:
+    """A point in the 2D plane.
+
+    Supports the small amount of affine arithmetic the library needs:
+    subtraction of points yields a :class:`Vector2D`, translation by a vector
+    yields another point.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "Point2D") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point2D") -> float:
+        """Squared Euclidean distance to ``other`` (no square root)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, vector: "Vector2D") -> "Point2D":
+        """Return this point translated by ``vector``."""
+        return Point2D(self.x + vector.dx, self.y + vector.dy)
+
+    def midpoint(self, other: "Point2D") -> "Point2D":
+        """Return the midpoint of the segment between this point and ``other``."""
+        return Point2D((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def __sub__(self, other: "Point2D") -> "Vector2D":
+        return Vector2D(self.x - other.x, self.y - other.y)
+
+    def __add__(self, vector: "Vector2D") -> "Point2D":
+        return self.translated(vector)
+
+    def is_close(self, other: "Point2D", tolerance: float = 1e-9) -> bool:
+        """True when both coordinates agree within ``tolerance``."""
+        return abs(self.x - other.x) <= tolerance and abs(self.y - other.y) <= tolerance
+
+
+ORIGIN = Point2D(0.0, 0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Vector2D:
+    """A displacement in the 2D plane."""
+
+    dx: float
+    dy: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.dx
+        yield self.dy
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(dx, dy)``."""
+        return (self.dx, self.dy)
+
+    @property
+    def length(self) -> float:
+        """Euclidean norm of the vector."""
+        return math.hypot(self.dx, self.dy)
+
+    @property
+    def squared_length(self) -> float:
+        """Squared Euclidean norm."""
+        return self.dx * self.dx + self.dy * self.dy
+
+    def scaled(self, factor: float) -> "Vector2D":
+        """Return the vector multiplied by ``factor``."""
+        return Vector2D(self.dx * factor, self.dy * factor)
+
+    def dot(self, other: "Vector2D") -> float:
+        """Dot product with ``other``."""
+        return self.dx * other.dx + self.dy * other.dy
+
+    def cross(self, other: "Vector2D") -> float:
+        """Scalar (z-component) cross product with ``other``."""
+        return self.dx * other.dy - self.dy * other.dx
+
+    def normalized(self) -> "Vector2D":
+        """Return a unit vector in the same direction.
+
+        Raises:
+            ValueError: if the vector is (numerically) the zero vector.
+        """
+        norm = self.length
+        if norm < 1e-15:
+            raise ValueError("cannot normalize a zero vector")
+        return Vector2D(self.dx / norm, self.dy / norm)
+
+    def rotated(self, angle: float) -> "Vector2D":
+        """Return the vector rotated counter-clockwise by ``angle`` radians."""
+        cos_a = math.cos(angle)
+        sin_a = math.sin(angle)
+        return Vector2D(
+            self.dx * cos_a - self.dy * sin_a,
+            self.dx * sin_a + self.dy * cos_a,
+        )
+
+    def __add__(self, other: "Vector2D") -> "Vector2D":
+        return Vector2D(self.dx + other.dx, self.dy + other.dy)
+
+    def __sub__(self, other: "Vector2D") -> "Vector2D":
+        return Vector2D(self.dx - other.dx, self.dy - other.dy)
+
+    def __neg__(self) -> "Vector2D":
+        return Vector2D(-self.dx, -self.dy)
+
+    def __mul__(self, factor: float) -> "Vector2D":
+        return self.scaled(factor)
+
+    def __rmul__(self, factor: float) -> "Vector2D":
+        return self.scaled(factor)
+
+
+ZERO_VECTOR = Vector2D(0.0, 0.0)

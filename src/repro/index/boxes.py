@@ -1,0 +1,139 @@
+"""Axis-aligned boxes in (x, y, t) space and helpers to derive them from trajectories.
+
+The indexes store one box per trajectory segment, expanded spatially by the
+uncertainty radius so that a box miss really does imply the object cannot be
+anywhere near the probed region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..trajectories.trajectory import Trajectory, UncertainTrajectory
+
+
+@dataclass(frozen=True, slots=True)
+class Box3D:
+    """A closed axis-aligned box in (x, y, t) space."""
+
+    x_min: float
+    y_min: float
+    t_min: float
+    x_max: float
+    y_max: float
+    t_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min or self.t_max < self.t_min:
+            raise ValueError(f"malformed box: {self}")
+
+    @property
+    def volume(self) -> float:
+        """Product of the three extents."""
+        return (
+            (self.x_max - self.x_min)
+            * (self.y_max - self.y_min)
+            * (self.t_max - self.t_min)
+        )
+
+    @property
+    def center(self) -> Tuple[float, float, float]:
+        """Center of the box."""
+        return (
+            (self.x_min + self.x_max) / 2.0,
+            (self.y_min + self.y_max) / 2.0,
+            (self.t_min + self.t_max) / 2.0,
+        )
+
+    def intersects(self, other: "Box3D") -> bool:
+        """True when the two boxes overlap (closed-interval semantics)."""
+        return (
+            self.x_min <= other.x_max
+            and other.x_min <= self.x_max
+            and self.y_min <= other.y_max
+            and other.y_min <= self.y_max
+            and self.t_min <= other.t_max
+            and other.t_min <= self.t_max
+        )
+
+    def contains(self, other: "Box3D") -> bool:
+        """True when ``other`` lies entirely inside this box."""
+        return (
+            self.x_min <= other.x_min
+            and other.x_max <= self.x_max
+            and self.y_min <= other.y_min
+            and other.y_max <= self.y_max
+            and self.t_min <= other.t_min
+            and other.t_max <= self.t_max
+        )
+
+    def union(self, other: "Box3D") -> "Box3D":
+        """Smallest box containing both."""
+        return Box3D(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            min(self.t_min, other.t_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+            max(self.t_max, other.t_max),
+        )
+
+    def expanded(self, spatial_margin: float, temporal_margin: float = 0.0) -> "Box3D":
+        """Box grown by a spatial margin in x/y and a temporal margin in t."""
+        if spatial_margin < 0 or temporal_margin < 0:
+            raise ValueError("margins must be non-negative")
+        return Box3D(
+            self.x_min - spatial_margin,
+            self.y_min - spatial_margin,
+            self.t_min - temporal_margin,
+            self.x_max + spatial_margin,
+            self.y_max + spatial_margin,
+            self.t_max + temporal_margin,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class IndexEntry:
+    """One indexed segment: its bounding box and the owning object id."""
+
+    box: Box3D
+    object_id: object
+
+
+def segment_boxes(
+    trajectory: Trajectory, spatial_margin: float | None = None
+) -> List[IndexEntry]:
+    """One index entry per segment of a trajectory.
+
+    Args:
+        trajectory: the trajectory to index.
+        spatial_margin: extra spatial slack around the expected polyline; by
+            default the uncertainty radius of an :class:`UncertainTrajectory`
+            and zero for a crisp one.
+    """
+    if spatial_margin is None:
+        spatial_margin = (
+            trajectory.radius if isinstance(trajectory, UncertainTrajectory) else 0.0
+        )
+    entries = []
+    for segment in trajectory.segments():
+        x_lo, y_lo, x_hi, y_hi = segment.expanded_spatial_bounds(spatial_margin)
+        entries.append(
+            IndexEntry(
+                Box3D(x_lo, y_lo, segment.t_start, x_hi, y_hi, segment.t_end),
+                trajectory.object_id,
+            )
+        )
+    return entries
+
+
+def trajectory_box(
+    trajectory: Trajectory, spatial_margin: float | None = None
+) -> Box3D:
+    """A single bounding box covering the whole trajectory."""
+    entries = segment_boxes(trajectory, spatial_margin)
+    box = entries[0].box
+    for entry in entries[1:]:
+        box = box.union(entry.box)
+    return box

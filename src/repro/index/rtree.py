@@ -1,0 +1,174 @@
+"""A static STR-packed R-tree over segment boxes in (x, y, t) space.
+
+The paper's future-work section points at U-tree-style index support for
+uncertain queries; this module provides the classical substrate: a
+Sort-Tile-Recursive bulk-loaded R-tree.  It is built once over the segment
+boxes of a trajectory set (expanded by the uncertainty radius) and answers
+box-intersection probes, which the query layer uses to pre-filter NN
+candidates before building distance functions.
+
+Because the external ``rtree`` package (libspatialindex bindings) is not
+available offline, the tree is implemented from scratch; it is deliberately
+read-only (bulk load only), which is all the workloads here need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..trajectories.trajectory import Trajectory
+from .boxes import Box3D, IndexEntry, segment_boxes
+
+
+@dataclass
+class _Node:
+    """An R-tree node: either a leaf holding entries or an internal node holding children."""
+
+    box: Box3D
+    entries: List[IndexEntry] = field(default_factory=list)
+    children: List["_Node"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class STRRTree:
+    """Sort-Tile-Recursive bulk-loaded, read-only R-tree."""
+
+    def __init__(self, entries: Sequence[IndexEntry], leaf_capacity: int = 16):
+        if leaf_capacity < 2:
+            raise ValueError("leaf capacity must be at least 2")
+        self._leaf_capacity = leaf_capacity
+        self._size = len(entries)
+        self._root: Optional[_Node] = (
+            self._bulk_load(list(entries)) if entries else None
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels of the tree (0 for an empty tree)."""
+        height = 0
+        node = self._root
+        while node is not None:
+            height += 1
+            node = node.children[0] if node.children else None
+        return height
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    def _bulk_load(self, entries: List[IndexEntry]) -> _Node:
+        leaves = self._pack_leaves(entries)
+        levels = leaves
+        while len(levels) > 1:
+            levels = self._pack_internal(levels)
+        return levels[0]
+
+    def _pack_leaves(self, entries: List[IndexEntry]) -> List[_Node]:
+        """STR packing: sort by x-center, slice into vertical strips, sort each by y-center."""
+        capacity = self._leaf_capacity
+        count = len(entries)
+        leaf_count = math.ceil(count / capacity)
+        strip_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        per_strip = math.ceil(count / strip_count)
+
+        by_x = sorted(entries, key=lambda entry: entry.box.center[0])
+        leaves: List[_Node] = []
+        for strip_start in range(0, count, per_strip):
+            strip = sorted(
+                by_x[strip_start:strip_start + per_strip],
+                key=lambda entry: entry.box.center[1],
+            )
+            for leaf_start in range(0, len(strip), capacity):
+                chunk = strip[leaf_start:leaf_start + capacity]
+                box = chunk[0].box
+                for entry in chunk[1:]:
+                    box = box.union(entry.box)
+                leaves.append(_Node(box=box, entries=list(chunk)))
+        return leaves
+
+    def _pack_internal(self, nodes: List[_Node]) -> List[_Node]:
+        capacity = self._leaf_capacity
+        count = len(nodes)
+        parent_count = math.ceil(count / capacity)
+        strip_count = max(1, math.ceil(math.sqrt(parent_count)))
+        per_strip = math.ceil(count / strip_count)
+
+        by_x = sorted(nodes, key=lambda node: node.box.center[0])
+        parents: List[_Node] = []
+        for strip_start in range(0, count, per_strip):
+            strip = sorted(
+                by_x[strip_start:strip_start + per_strip],
+                key=lambda node: node.box.center[1],
+            )
+            for parent_start in range(0, len(strip), capacity):
+                chunk = strip[parent_start:parent_start + capacity]
+                box = chunk[0].box
+                for node in chunk[1:]:
+                    box = box.union(node.box)
+                parents.append(_Node(box=box, children=list(chunk)))
+        return parents
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def query_box(self, box: Box3D) -> Set[object]:
+        """Object ids whose indexed boxes intersect the probe box."""
+        found: Set[object] = set()
+        if self._root is None:
+            return found
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.box.intersects(box):
+                        found.add(entry.object_id)
+            else:
+                stack.extend(node.children)
+        return found
+
+    def query_corridor(
+        self,
+        trajectory: Trajectory,
+        distance: float,
+        t_lo: float,
+        t_hi: float,
+    ) -> Set[object]:
+        """Objects possibly within ``distance`` of a trajectory during a window."""
+        if distance < 0:
+            raise ValueError("corridor distance must be non-negative")
+        clipped = trajectory.clipped(
+            max(t_lo, trajectory.start_time), min(t_hi, trajectory.end_time)
+        )
+        found: Set[object] = set()
+        for entry in segment_boxes(clipped, spatial_margin=0.0):
+            found.update(self.query_box(entry.box.expanded(distance)))
+        found.discard(trajectory.object_id)
+        return found
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_trajectories(
+        trajectories: Iterable[Trajectory],
+        spatial_margin: float | None = None,
+        leaf_capacity: int = 16,
+    ) -> "STRRTree":
+        """Bulk load a tree from the segment boxes of several trajectories."""
+        entries: List[IndexEntry] = []
+        for trajectory in trajectories:
+            entries.extend(segment_boxes(trajectory, spatial_margin))
+        return STRRTree(entries, leaf_capacity=leaf_capacity)

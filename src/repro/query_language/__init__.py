@@ -1,0 +1,19 @@
+"""A small SQL-style front-end for the Section-4 query variants."""
+
+from .ast import ContinuousNNQueryAST, NNPredicate, Quantifier, TimeWindow
+from .executor import QueryResult, execute_query
+from .parser import parse_query
+from .tokens import QueryLanguageError, Token, tokenize
+
+__all__ = [
+    "ContinuousNNQueryAST",
+    "NNPredicate",
+    "Quantifier",
+    "QueryLanguageError",
+    "QueryResult",
+    "TimeWindow",
+    "Token",
+    "execute_query",
+    "parse_query",
+    "tokenize",
+]

@@ -1,0 +1,106 @@
+"""Executing parsed MOD queries against a MovingObjectsDatabase.
+
+The executor maps each AST shape onto the corresponding Section-4 category of
+:class:`~repro.core.continuous.ContinuousProbabilisticNNQuery`:
+
+* Category 3/4 (no target restriction) return the list of qualifying object
+  ids;
+* Category 1/2 (``AND T = ...``) return the same list restricted to the
+  target — i.e. an empty list means "no", a singleton means "yes" — plus a
+  boolean convenience flag on the result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.continuous import ContinuousProbabilisticNNQuery
+from ..trajectories.mod import MovingObjectsDatabase
+from .ast import ContinuousNNQueryAST, Quantifier
+from .parser import parse_query
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Outcome of executing one query."""
+
+    ast: ContinuousNNQueryAST
+    object_ids: List[object]
+
+    @property
+    def holds(self) -> bool:
+        """For targeted (Category 1/2) queries: did the target qualify?"""
+        return bool(self.object_ids)
+
+
+def execute_query(
+    text_or_ast: str | ContinuousNNQueryAST,
+    mod: MovingObjectsDatabase,
+    band_width: Optional[float] = None,
+) -> QueryResult:
+    """Parse (if needed) and execute a query against a MOD.
+
+    Args:
+        text_or_ast: the query text, or an already-parsed AST.
+        mod: the moving objects database to run against.
+        band_width: optional pruning-band override handed to the query façade.
+
+    Returns:
+        A :class:`QueryResult` with the qualifying object ids (the query
+        object itself is never part of its own answer).
+    """
+    ast = (
+        text_or_ast
+        if isinstance(text_or_ast, ContinuousNNQueryAST)
+        else parse_query(text_or_ast)
+    )
+    query_object = _resolve_object_id(mod, ast.predicate.query_object)
+    engine = ContinuousProbabilisticNNQuery(
+        mod,
+        query_object,
+        ast.window.t_start,
+        ast.window.t_end,
+        band_width=band_width,
+    )
+
+    rank = ast.predicate.max_rank
+    if rank is None:
+        if ast.quantifier is Quantifier.EXISTS:
+            candidates = engine.all_with_nonzero_probability_sometime()
+        elif ast.quantifier is Quantifier.FORALL:
+            candidates = engine.all_with_nonzero_probability_always()
+        else:
+            candidates = engine.all_with_nonzero_probability_at_least(ast.min_fraction)
+    else:
+        if ast.quantifier is Quantifier.EXISTS:
+            candidates = engine.all_ranked_within_sometime(rank)
+        elif ast.quantifier is Quantifier.FORALL:
+            candidates = engine.all_ranked_within_always(rank)
+        else:
+            candidates = engine.all_ranked_within_at_least(rank, ast.min_fraction)
+
+    if ast.target_object is not None:
+        target = _resolve_object_id(mod, ast.target_object)
+        candidates = [oid for oid in candidates if oid == target]
+    return QueryResult(ast, candidates)
+
+
+def _resolve_object_id(mod: MovingObjectsDatabase, requested: object) -> object:
+    """Match a parsed literal against the MOD's actual object ids.
+
+    Query text cannot distinguish ``"7"`` from ``7``; try the literal first
+    and fall back to the obvious string/int coercions before giving up.
+    """
+    if requested in mod:
+        return requested
+    if isinstance(requested, str):
+        try:
+            numeric = int(requested)
+        except ValueError:
+            numeric = None
+        if numeric is not None and numeric in mod:
+            return numeric
+    if isinstance(requested, (int, float)) and str(requested) in mod:
+        return str(requested)
+    raise KeyError(f"query references unknown object {requested!r}")

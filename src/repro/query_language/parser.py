@@ -1,0 +1,189 @@
+"""Recursive-descent parser for the MOD query language.
+
+Grammar (keywords are case-insensitive)::
+
+    query      := SELECT T FROM MOD WHERE quantifier AND predicate [AND target]
+    quantifier := EXISTS TIME IN window
+                | FORALL TIME IN window
+                | FRACTION TIME IN window GE number
+    window     := '[' number ',' number ']'
+    predicate  := PROBABILITY_NN '(' T ',' object ',' TIME ')' GT number(0)
+                | RANK_NN '(' T ',' object ',' TIME ')' LE number
+    target     := T EQ object
+    object     := STRING | NUMBER | IDENT
+
+String object ids stay strings; bare numbers become ints when integral so
+they match the integer ids the workload generator produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import ContinuousNNQueryAST, NNPredicate, Quantifier, TimeWindow
+from .tokens import QueryLanguageError, Token, tokenize
+
+
+def parse_query(text: str) -> ContinuousNNQueryAST:
+    """Parse a query string into its AST.
+
+    Raises:
+        QueryLanguageError: on any lexical or syntactic problem, with the
+        offending position in the message.
+    """
+    return _Parser(tokenize(text)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing.
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise QueryLanguageError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise QueryLanguageError(
+                f"expected {kind} but found {token.text!r} at position {token.position}"
+            )
+        return token
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # Grammar rules.
+    # ------------------------------------------------------------------
+
+    def parse(self) -> ContinuousNNQueryAST:
+        self._expect("SELECT")
+        self._expect("T")
+        self._expect("FROM")
+        self._expect("MOD")
+        self._expect("WHERE")
+
+        quantifier, window, min_fraction = self._parse_quantifier()
+        self._expect("AND")
+        predicate = self._parse_predicate()
+        target = self._parse_optional_target()
+
+        if self._peek() is not None:
+            stray = self._peek()
+            raise QueryLanguageError(
+                f"unexpected trailing input {stray.text!r} at position {stray.position}"
+            )
+        return ContinuousNNQueryAST(
+            quantifier=quantifier,
+            window=window,
+            predicate=predicate,
+            min_fraction=min_fraction,
+            target_object=target,
+        )
+
+    def _parse_quantifier(self) -> tuple[Quantifier, TimeWindow, Optional[float]]:
+        token = self._advance()
+        if token.kind == "EXISTS":
+            quantifier = Quantifier.EXISTS
+        elif token.kind == "FORALL":
+            quantifier = Quantifier.FORALL
+        elif token.kind == "FRACTION":
+            quantifier = Quantifier.FRACTION
+        else:
+            raise QueryLanguageError(
+                f"expected EXISTS, FORALL or FRACTION but found {token.text!r} "
+                f"at position {token.position}"
+            )
+        self._expect("TIME")
+        self._expect("IN")
+        window = self._parse_window()
+        min_fraction = None
+        if quantifier is Quantifier.FRACTION:
+            self._expect("GE")
+            min_fraction = self._parse_number()
+        return quantifier, window, min_fraction
+
+    def _parse_window(self) -> TimeWindow:
+        self._expect("LBRACKET")
+        start = self._parse_number()
+        self._expect("COMMA")
+        end = self._parse_number()
+        self._expect("RBRACKET")
+        try:
+            return TimeWindow(start, end)
+        except ValueError as error:
+            raise QueryLanguageError(str(error)) from error
+
+    def _parse_predicate(self) -> NNPredicate:
+        token = self._advance()
+        if token.kind not in ("PROBABILITY_NN", "RANK_NN"):
+            raise QueryLanguageError(
+                f"expected PROBABILITY_NN or RANK_NN but found {token.text!r} "
+                f"at position {token.position}"
+            )
+        self._expect("LPAREN")
+        self._expect("T")
+        self._expect("COMMA")
+        query_object = self._parse_object()
+        self._expect("COMMA")
+        self._expect("TIME")
+        self._expect("RPAREN")
+
+        if token.kind == "PROBABILITY_NN":
+            self._expect("GT")
+            bound = self._parse_number()
+            if bound != 0:
+                raise QueryLanguageError(
+                    "only the non-zero probability predicate "
+                    "(PROBABILITY_NN(...) > 0) is supported; "
+                    "use the threshold-query API for other bounds"
+                )
+            return NNPredicate(query_object)
+
+        self._expect("LE")
+        rank = self._parse_number()
+        if rank != int(rank) or rank < 1:
+            raise QueryLanguageError("RANK_NN bound must be a positive integer")
+        return NNPredicate(query_object, max_rank=int(rank))
+
+    def _parse_optional_target(self) -> Optional[object]:
+        if self._accept("AND") is None:
+            return None
+        self._expect("T")
+        self._expect("EQ")
+        return self._parse_object()
+
+    def _parse_object(self) -> object:
+        token = self._advance()
+        if token.kind == "STRING":
+            return token.text
+        if token.kind == "IDENT":
+            return token.text
+        if token.kind == "NUMBER":
+            value = float(token.text)
+            return int(value) if value == int(value) else value
+        raise QueryLanguageError(
+            f"expected an object identifier but found {token.text!r} "
+            f"at position {token.position}"
+        )
+
+    def _parse_number(self) -> float:
+        token = self._expect("NUMBER")
+        return float(token.text)

@@ -1,0 +1,127 @@
+"""Tokenizer for the small MOD query language.
+
+Section 4 of the paper sketches an SQL-style surface syntax for the
+continuous probabilistic NN predicates::
+
+    SELECT T FROM MOD
+    WHERE EXISTS TIME IN [t1, t2]
+    AND PROBABILITY_NN(T, TrQ, TIME) > 0
+
+This module turns such text into a flat token stream; the grammar lives in
+:mod:`repro.query_language.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+#: Keywords recognized by the language (case-insensitive).
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "MOD",
+    "WHERE",
+    "AND",
+    "EXISTS",
+    "FORALL",
+    "FRACTION",
+    "TIME",
+    "IN",
+    "T",
+    "PROBABILITY_NN",
+    "RANK_NN",
+}
+
+#: Punctuation / operator tokens.
+SYMBOLS = {
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ">": "GT",
+    "<": "LT",
+    "=": "EQ",
+    ">=": "GE",
+    "<=": "LE",
+}
+
+
+class QueryLanguageError(ValueError):
+    """Raised for malformed query text (lexical or syntactic)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One token: a kind (keyword name, symbol name, NUMBER, STRING) and its text."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a query string.
+
+    Raises:
+        QueryLanguageError: on characters that belong to no token.
+    """
+    return list(_tokenize(text))
+
+
+def _tokenize(text: str) -> Iterator[Token]:
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        # Two-character operators first.
+        two = text[index:index + 2]
+        if two in SYMBOLS:
+            yield Token(SYMBOLS[two], two, index)
+            index += 2
+            continue
+        if char in SYMBOLS:
+            yield Token(SYMBOLS[char], char, index)
+            index += 1
+            continue
+        if char == "'" or char == '"':
+            end = text.find(char, index + 1)
+            if end < 0:
+                raise QueryLanguageError(f"unterminated string literal at position {index}")
+            yield Token("STRING", text[index + 1:end], index)
+            index = end + 1
+            continue
+        if char.isdigit() or (char in "+-." and index + 1 < length and text[index + 1].isdigit()):
+            end = index + 1
+            while end < length and (text[end].isdigit() or text[end] in ".eE+-"):
+                # Stop a trailing +/- that is not part of an exponent.
+                if text[end] in "+-" and text[end - 1] not in "eE":
+                    break
+                end += 1
+            literal = text[index:end]
+            try:
+                float(literal)
+            except ValueError as error:
+                raise QueryLanguageError(
+                    f"malformed number {literal!r} at position {index}"
+                ) from error
+            yield Token("NUMBER", literal, index)
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(upper, word, index)
+            else:
+                yield Token("IDENT", word, index)
+            index = end
+            continue
+        raise QueryLanguageError(f"unexpected character {char!r} at position {index}")

@@ -1,0 +1,55 @@
+"""Trajectory model: crisp/uncertain trajectories, difference trajectories, the MOD."""
+
+from .difference import (
+    difference_distance_function,
+    difference_distance_functions,
+    expected_distance_at,
+    relative_position_at,
+)
+from .io import LoadReport, load_csv, load_json, save_csv, save_json
+from .interpolation import (
+    pairwise_expected_distances,
+    positions_at,
+    resample,
+    sampled_polyline,
+    uniform_time_grid,
+)
+from .mod import MovingObjectsDatabase
+from .trajectory import Trajectory, TrajectorySample, UncertainTrajectory
+from .updates import (
+    LocationUpdate,
+    VelocityUpdate,
+    dead_reckoning_positions,
+    ellipse_uncertainty_bound,
+    max_ellipse_uncertainty,
+    trajectory_from_dead_reckoning,
+    trajectory_from_updates,
+)
+
+__all__ = [
+    "LoadReport",
+    "LocationUpdate",
+    "MovingObjectsDatabase",
+    "VelocityUpdate",
+    "dead_reckoning_positions",
+    "ellipse_uncertainty_bound",
+    "max_ellipse_uncertainty",
+    "trajectory_from_dead_reckoning",
+    "trajectory_from_updates",
+    "load_csv",
+    "load_json",
+    "save_csv",
+    "save_json",
+    "Trajectory",
+    "TrajectorySample",
+    "UncertainTrajectory",
+    "difference_distance_function",
+    "difference_distance_functions",
+    "expected_distance_at",
+    "pairwise_expected_distances",
+    "positions_at",
+    "relative_position_at",
+    "resample",
+    "sampled_polyline",
+    "uniform_time_grid",
+]

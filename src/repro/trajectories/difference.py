@@ -1,0 +1,143 @@
+"""Difference trajectories ``TR_iq = Tr_i − Tr_q`` (Section 3.2).
+
+The convolution transformation turns the "uncertain NN of an uncertain
+query" problem into a crisp problem about the *relative* motion of every
+object with respect to the query: the distance of the difference trajectory
+from the origin is the hyperbolic distance function whose lower envelope
+drives everything else.  This module builds those distance functions from
+pairs of trajectories, handling multi-segment trajectories by aligning the
+two objects' sample times.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..geometry.envelope.hyperbola import DistanceFunction, Hyperbola, HyperbolaPiece
+from .trajectory import Trajectory
+
+_TIME_TOLERANCE = 1e-9
+
+
+def difference_distance_function(
+    trajectory: Trajectory,
+    query: Trajectory,
+    t_lo: float,
+    t_hi: float,
+) -> DistanceFunction:
+    """Distance function of ``trajectory`` relative to ``query`` over a window.
+
+    For every maximal sub-interval of ``[t_lo, t_hi]`` on which both
+    trajectories move along a single segment, the squared distance between
+    their expected locations is a quadratic in time; the resulting
+    piecewise-hyperbolic curve is exactly the ``d_iq(t)`` of Section 3.2.
+
+    Args:
+        trajectory: the candidate object ``Tr_i``.
+        query: the query object ``Tr_q``.
+        t_lo: window start (must be covered by both trajectories).
+        t_hi: window end (must be covered by both trajectories).
+
+    Returns:
+        The :class:`DistanceFunction` labelled with ``trajectory.object_id``.
+    """
+    if t_hi < t_lo:
+        raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+    if not trajectory.covers_interval(t_lo, t_hi):
+        raise ValueError(
+            f"trajectory {trajectory.object_id!r} does not cover [{t_lo}, {t_hi}]"
+        )
+    if not query.covers_interval(t_lo, t_hi):
+        raise ValueError(
+            f"query trajectory {query.object_id!r} does not cover [{t_lo}, {t_hi}]"
+        )
+
+    breakpoints = _aligned_breakpoints(trajectory, query, t_lo, t_hi)
+    pieces: List[HyperbolaPiece] = []
+    for interval_start, interval_end in zip(breakpoints, breakpoints[1:]):
+        if interval_end - interval_start <= _TIME_TOLERANCE and len(breakpoints) > 2:
+            continue
+        reference = interval_start
+        midpoint = (interval_start + interval_end) / 2.0
+        pos_i = trajectory.position_at(reference)
+        pos_q = query.position_at(reference)
+        vel_i = trajectory.velocity_at(midpoint)
+        vel_q = query.velocity_at(midpoint)
+        curve = Hyperbola.from_relative_motion(
+            pos_i.x - pos_q.x,
+            pos_i.y - pos_q.y,
+            vel_i.dx - vel_q.dx,
+            vel_i.dy - vel_q.dy,
+            reference,
+        )
+        pieces.append(HyperbolaPiece(interval_start, interval_end, curve))
+    if not pieces:
+        # Degenerate zero-length window: a constant function at the current distance.
+        pos_i = trajectory.position_at(t_lo)
+        pos_q = query.position_at(t_lo)
+        curve = Hyperbola.from_relative_motion(
+            pos_i.x - pos_q.x, pos_i.y - pos_q.y, 0.0, 0.0, t_lo
+        )
+        pieces = [HyperbolaPiece(t_lo, t_hi, curve)]
+    return DistanceFunction(trajectory.object_id, pieces)
+
+
+def difference_distance_functions(
+    trajectories: Sequence[Trajectory],
+    query: Trajectory,
+    t_lo: float,
+    t_hi: float,
+    skip_query: bool = True,
+) -> List[DistanceFunction]:
+    """Distance functions of a collection of trajectories relative to a query.
+
+    Args:
+        trajectories: candidate objects.
+        query: the query trajectory.
+        t_lo: window start.
+        t_hi: window end.
+        skip_query: drop the query's own entry when it appears in
+            ``trajectories`` (matching the paper's "for each i ≠ q").
+
+    Returns:
+        One :class:`DistanceFunction` per (non-query) trajectory.
+    """
+    functions = []
+    for trajectory in trajectories:
+        if skip_query and trajectory.object_id == query.object_id:
+            continue
+        functions.append(difference_distance_function(trajectory, query, t_lo, t_hi))
+    return functions
+
+
+def relative_position_at(
+    trajectory: Trajectory, query: Trajectory, t: float
+) -> tuple[float, float]:
+    """Expected location of the difference object ``TR_iq`` at time ``t``."""
+    pos_i = trajectory.position_at(t)
+    pos_q = query.position_at(t)
+    return (pos_i.x - pos_q.x, pos_i.y - pos_q.y)
+
+
+def expected_distance_at(trajectory: Trajectory, query: Trajectory, t: float) -> float:
+    """Distance between expected locations at time ``t`` (no uncertainty)."""
+    return trajectory.position_at(t).distance_to(query.position_at(t))
+
+
+def _aligned_breakpoints(
+    trajectory: Trajectory, query: Trajectory, t_lo: float, t_hi: float
+) -> List[float]:
+    """Union of both trajectories' sample times inside the window, plus endpoints."""
+    times = [t_lo, t_hi]
+    times.extend(trajectory.breakpoints_in(t_lo, t_hi))
+    times.extend(query.breakpoints_in(t_lo, t_hi))
+    times.sort()
+    deduplicated: List[float] = []
+    for t in times:
+        if not deduplicated or t - deduplicated[-1] > _TIME_TOLERANCE:
+            deduplicated.append(t)
+    if deduplicated[-1] < t_hi - _TIME_TOLERANCE:
+        deduplicated.append(t_hi)
+    deduplicated[0] = t_lo
+    deduplicated[-1] = t_hi
+    return deduplicated

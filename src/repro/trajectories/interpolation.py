@@ -1,0 +1,66 @@
+"""Interpolation and resampling helpers for trajectories."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.point import Point2D
+from .trajectory import Trajectory, TrajectorySample, UncertainTrajectory
+
+
+def positions_at(trajectory: Trajectory, times: Sequence[float]) -> List[Point2D]:
+    """Expected locations of a trajectory at several times."""
+    return [trajectory.position_at(t) for t in times]
+
+
+def resample(trajectory: Trajectory, times: Sequence[float]) -> Trajectory:
+    """A new trajectory whose samples are the interpolated positions at ``times``.
+
+    The times must be increasing and lie within the trajectory's span.  The
+    object id is preserved; uncertainty metadata (if any) is preserved too.
+    """
+    if len(times) < 2:
+        raise ValueError("need at least two resampling times")
+    ordered = list(times)
+    if any(b < a for a, b in zip(ordered, ordered[1:])):
+        raise ValueError("resampling times must be non-decreasing")
+    samples = [
+        TrajectorySample(position.x, position.y, t)
+        for t, position in zip(ordered, positions_at(trajectory, ordered))
+    ]
+    if isinstance(trajectory, UncertainTrajectory):
+        return UncertainTrajectory(
+            trajectory.object_id, samples, trajectory.radius, trajectory.pdf
+        )
+    return Trajectory(trajectory.object_id, samples)
+
+
+def uniform_time_grid(t_lo: float, t_hi: float, count: int) -> np.ndarray:
+    """``count`` evenly spaced times spanning ``[t_lo, t_hi]`` inclusive."""
+    if count < 2:
+        raise ValueError("need at least two grid points")
+    if t_hi < t_lo:
+        raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+    return np.linspace(t_lo, t_hi, count)
+
+
+def pairwise_expected_distances(
+    first: Trajectory, second: Trajectory, times: Sequence[float]
+) -> np.ndarray:
+    """Distances between expected locations of two trajectories at several times."""
+    return np.array(
+        [
+            first.position_at(t).distance_to(second.position_at(t))
+            for t in times
+        ]
+    )
+
+
+def sampled_polyline(trajectory: Trajectory) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The trajectory's samples as three parallel arrays ``(xs, ys, ts)``."""
+    xs = np.array([sample.x for sample in trajectory.samples])
+    ys = np.array([sample.y for sample in trajectory.samples])
+    ts = np.array([sample.t for sample in trajectory.samples])
+    return xs, ys, ts

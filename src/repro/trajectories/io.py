@@ -1,0 +1,203 @@
+"""Loading and saving trajectory data (CSV and JSON).
+
+A MOD is only useful if workloads can be persisted and exchanged, so this
+module provides the two obvious interchange formats:
+
+* **CSV** — one row per sample: ``object_id,x,y,t`` plus per-object
+  uncertainty metadata in a sidecar-free format (radius repeated per row);
+  easy to produce from GPS logs or spreadsheets.
+* **JSON** — one document with explicit per-object metadata (radius, pdf
+  family and parameters) and the sample list; loss-free round-trip of
+  everything the library models.
+
+Only the pdf families shipped with the library (uniform, truncated Gaussian)
+are serialized; custom pdfs round-trip as uniform with the same support and a
+warning in the returned report.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..uncertainty.gaussian import TruncatedGaussianPDF
+from ..uncertainty.pdf import RadialPDF
+from ..uncertainty.uniform import UniformDiskPDF
+from .mod import MovingObjectsDatabase
+from .trajectory import TrajectorySample, UncertainTrajectory
+
+PathLike = Union[str, Path]
+
+_CSV_FIELDS = ["object_id", "x", "y", "t", "radius", "pdf"]
+
+
+@dataclass
+class LoadReport:
+    """What a load operation did (trajectory counts plus any degradations)."""
+
+    trajectories: int = 0
+    samples: int = 0
+    warnings: List[str] = field(default_factory=list)
+
+
+def _pdf_name(pdf: RadialPDF) -> str:
+    if isinstance(pdf, TruncatedGaussianPDF):
+        return "gaussian"
+    if isinstance(pdf, UniformDiskPDF):
+        return "uniform"
+    return "uniform"  # closest shipped family; noted by the caller when saving
+
+
+def _pdf_from_name(name: str, radius: float, sigma: float | None = None) -> RadialPDF:
+    if name == "gaussian":
+        return TruncatedGaussianPDF(radius, sigma)
+    if name == "uniform":
+        return UniformDiskPDF(radius)
+    raise ValueError(f"unknown pdf family {name!r}; expected 'uniform' or 'gaussian'")
+
+
+# ----------------------------------------------------------------------
+# CSV.
+# ----------------------------------------------------------------------
+
+
+def save_csv(mod: MovingObjectsDatabase, path: PathLike) -> int:
+    """Write every trajectory sample as one CSV row.
+
+    Returns:
+        The number of rows written (excluding the header).
+    """
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for trajectory in mod:
+            pdf_name = _pdf_name(trajectory.pdf)
+            for sample in trajectory.samples:
+                writer.writerow(
+                    {
+                        "object_id": trajectory.object_id,
+                        "x": repr(sample.x),
+                        "y": repr(sample.y),
+                        "t": repr(sample.t),
+                        "radius": repr(trajectory.radius),
+                        "pdf": pdf_name,
+                    }
+                )
+                rows += 1
+    return rows
+
+
+def load_csv(path: PathLike) -> tuple[MovingObjectsDatabase, LoadReport]:
+    """Read a CSV written by :func:`save_csv` (or hand-assembled in the same shape).
+
+    Rows may appear in any order; samples of each object are sorted by time.
+    Object ids are kept as strings (CSV has no richer typing).
+    """
+    path = Path(path)
+    report = LoadReport()
+    samples: Dict[str, List[TrajectorySample]] = {}
+    radii: Dict[str, float] = {}
+    pdf_names: Dict[str, str] = {}
+
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = [f for f in _CSV_FIELDS if f not in (reader.fieldnames or [])]
+        if missing:
+            raise ValueError(f"CSV is missing required columns: {missing}")
+        for row in reader:
+            object_id = row["object_id"]
+            samples.setdefault(object_id, []).append(
+                TrajectorySample(float(row["x"]), float(row["y"]), float(row["t"]))
+            )
+            radius = float(row["radius"])
+            if object_id in radii and abs(radii[object_id] - radius) > 1e-12:
+                report.warnings.append(
+                    f"object {object_id}: inconsistent radius, keeping the first"
+                )
+            radii.setdefault(object_id, radius)
+            pdf_names.setdefault(object_id, row["pdf"])
+            report.samples += 1
+
+    trajectories = []
+    for object_id, object_samples in samples.items():
+        object_samples.sort(key=lambda sample: sample.t)
+        if len(object_samples) < 2:
+            report.warnings.append(
+                f"object {object_id}: fewer than two samples, skipped"
+            )
+            continue
+        pdf = _pdf_from_name(pdf_names[object_id], radii[object_id])
+        trajectories.append(
+            UncertainTrajectory(object_id, object_samples, radii[object_id], pdf)
+        )
+    report.trajectories = len(trajectories)
+    return MovingObjectsDatabase(trajectories), report
+
+
+# ----------------------------------------------------------------------
+# JSON.
+# ----------------------------------------------------------------------
+
+
+def save_json(mod: MovingObjectsDatabase, path: PathLike, indent: int = 2) -> int:
+    """Write the MOD as a single JSON document.
+
+    Returns:
+        The number of trajectories written.
+    """
+    path = Path(path)
+    document = {"format": "repro-mod", "version": 1, "trajectories": []}
+    for trajectory in mod:
+        entry = {
+            "object_id": trajectory.object_id,
+            "radius": trajectory.radius,
+            "pdf": {"family": _pdf_name(trajectory.pdf)},
+            "samples": [
+                {"x": sample.x, "y": sample.y, "t": sample.t}
+                for sample in trajectory.samples
+            ],
+        }
+        if isinstance(trajectory.pdf, TruncatedGaussianPDF):
+            entry["pdf"]["sigma"] = trajectory.pdf.sigma
+        document["trajectories"].append(entry)
+    with path.open("w") as handle:
+        json.dump(document, handle, indent=indent)
+    return len(document["trajectories"])
+
+
+def load_json(path: PathLike) -> tuple[MovingObjectsDatabase, LoadReport]:
+    """Read a JSON document written by :func:`save_json`."""
+    path = Path(path)
+    report = LoadReport()
+    with path.open() as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-mod":
+        raise ValueError("not a repro-mod JSON document")
+
+    trajectories = []
+    for entry in document.get("trajectories", []):
+        samples = [
+            TrajectorySample(float(s["x"]), float(s["y"]), float(s["t"]))
+            for s in entry["samples"]
+        ]
+        report.samples += len(samples)
+        if len(samples) < 2:
+            report.warnings.append(
+                f"object {entry.get('object_id')}: fewer than two samples, skipped"
+            )
+            continue
+        radius = float(entry["radius"])
+        pdf_info = entry.get("pdf", {"family": "uniform"})
+        pdf = _pdf_from_name(
+            pdf_info.get("family", "uniform"), radius, pdf_info.get("sigma")
+        )
+        trajectories.append(
+            UncertainTrajectory(entry["object_id"], samples, radius, pdf)
+        )
+    report.trajectories = len(trajectories)
+    return MovingObjectsDatabase(trajectories), report

@@ -1,0 +1,158 @@
+"""The Moving Objects Database (MOD): the store the queries run against.
+
+A thin but complete in-memory store of uncertain trajectories keyed by
+object id, with the operations the query layer needs: lookup, time-span
+bookkeeping, construction of the difference distance functions relative to a
+query trajectory, and (optionally) index-assisted candidate filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..geometry.envelope.hyperbola import DistanceFunction
+from .difference import difference_distance_functions
+from .trajectory import Trajectory, UncertainTrajectory
+
+
+class MovingObjectsDatabase:
+    """In-memory MOD holding uncertain trajectories keyed by object id."""
+
+    def __init__(self, trajectories: Optional[Iterable[UncertainTrajectory]] = None):
+        self._trajectories: Dict[object, UncertainTrajectory] = {}
+        if trajectories is not None:
+            for trajectory in trajectories:
+                self.add(trajectory)
+
+    # ------------------------------------------------------------------
+    # Store operations.
+    # ------------------------------------------------------------------
+
+    def add(self, trajectory: UncertainTrajectory) -> None:
+        """Insert a trajectory; object ids must be unique."""
+        if not isinstance(trajectory, UncertainTrajectory):
+            raise TypeError("the MOD stores UncertainTrajectory objects")
+        if trajectory.object_id in self._trajectories:
+            raise KeyError(f"object id {trajectory.object_id!r} already stored")
+        self._trajectories[trajectory.object_id] = trajectory
+
+    def add_all(self, trajectories: Iterable[UncertainTrajectory]) -> None:
+        """Insert several trajectories."""
+        for trajectory in trajectories:
+            self.add(trajectory)
+
+    def remove(self, object_id: object) -> UncertainTrajectory:
+        """Remove and return a trajectory.
+
+        Raises:
+            KeyError: when the object id is unknown.
+        """
+        if object_id not in self._trajectories:
+            raise KeyError(f"unknown object id {object_id!r}")
+        return self._trajectories.pop(object_id)
+
+    def get(self, object_id: object) -> UncertainTrajectory:
+        """Return the trajectory with the given id.
+
+        Raises:
+            KeyError: when the object id is unknown.
+        """
+        if object_id not in self._trajectories:
+            raise KeyError(f"unknown object id {object_id!r}")
+        return self._trajectories[object_id]
+
+    def __contains__(self, object_id: object) -> bool:
+        return object_id in self._trajectories
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __iter__(self) -> Iterator[UncertainTrajectory]:
+        return iter(self._trajectories.values())
+
+    @property
+    def object_ids(self) -> List[object]:
+        """All stored object ids (insertion order)."""
+        return list(self._trajectories.keys())
+
+    # ------------------------------------------------------------------
+    # Aggregate information.
+    # ------------------------------------------------------------------
+
+    def common_time_span(self) -> Tuple[float, float]:
+        """The time interval covered by *every* stored trajectory.
+
+        Raises:
+            ValueError: when the database is empty or the spans are disjoint.
+        """
+        if not self._trajectories:
+            raise ValueError("the database is empty")
+        start = max(t.start_time for t in self._trajectories.values())
+        end = min(t.end_time for t in self._trajectories.values())
+        if end < start:
+            raise ValueError("stored trajectories have no common time span")
+        return (start, end)
+
+    def uncertainty_radii(self) -> List[float]:
+        """Uncertainty radii of the stored trajectories."""
+        return [t.radius for t in self._trajectories.values()]
+
+    def uniform_uncertainty_radius(self) -> float:
+        """The common uncertainty radius.
+
+        The paper assumes all trajectories share ``r``; this accessor raises
+        when that assumption is violated so callers notice instead of getting
+        silently wrong pruning bands.
+        """
+        radii = set(round(r, 12) for r in self.uncertainty_radii())
+        if not radii:
+            raise ValueError("the database is empty")
+        if len(radii) > 1:
+            raise ValueError(
+                f"trajectories have heterogeneous uncertainty radii: {sorted(radii)}"
+            )
+        return next(iter(radii))
+
+    # ------------------------------------------------------------------
+    # Query support.
+    # ------------------------------------------------------------------
+
+    def distance_functions(
+        self,
+        query_id: object,
+        t_lo: float,
+        t_hi: float,
+        candidate_ids: Optional[Sequence[object]] = None,
+    ) -> List[DistanceFunction]:
+        """Distance functions of (candidate) objects relative to a stored query.
+
+        Args:
+            query_id: id of the query trajectory (must be stored).
+            t_lo: window start.
+            t_hi: window end.
+            candidate_ids: restrict to these objects (e.g. the output of an
+                index probe); defaults to every stored object except the query.
+
+        Returns:
+            One distance function per candidate.
+        """
+        query = self.get(query_id)
+        if candidate_ids is None:
+            candidates: List[Trajectory] = [
+                trajectory
+                for trajectory in self._trajectories.values()
+                if trajectory.object_id != query_id
+            ]
+        else:
+            candidates = [
+                self.get(object_id)
+                for object_id in candidate_ids
+                if object_id != query_id
+            ]
+        return difference_distance_functions(candidates, query, t_lo, t_hi)
+
+    def clipped(self, t_lo: float, t_hi: float) -> "MovingObjectsDatabase":
+        """A new MOD with every trajectory clipped to ``[t_lo, t_hi]``."""
+        return MovingObjectsDatabase(
+            trajectory.clipped(t_lo, t_hi) for trajectory in self._trajectories.values()
+        )

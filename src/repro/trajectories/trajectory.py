@@ -1,0 +1,237 @@
+"""Trajectories and uncertain trajectories (Section 2.1 of the paper).
+
+A trajectory is a function ``Time → R²`` represented as a sequence of
+``(x, y, t)`` samples with linear interpolation in between (Eq. 1).  An
+*uncertain* trajectory augments it with the uncertainty radius ``r`` and the
+location pdf inside the uncertainty disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..geometry.disk import Disk
+from ..geometry.point import Point2D, Vector2D
+from ..geometry.segment import SpaceTimeSegment
+from ..uncertainty.pdf import RadialPDF
+from ..uncertainty.uniform import UniformDiskPDF
+
+_TIME_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectorySample:
+    """One ``(x, y, t)`` sample of a trajectory."""
+
+    x: float
+    y: float
+    t: float
+
+    @property
+    def location(self) -> Point2D:
+        """The spatial part of the sample."""
+        return Point2D(self.x, self.y)
+
+
+class Trajectory:
+    """A crisp (uncertainty-free) trajectory: a time-monotone 2D polyline."""
+
+    __slots__ = ("object_id", "samples")
+
+    def __init__(self, object_id: object, samples: Sequence[TrajectorySample | Tuple[float, float, float]]):
+        if len(samples) < 2:
+            raise ValueError("a trajectory needs at least two samples")
+        normalized: List[TrajectorySample] = []
+        for sample in samples:
+            if isinstance(sample, TrajectorySample):
+                normalized.append(sample)
+            else:
+                x, y, t = sample
+                normalized.append(TrajectorySample(float(x), float(y), float(t)))
+        for previous, current in zip(normalized, normalized[1:]):
+            if current.t < previous.t:
+                raise ValueError(
+                    f"trajectory samples must be time-ordered: {previous.t} then {current.t}"
+                )
+        self.object_id = object_id
+        self.samples: Tuple[TrajectorySample, ...] = tuple(normalized)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Trajectory(id={self.object_id!r}, samples={len(self.samples)}, "
+            f"span=[{self.start_time:.2f}, {self.end_time:.2f}])"
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def start_time(self) -> float:
+        """Time of the first sample."""
+        return self.samples[0].t
+
+    @property
+    def end_time(self) -> float:
+        """Time of the last sample."""
+        return self.samples[-1].t
+
+    @property
+    def duration(self) -> float:
+        """Total temporal extent of the trajectory."""
+        return self.end_time - self.start_time
+
+    def covers_time(self, t: float) -> bool:
+        """True when ``t`` lies inside the trajectory's time span."""
+        return self.start_time - _TIME_TOLERANCE <= t <= self.end_time + _TIME_TOLERANCE
+
+    def covers_interval(self, t_lo: float, t_hi: float) -> bool:
+        """True when the whole interval ``[t_lo, t_hi]`` is covered."""
+        return self.covers_time(t_lo) and self.covers_time(t_hi)
+
+    def segments(self) -> List[SpaceTimeSegment]:
+        """The constant-velocity legs of the trajectory, in temporal order.
+
+        Zero-duration legs (repeated timestamps) are skipped.
+        """
+        legs = []
+        for previous, current in zip(self.samples, self.samples[1:]):
+            if current.t - previous.t <= _TIME_TOLERANCE:
+                continue
+            legs.append(
+                SpaceTimeSegment(
+                    Point2D(previous.x, previous.y),
+                    Point2D(current.x, current.y),
+                    previous.t,
+                    current.t,
+                )
+            )
+        if not legs:
+            raise ValueError("trajectory has no segment with positive duration")
+        return legs
+
+    def segment_at(self, t: float) -> SpaceTimeSegment:
+        """The segment covering time ``t``."""
+        if not self.covers_time(t):
+            raise ValueError(
+                f"time {t} outside trajectory span [{self.start_time}, {self.end_time}]"
+            )
+        for segment in self.segments():
+            if segment.contains_time(t):
+                return segment
+        return self.segments()[-1]
+
+    def position_at(self, t: float) -> Point2D:
+        """Expected location at time ``t`` (linear interpolation, Eq. 1)."""
+        return self.segment_at(t).position_at(t)
+
+    def velocity_at(self, t: float) -> Vector2D:
+        """Velocity vector of the segment active at time ``t``."""
+        return self.segment_at(t).velocity
+
+    def sample_times(self) -> List[float]:
+        """Times of the stored samples."""
+        return [sample.t for sample in self.samples]
+
+    def breakpoints_in(self, t_lo: float, t_hi: float) -> List[float]:
+        """Sample times strictly inside ``(t_lo, t_hi)``."""
+        return [
+            sample.t
+            for sample in self.samples
+            if t_lo + _TIME_TOLERANCE < sample.t < t_hi - _TIME_TOLERANCE
+        ]
+
+    def clipped(self, t_lo: float, t_hi: float) -> "Trajectory":
+        """A new trajectory restricted to ``[t_lo, t_hi]``.
+
+        Raises:
+            ValueError: when the window is not covered by the trajectory.
+        """
+        if not self.covers_interval(t_lo, t_hi):
+            raise ValueError(
+                f"window [{t_lo}, {t_hi}] not covered by trajectory "
+                f"[{self.start_time}, {self.end_time}]"
+            )
+        start = self.position_at(t_lo)
+        end = self.position_at(t_hi)
+        inner = [
+            TrajectorySample(sample.x, sample.y, sample.t)
+            for sample in self.samples
+            if t_lo + _TIME_TOLERANCE < sample.t < t_hi - _TIME_TOLERANCE
+        ]
+        clipped_samples = (
+            [TrajectorySample(start.x, start.y, t_lo)]
+            + inner
+            + [TrajectorySample(end.x, end.y, t_hi)]
+        )
+        return Trajectory(self.object_id, clipped_samples)
+
+    def spatial_bounds(self) -> Tuple[float, float, float, float]:
+        """Axis-aligned bounding box ``(xmin, ymin, xmax, ymax)`` of the polyline."""
+        xs = [sample.x for sample in self.samples]
+        ys = [sample.y for sample in self.samples]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def total_length(self) -> float:
+        """Total spatial length of the polyline."""
+        return sum(segment.length for segment in self.segments())
+
+    @staticmethod
+    def from_waypoints(
+        object_id: object, waypoints: Iterable[Tuple[float, float, float]]
+    ) -> "Trajectory":
+        """Build a trajectory directly from ``(x, y, t)`` triples."""
+        return Trajectory(object_id, list(waypoints))
+
+
+class UncertainTrajectory(Trajectory):
+    """A trajectory plus its uncertainty radius and location pdf.
+
+    At any instant the object's true location lies within ``radius`` of the
+    expected (interpolated) location, distributed according to ``pdf``
+    (rotationally symmetric, as required by Theorem 1).
+    """
+
+    __slots__ = ("radius", "pdf")
+
+    def __init__(
+        self,
+        object_id: object,
+        samples: Sequence[TrajectorySample | Tuple[float, float, float]],
+        radius: float,
+        pdf: Optional[RadialPDF] = None,
+    ):
+        super().__init__(object_id, samples)
+        if radius <= 0.0:
+            raise ValueError(f"uncertainty radius must be positive, got {radius}")
+        if pdf is None:
+            pdf = UniformDiskPDF(radius)
+        if pdf.support_radius > radius + 1e-9:
+            raise ValueError(
+                "pdf support radius exceeds the declared uncertainty radius: "
+                f"{pdf.support_radius} > {radius}"
+            )
+        self.radius = float(radius)
+        self.pdf = pdf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"UncertainTrajectory(id={self.object_id!r}, r={self.radius}, "
+            f"samples={len(self.samples)})"
+        )
+
+    def uncertainty_disk_at(self, t: float) -> Disk:
+        """The uncertainty disk ``D_i(t)`` at time ``t``."""
+        return Disk(self.position_at(t), self.radius)
+
+    def crisp(self) -> Trajectory:
+        """The underlying crisp trajectory (expected locations only)."""
+        return Trajectory(self.object_id, self.samples)
+
+    def clipped(self, t_lo: float, t_hi: float) -> "UncertainTrajectory":
+        crisp = super().clipped(t_lo, t_hi)
+        return UncertainTrajectory(self.object_id, crisp.samples, self.radius, self.pdf)
+
+    def with_radius(self, radius: float, pdf: Optional[RadialPDF] = None) -> "UncertainTrajectory":
+        """A copy of the trajectory with a different uncertainty radius/pdf."""
+        return UncertainTrajectory(self.object_id, self.samples, radius, pdf)

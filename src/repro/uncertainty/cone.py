@@ -1,0 +1,94 @@
+"""The "cone" pdf: the paper's analytic form for uniform ⊛ uniform.
+
+Example 4 / Eq. 7 of the paper state that the convolution of two uniform-disk
+pdfs of radius ``r`` is a cone of base radius ``2r`` and apex height
+``3/(4πr²)``.  (The *exact* convolution of two cylinders is the normalized
+lens-area profile, which is close to but not exactly linear; the exact form
+is available through :func:`repro.uncertainty.convolution.convolve_radial_pdfs`.
+We provide the paper's cone because it is the closed form the paper reasons
+with, and because either choice preserves rotational symmetry and monotone
+decay — the only properties Theorem 1 relies on.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .pdf import RadialPDF
+
+
+class ConePDF(RadialPDF):
+    """Linear-decay ("cone") radial pdf of base radius ``2r`` (Eq. 7)."""
+
+    def __init__(self, uncertainty_radius: float):
+        """Create the cone pdf for the difference of two radius-``r`` uniform disks.
+
+        Args:
+            uncertainty_radius: the radius ``r`` of each original uncertainty
+                disk; the cone's support radius is ``2r``.
+        """
+        if uncertainty_radius <= 0.0:
+            raise ValueError(
+                f"uncertainty radius must be positive, got {uncertainty_radius}"
+            )
+        self._r = float(uncertainty_radius)
+        self._support = 2.0 * self._r
+        # Normalize the cone so it integrates to one over the plane:
+        # ∫0^{2r} h(1 - ρ/2r)·2πρ dρ = h·π(2r)²/3  ⇒  h = 3/(4πr²),
+        # matching the apex height quoted by the paper.
+        self._height = 3.0 / (4.0 * math.pi * self._r * self._r)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ConePDF(uncertainty_radius={self._r})"
+
+    @property
+    def uncertainty_radius(self) -> float:
+        """The original per-object uncertainty radius ``r``."""
+        return self._r
+
+    @property
+    def apex_height(self) -> float:
+        """Density at the center, ``3/(4πr²)``."""
+        return self._height
+
+    @property
+    def support_radius(self) -> float:
+        return self._support
+
+    def density(self, rho: float) -> float:
+        if rho < 0.0:
+            raise ValueError("radial distance must be non-negative")
+        if rho >= self._support:
+            return 0.0
+        return self._height * (1.0 - rho / self._support)
+
+    def radial_cdf(self, rho: float) -> float:
+        if rho <= 0.0:
+            return 0.0
+        if rho >= self._support:
+            return 1.0
+        # ∫0^ρ h(1 - s/2r)·2πs ds = 2πh(ρ²/2 − ρ³/(6r)) with 2r = support.
+        s = self._support
+        return 2.0 * math.pi * self._height * (rho * rho / 2.0 - rho**3 / (3.0 * s))
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Sample by drawing the difference of two uniform-disk samples.
+
+        This draws from the *exact* difference distribution rather than the
+        cone approximation, which is what callers validating Theorem 1 by
+        Monte Carlo actually need.
+        """
+        if n < 0:
+            raise ValueError("sample count must be non-negative")
+        radii_a = self._r * np.sqrt(rng.random(n))
+        radii_b = self._r * np.sqrt(rng.random(n))
+        angles_a = rng.uniform(0.0, 2.0 * math.pi, n)
+        angles_b = rng.uniform(0.0, 2.0 * math.pi, n)
+        x = radii_a * np.cos(angles_a) - radii_b * np.cos(angles_b)
+        y = radii_a * np.sin(angles_a) - radii_b * np.sin(angles_b)
+        return np.column_stack((x, y))
+
+    def total_mass(self) -> float:
+        return 1.0

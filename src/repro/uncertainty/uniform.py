@@ -1,0 +1,107 @@
+"""Uniform location pdf inside the uncertainty disk (Eq. 2 of the paper)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.circle_ops import circle_intersection_area
+from ..geometry.point import ORIGIN, Point2D
+from .pdf import RadialPDF
+
+
+class UniformDiskPDF(RadialPDF):
+    """Uniformly distributed location inside a disk of radius ``r``.
+
+    The planar density is ``1/(πr²)`` inside the disk and zero outside —
+    the "cylinder" of the paper's figures.
+    """
+
+    def __init__(self, radius: float):
+        if radius <= 0.0:
+            raise ValueError(f"uncertainty radius must be positive, got {radius}")
+        self._radius = float(radius)
+        self._density = 1.0 / (math.pi * radius * radius)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"UniformDiskPDF(radius={self._radius})"
+
+    @property
+    def radius(self) -> float:
+        """The uncertainty radius ``r``."""
+        return self._radius
+
+    @property
+    def support_radius(self) -> float:
+        return self._radius
+
+    def density(self, rho: float) -> float:
+        if rho < 0.0:
+            raise ValueError("radial distance must be non-negative")
+        return self._density if rho <= self._radius else 0.0
+
+    def radial_cdf(self, rho: float) -> float:
+        if rho <= 0.0:
+            return 0.0
+        if rho >= self._radius:
+            return 1.0
+        return (rho * rho) / (self._radius * self._radius)
+
+    def within_distance_probability(self, d: float, Rd: float) -> float:
+        """Closed-form ``P^WD`` (Eq. 4): normalized lens area of two disks.
+
+        The lens-area formulation handles all configurations uniformly,
+        including the query point lying inside the uncertainty disk (the
+        footnote case of the paper).
+        """
+        if Rd < 0.0:
+            raise ValueError("within-distance radius must be non-negative")
+        if d < 0.0:
+            raise ValueError("distance must be non-negative")
+        if Rd == 0.0:
+            return 0.0
+        lens = circle_intersection_area(
+            ORIGIN, self._radius, Point2D(d, 0.0), Rd
+        )
+        return min(1.0, lens / (math.pi * self._radius * self._radius))
+
+    def within_distance_density(self, d: float, Rd: float, step: Optional[float] = None) -> float:
+        """Analytic ``pdf^WD``: arc length of the ``Rd``-circle inside the disk, normalized.
+
+        Differentiating the lens area with respect to ``Rd`` gives the length
+        of the circular arc of radius ``Rd`` (centered at the reference
+        point) that lies inside the uncertainty disk, times the uniform
+        density.
+        """
+        if Rd <= 0.0:
+            return 0.0
+        if d > self._radius + Rd or Rd > d + self._radius:
+            # Either no overlap yet, or the Rd-disk already swallowed the
+            # uncertainty disk: the probability is locally constant.
+            if Rd >= d + self._radius:
+                return 0.0
+            if d >= Rd + self._radius:
+                return 0.0
+        if d == 0.0:
+            arc = 2.0 * math.pi * Rd if Rd < self._radius else 0.0
+            return arc * self._density
+        cosine = (d * d + Rd * Rd - self._radius * self._radius) / (2.0 * d * Rd)
+        if cosine >= 1.0:
+            return 0.0
+        if cosine <= -1.0:
+            arc = 2.0 * math.pi * Rd
+        else:
+            arc = 2.0 * Rd * math.acos(cosine)
+        return arc * self._density
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        if n < 0:
+            raise ValueError("sample count must be non-negative")
+        radii = self._radius * np.sqrt(rng.random(n))
+        angles = rng.uniform(0.0, 2.0 * math.pi, n)
+        return np.column_stack((radii * np.cos(angles), radii * np.sin(angles)))
+
+    def total_mass(self) -> float:
+        return 1.0

@@ -1,0 +1,18 @@
+"""Shared utilities: timing and validation helpers."""
+
+from .timing import Stopwatch, time_call
+from .validation import (
+    envelope_matches_pointwise_minimum,
+    envelopes_equal_pointwise,
+    intervals_are_disjoint,
+    total_interval_length,
+)
+
+__all__ = [
+    "Stopwatch",
+    "envelope_matches_pointwise_minimum",
+    "envelopes_equal_pointwise",
+    "intervals_are_disjoint",
+    "time_call",
+    "total_interval_length",
+]

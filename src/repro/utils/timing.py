@@ -1,0 +1,53 @@
+"""Small timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock measurements."""
+
+    measurements: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager recording the elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.measurements.setdefault(label, []).append(elapsed)
+
+    def total(self, label: str) -> float:
+        """Total time recorded under ``label`` (0 if never measured)."""
+        return sum(self.measurements.get(label, []))
+
+    def mean(self, label: str) -> float:
+        """Mean time per measurement under ``label``."""
+        samples = self.measurements.get(label, [])
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def count(self, label: str) -> int:
+        """Number of measurements recorded under ``label``."""
+        return len(self.measurements.get(label, []))
+
+
+def time_call(function: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock time of a zero-argument callable, in seconds."""
+    if repeats < 1:
+        raise ValueError("need at least one repetition")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best

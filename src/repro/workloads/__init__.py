@@ -1,0 +1,27 @@
+"""Synthetic workload generators: the paper's random-waypoint model plus example scenarios."""
+
+from .random_waypoint import (
+    MAX_SPEED_MILES_PER_MINUTE,
+    MIN_SPEED_MILES_PER_MINUTE,
+    RandomWaypointConfig,
+    generate_mod,
+    generate_trajectories,
+)
+from .scenarios import (
+    commuter_traffic,
+    convoy_with_stragglers,
+    delivery_fleet,
+    ride_hailing_snapshot,
+)
+
+__all__ = [
+    "MAX_SPEED_MILES_PER_MINUTE",
+    "MIN_SPEED_MILES_PER_MINUTE",
+    "RandomWaypointConfig",
+    "commuter_traffic",
+    "convoy_with_stragglers",
+    "delivery_fleet",
+    "generate_mod",
+    "generate_trajectories",
+    "ride_hailing_snapshot",
+]

@@ -1,0 +1,154 @@
+"""The paper's synthetic workload: a modified random-waypoint model.
+
+Section 5 describes the experimental data: a 40 × 40 mile² region; each
+object starts at a random position, picks a random direction, and moves at a
+speed drawn uniformly from 15–60 mph; all objects change their velocity
+vectors synchronously; the duration of the motion is 60 minutes.  This module
+reproduces that generator (with a deterministic seed) and adds the knobs the
+benchmarks and ablations need: number of synchronized velocity changes
+(segments per trajectory), uncertainty radius, and pdf family.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..trajectories.mod import MovingObjectsDatabase
+from ..trajectories.trajectory import TrajectorySample, UncertainTrajectory
+from ..uncertainty.gaussian import TruncatedGaussianPDF
+from ..uncertainty.pdf import RadialPDF
+from ..uncertainty.uniform import UniformDiskPDF
+
+#: Speeds quoted by the paper, converted from miles/hour to miles/minute.
+MIN_SPEED_MILES_PER_MINUTE = 15.0 / 60.0
+MAX_SPEED_MILES_PER_MINUTE = 60.0 / 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class RandomWaypointConfig:
+    """Parameters of the modified random-waypoint workload.
+
+    Defaults match Section 5 of the paper: a 40×40 mile region, speeds of
+    15–60 mph, a 60-minute horizon, one synchronized velocity change per
+    "waypoint epoch", and an uncertainty radius of half a mile with a uniform
+    location pdf.
+    """
+
+    num_objects: int = 1000
+    region_size_miles: float = 40.0
+    duration_minutes: float = 60.0
+    min_speed: float = MIN_SPEED_MILES_PER_MINUTE
+    max_speed: float = MAX_SPEED_MILES_PER_MINUTE
+    segments_per_trajectory: int = 1
+    uncertainty_radius: float = 0.5
+    pdf_family: str = "uniform"
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise ValueError("need at least one moving object")
+        if self.region_size_miles <= 0:
+            raise ValueError("region size must be positive")
+        if self.duration_minutes <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 < self.min_speed <= self.max_speed:
+            raise ValueError("speeds must satisfy 0 < min_speed <= max_speed")
+        if self.segments_per_trajectory < 1:
+            raise ValueError("need at least one segment per trajectory")
+        if self.uncertainty_radius <= 0:
+            raise ValueError("uncertainty radius must be positive")
+        if self.pdf_family not in ("uniform", "gaussian"):
+            raise ValueError(
+                f"unknown pdf family {self.pdf_family!r}; use 'uniform' or 'gaussian'"
+            )
+
+    def make_pdf(self) -> RadialPDF:
+        """Instantiate the location pdf for the configured family and radius."""
+        if self.pdf_family == "uniform":
+            return UniformDiskPDF(self.uncertainty_radius)
+        return TruncatedGaussianPDF(self.uncertainty_radius)
+
+
+def generate_trajectories(
+    config: RandomWaypointConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> List[UncertainTrajectory]:
+    """Generate the uncertain trajectories of one workload instance.
+
+    Every trajectory starts at a uniformly random position in the region and
+    moves through ``segments_per_trajectory`` constant-velocity legs of equal
+    duration; all objects switch legs at the same (synchronized) times, as in
+    the paper.  Headings are uniform on the circle and speeds uniform in the
+    configured range; objects that would leave the region are reflected at
+    the boundary.
+
+    Args:
+        config: workload parameters.
+        rng: random generator; defaults to ``default_rng(config.seed)``.
+
+    Returns:
+        A list of :class:`UncertainTrajectory`, ids ``0 .. num_objects-1``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(config.seed)
+    pdf = config.make_pdf()
+    epoch = config.duration_minutes / config.segments_per_trajectory
+    epoch_times = [epoch * index for index in range(config.segments_per_trajectory + 1)]
+
+    trajectories = []
+    for object_id in range(config.num_objects):
+        x = rng.uniform(0.0, config.region_size_miles)
+        y = rng.uniform(0.0, config.region_size_miles)
+        samples = [TrajectorySample(x, y, epoch_times[0])]
+        for leg in range(config.segments_per_trajectory):
+            heading = rng.uniform(0.0, 2.0 * math.pi)
+            speed = rng.uniform(config.min_speed, config.max_speed)
+            x, y = _advance_with_reflection(
+                x, y, heading, speed * epoch, config.region_size_miles
+            )
+            samples.append(TrajectorySample(x, y, epoch_times[leg + 1]))
+        trajectories.append(
+            UncertainTrajectory(object_id, samples, config.uncertainty_radius, pdf)
+        )
+    return trajectories
+
+
+def generate_mod(
+    config: RandomWaypointConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> MovingObjectsDatabase:
+    """Generate a full :class:`MovingObjectsDatabase` for one workload instance."""
+    return MovingObjectsDatabase(generate_trajectories(config, rng))
+
+
+def _advance_with_reflection(
+    x: float, y: float, heading: float, distance: float, region_size: float
+) -> tuple[float, float]:
+    """Move ``distance`` along ``heading``, reflecting off the region walls.
+
+    The reflection keeps objects inside the region (the paper's generator
+    keeps objects in the 40×40 area for the whole hour) while preserving the
+    straight-line, constant-speed character of each leg *approximately*: the
+    returned endpoint is the folded position, so the recorded leg is the
+    straight chord to it.  This is the standard random-waypoint treatment.
+    """
+    new_x = x + distance * math.cos(heading)
+    new_y = y + distance * math.sin(heading)
+    return (_fold(new_x, region_size), _fold(new_y, region_size))
+
+
+def _fold(value: float, region_size: float) -> float:
+    """Reflect a coordinate back into ``[0, region_size]`` (mirror boundary)."""
+    if region_size <= 0:
+        raise ValueError("region size must be positive")
+    period = 2.0 * region_size
+    value = math.fmod(value, period)
+    if value < 0:
+        value += period
+    if value > region_size:
+        value = period - value
+    return value

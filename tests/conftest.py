@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.envelope.hyperbola import DistanceFunction
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.trajectories.trajectory import UncertainTrajectory
+from repro.uncertainty.uniform import UniformDiskPDF
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+def make_linear_function(
+    object_id: object,
+    x0: float,
+    y0: float,
+    vx: float,
+    vy: float,
+    t_lo: float = 0.0,
+    t_hi: float = 10.0,
+) -> DistanceFunction:
+    """Distance function of a single relative motion (test helper)."""
+    return DistanceFunction.single_segment(object_id, x0, y0, vx, vy, t_lo, t_hi)
+
+
+@pytest.fixture
+def crossing_functions() -> list[DistanceFunction]:
+    """Three relative motions whose distance functions cross inside [0, 10].
+
+    Object "a" starts near the origin and drifts away, "b" starts far and
+    approaches, "c" stays at an intermediate constant distance — a small
+    scenario with a known envelope structure.
+    """
+    return [
+        make_linear_function("a", 1.0, 0.0, 0.8, 0.0),
+        make_linear_function("b", 9.0, 0.0, -0.8, 0.0),
+        make_linear_function("c", 0.0, 5.0, 0.0, 0.0),
+    ]
+
+
+def random_functions(
+    count: int, rng: np.random.Generator, t_lo: float = 0.0, t_hi: float = 10.0
+) -> list[DistanceFunction]:
+    """Random single-segment distance functions (test helper)."""
+    functions = []
+    for index in range(count):
+        x0, y0 = rng.uniform(-20.0, 20.0, 2)
+        vx, vy = rng.uniform(-2.0, 2.0, 2)
+        functions.append(
+            make_linear_function(f"obj-{index}", x0, y0, vx, vy, t_lo, t_hi)
+        )
+    return functions
+
+
+def straight_trajectory(
+    object_id: object,
+    start: tuple[float, float],
+    end: tuple[float, float],
+    t_lo: float = 0.0,
+    t_hi: float = 60.0,
+    radius: float = 0.5,
+) -> UncertainTrajectory:
+    """A single-segment uncertain trajectory (test helper)."""
+    return UncertainTrajectory(
+        object_id,
+        [(start[0], start[1], t_lo), (end[0], end[1], t_hi)],
+        radius,
+        UniformDiskPDF(radius),
+    )
+
+
+@pytest.fixture
+def small_mod() -> MovingObjectsDatabase:
+    """A 16-object random-waypoint MOD over 60 minutes."""
+    config = RandomWaypointConfig(num_objects=16, uncertainty_radius=0.5, seed=21)
+    return MovingObjectsDatabase(generate_trajectories(config))
+
+
+@pytest.fixture
+def tiny_mod() -> MovingObjectsDatabase:
+    """A hand-built four-object MOD with a known NN structure.
+
+    The query object ``"q"`` moves east along y = 0.  Object ``"near"`` runs
+    parallel 2 miles north (always nearest), ``"crossing"`` crosses the
+    query's path mid-window (nearest around the crossing), and ``"far"``
+    stays 30 miles away (never relevant).
+    """
+    trajectories = [
+        straight_trajectory("q", (0.0, 0.0), (30.0, 0.0)),
+        straight_trajectory("near", (0.0, 2.0), (30.0, 2.0)),
+        straight_trajectory("crossing", (15.0, -20.0), (15.0, 20.0)),
+        straight_trajectory("far", (0.0, 30.0), (30.0, 30.0)),
+    ]
+    return MovingObjectsDatabase(trajectories)

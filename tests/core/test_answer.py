@@ -1,0 +1,121 @@
+"""Tests for the IPAC-NN tree value objects (nodes, descriptors, tree views)."""
+
+import pytest
+
+from repro.core.answer import IPACNode, IPACTree, ProbabilityDescriptor
+
+
+def build_sample_tree() -> IPACTree:
+    """A small hand-built tree:
+
+    Level 1: A on [0, 6], B on [6, 10]
+    Level 2: under A → C on [0, 3], B on [3, 6]; under B → A on [6, 10]
+    Level 3: under (A, [0,3])'s child C → B on [0, 3]
+    """
+    c_node = IPACNode("C", 0.0, 3.0, level=2)
+    c_node.children = [IPACNode("B", 0.0, 3.0, level=3)]
+    a_root = IPACNode("A", 0.0, 6.0, level=1)
+    a_root.children = [c_node, IPACNode("B", 3.0, 6.0, level=2)]
+    b_root = IPACNode("B", 6.0, 10.0, level=1)
+    b_root.children = [IPACNode("A", 6.0, 10.0, level=2)]
+    return IPACTree("query", 0.0, 10.0, [a_root, b_root])
+
+
+class TestProbabilityDescriptor:
+    def test_valid_descriptor(self):
+        descriptor = ProbabilityDescriptor(0.1, 0.6, 0.3, (1.0, 2.0), (0.1, 0.6))
+        assert descriptor.samples == [(1.0, 0.1), (2.0, 0.6)]
+
+    def test_mismatched_samples_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilityDescriptor(0.1, 0.6, 0.3, (1.0,), (0.1, 0.6))
+
+    def test_inconsistent_extrema_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilityDescriptor(0.9, 0.1, 0.5, (), ())
+
+
+class TestIPACNode:
+    def test_interval_and_duration(self):
+        node = IPACNode("A", 2.0, 5.0, level=1)
+        assert node.interval == (2.0, 5.0)
+        assert node.duration == 3.0
+
+    def test_walk_and_subtree_size(self):
+        tree = build_sample_tree()
+        root = tree.roots[0]
+        assert root.subtree_size() == 4  # A + (C + its B child) + B
+        assert [node.object_id for node in root.walk()][0] == "A"
+
+    def test_depth(self):
+        tree = build_sample_tree()
+        assert tree.roots[0].depth() == 3
+        assert tree.roots[1].depth() == 2
+
+
+class TestIPACTree:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            IPACTree("q", 10.0, 0.0, [])
+
+    def test_size_and_depth(self):
+        tree = build_sample_tree()
+        assert tree.size() == 6
+        assert tree.depth() == 3
+
+    def test_nodes_at_level(self):
+        tree = build_sample_tree()
+        level1 = tree.nodes_at_level(1)
+        assert [node.object_id for node in level1] == ["A", "B"]
+        level2 = tree.nodes_at_level(2)
+        assert [node.object_id for node in level2] == ["C", "B", "A"]
+        with pytest.raises(ValueError):
+            tree.nodes_at_level(0)
+
+    def test_nodes_for_object(self):
+        tree = build_sample_tree()
+        b_nodes = tree.nodes_for("B")
+        assert len(b_nodes) == 3
+        assert all(node.object_id == "B" for node in b_nodes)
+
+    def test_labelled_object_ids(self):
+        tree = build_sample_tree()
+        assert set(tree.labelled_object_ids()) == {"A", "B", "C"}
+
+    def test_ranking_at(self):
+        tree = build_sample_tree()
+        assert tree.ranking_at(1.0) == ["A", "C", "B"]
+        assert tree.ranking_at(4.0) == ["A", "B"]
+        assert tree.ranking_at(8.0) == ["B", "A"]
+
+    def test_ranking_outside_window_raises(self):
+        tree = build_sample_tree()
+        with pytest.raises(ValueError):
+            tree.ranking_at(11.0)
+
+    def test_rank_of(self):
+        tree = build_sample_tree()
+        assert tree.rank_of("A", 1.0) == 1
+        assert tree.rank_of("B", 1.0) == 3
+        assert tree.rank_of("C", 8.0) is None
+
+    def test_to_intervals_flat_view(self):
+        tree = build_sample_tree()
+        intervals = tree.to_intervals()
+        assert ("A", 1, 0.0, 6.0) in intervals
+        assert len(intervals) == tree.size()
+
+    def test_dag_edges(self):
+        tree = build_sample_tree()
+        edges = tree.to_dag_edges()
+        assert (("A", 0.0, 6.0), ("C", 0.0, 3.0)) in edges
+        # Every non-root node appears exactly once as a child.
+        child_count = len(edges)
+        assert child_count == tree.size() - len(tree.roots)
+
+    def test_level_coverage(self):
+        tree = build_sample_tree()
+        coverage = tree.level_coverage()
+        assert coverage[1] == pytest.approx(10.0)
+        assert coverage[2] == pytest.approx(10.0)
+        assert coverage[3] == pytest.approx(3.0)

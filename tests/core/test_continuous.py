@@ -1,0 +1,128 @@
+"""Tests for the ContinuousProbabilisticNNQuery façade."""
+
+import pytest
+
+from repro.core.continuous import ContinuousProbabilisticNNQuery
+from repro.index.grid import GridIndex
+from repro.index.rtree import STRRTree
+from repro.trajectories.mod import MovingObjectsDatabase
+
+from ..conftest import straight_trajectory
+
+
+@pytest.fixture
+def mod(tiny_mod) -> MovingObjectsDatabase:
+    return tiny_mod
+
+
+@pytest.fixture
+def query(mod) -> ContinuousProbabilisticNNQuery:
+    return ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0)
+
+
+class TestConstruction:
+    def test_default_band_width_is_4r(self, query):
+        assert query.band_width == pytest.approx(2.0)  # 4 × 0.5
+
+    def test_explicit_band_width(self, mod):
+        query = ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0, band_width=1.0)
+        assert query.band_width == 1.0
+
+    def test_unknown_query_id_raises(self, mod):
+        with pytest.raises(KeyError):
+            ContinuousProbabilisticNNQuery(mod, "missing", 0.0, 60.0)
+
+    def test_empty_window_rejected(self, mod):
+        with pytest.raises(ValueError):
+            ContinuousProbabilisticNNQuery(mod, "q", 60.0, 0.0)
+
+    def test_negative_band_rejected(self, mod):
+        with pytest.raises(ValueError):
+            ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0, band_width=-1.0)
+
+    def test_explicit_candidate_restriction(self, mod):
+        query = ContinuousProbabilisticNNQuery(
+            mod, "q", 0.0, 60.0, candidate_ids=["near"]
+        )
+        assert query.all_with_nonzero_probability_sometime() == ["near"]
+
+    def test_empty_candidate_set_rejected(self, mod):
+        with pytest.raises(ValueError):
+            ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0, candidate_ids=[])
+
+    def test_single_object_database_rejected(self):
+        lonely = MovingObjectsDatabase(
+            [straight_trajectory("q", (0.0, 0.0), (30.0, 0.0))]
+        )
+        with pytest.raises(ValueError):
+            ContinuousProbabilisticNNQuery(lonely, "q", 0.0, 60.0)
+
+
+class TestCategoryFacades:
+    def test_category1(self, query):
+        assert query.has_nonzero_probability_sometime("near")
+        assert query.has_nonzero_probability_always("near")
+        assert query.has_nonzero_probability_sometime("crossing")
+        assert not query.has_nonzero_probability_always("crossing")
+        assert not query.has_nonzero_probability_sometime("far")
+        assert 0.0 < query.nonzero_probability_fraction("crossing") < 1.0
+        assert query.has_nonzero_probability_at_least("near", 0.9)
+        assert query.nonzero_probability_intervals("far") == []
+
+    def test_category2(self, query):
+        assert query.is_ranked_within_sometime("near", 1)
+        assert query.is_ranked_within_sometime("crossing", 2)
+        assert query.ranked_within_fraction("near", 2) == pytest.approx(1.0, abs=1e-6)
+        assert query.is_ranked_within_at_least("near", 1, 0.5)
+
+    def test_category3(self, query):
+        sometime = set(query.all_with_nonzero_probability_sometime())
+        always = set(query.all_with_nonzero_probability_always())
+        at_least_half = set(query.all_with_nonzero_probability_at_least(0.5))
+        assert sometime == {"near", "crossing"}
+        assert always == {"near"}
+        assert always <= at_least_half <= sometime
+
+    def test_category4(self, query):
+        assert set(query.all_ranked_within_sometime(1)) >= {"near"}
+        assert "near" in query.all_ranked_within_always(2)
+        assert "near" in query.all_ranked_within_at_least(2, 0.5)
+
+    def test_fixed_time_variants(self, query):
+        assert "near" in query.candidates_at(10.0)
+        assert "far" not in query.candidates_at(10.0)
+        ranking = query.ranking_at(30.0, 2)
+        assert ranking[0] in ("near", "crossing")
+
+    def test_answer_tree(self, query):
+        tree = query.answer_tree(max_levels=2)
+        assert tree.query_id == "q"
+        assert tree.depth() <= 2
+        assert "far" not in tree.labelled_object_ids()
+
+    def test_answer_tree_with_descriptors(self, query):
+        tree = query.answer_tree(max_levels=1, with_descriptors=True, descriptor_samples=2)
+        assert all(node.descriptor is not None for node in tree.walk())
+
+    def test_pruning_statistics(self, query):
+        stats = query.pruning_statistics()
+        assert stats.total_candidates == 3
+        assert stats.surviving_candidates == 2
+
+
+class TestIndexPrefiltering:
+    def test_grid_prefilter_keeps_answers_identical(self, mod):
+        plain = ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0)
+        index = GridIndex.covering(list(mod), cells=16)
+        filtered = ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0, index=index)
+        assert set(filtered.all_with_nonzero_probability_sometime()) == set(
+            plain.all_with_nonzero_probability_sometime()
+        )
+
+    def test_rtree_prefilter_keeps_answers_identical(self, mod):
+        plain = ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0)
+        index = STRRTree.from_trajectories(list(mod))
+        filtered = ContinuousProbabilisticNNQuery(mod, "q", 0.0, 60.0, index=index)
+        assert set(filtered.all_with_nonzero_probability_sometime()) == set(
+            plain.all_with_nonzero_probability_sometime()
+        )

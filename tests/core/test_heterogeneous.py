@@ -1,0 +1,123 @@
+"""Tests for the heterogeneous-radii extension (Section 7 future work)."""
+
+import pytest
+
+from repro.core.heterogeneous import HeterogeneousQueryContext
+from repro.core.queries import QueryContext
+from repro.trajectories.mod import MovingObjectsDatabase
+
+from ..conftest import make_linear_function, straight_trajectory
+
+
+@pytest.fixture
+def functions():
+    """Three candidates at constant distances 1, 3.5 and 8."""
+    return [
+        make_linear_function("tight", 1.0, 0.0, 0.0, 0.0),
+        make_linear_function("loose", 3.5, 0.0, 0.0, 0.0),
+        make_linear_function("distant", 8.0, 0.0, 0.0, 0.0),
+    ]
+
+
+class TestConstruction:
+    def test_missing_radius_rejected(self, functions):
+        with pytest.raises(ValueError):
+            HeterogeneousQueryContext.build(
+                functions, {"tight": 0.5, "loose": 0.5}, "q", 0.5, 0.0, 10.0
+            )
+
+    def test_negative_radius_rejected(self, functions):
+        radii = {"tight": 0.5, "loose": -1.0, "distant": 0.5}
+        with pytest.raises(ValueError):
+            HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+
+    def test_empty_or_reversed_window_rejected(self, functions):
+        radii = {"tight": 0.5, "loose": 0.5, "distant": 0.5}
+        with pytest.raises(ValueError):
+            HeterogeneousQueryContext.build([], radii, "q", 0.5, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 10.0, 0.0)
+
+    def test_from_mod_with_mixed_radii(self):
+        mod = MovingObjectsDatabase(
+            [
+                straight_trajectory("q", (0.0, 0.0), (30.0, 0.0), radius=0.5),
+                straight_trajectory("wide", (0.0, 3.0), (30.0, 3.0), radius=1.5),
+                straight_trajectory("narrow", (0.0, -2.0), (30.0, -2.0), radius=0.25),
+            ]
+        )
+        context = HeterogeneousQueryContext.from_mod(mod, "q", 0.0, 60.0)
+        assert context.query_radius == pytest.approx(0.5)
+        assert context.radii["wide"] == pytest.approx(1.5)
+        assert context.radii["narrow"] == pytest.approx(0.25)
+
+
+class TestBandWidths:
+    def test_equal_radii_reduce_to_4r(self, functions):
+        radii = {"tight": 0.5, "loose": 0.5, "distant": 0.5}
+        context = HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+        for object_id in radii:
+            assert context.band_width_for(object_id) == pytest.approx(2.0)  # 4r
+
+    def test_wider_objects_get_wider_bands(self, functions):
+        radii = {"tight": 0.25, "loose": 2.0, "distant": 0.25}
+        context = HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+        assert context.band_width_for("loose") > context.band_width_for("tight")
+        assert context.reach_of("loose") == pytest.approx(2.5)
+        assert context.minimum_reach() == pytest.approx(0.75)
+
+    def test_unknown_candidate_raises(self, functions):
+        radii = {"tight": 0.5, "loose": 0.5, "distant": 0.5}
+        context = HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+        with pytest.raises(KeyError):
+            context.band_width_for("missing")
+        with pytest.raises(KeyError):
+            context.function_of("q")
+
+
+class TestQueries:
+    def test_large_radius_rescues_a_borderline_candidate(self, functions):
+        # With everyone at r = 0.25 the candidate at distance 3.5 is pruned
+        # (its closest possible position, 3.0 away, cannot beat the leader's
+        # farthest possible distance of 1.5); giving it a large radius so its
+        # disk reaches inside the leader's ring brings it back in.
+        small = {"tight": 0.25, "loose": 0.25, "distant": 0.25}
+        small_ctx = HeterogeneousQueryContext.build(functions, small, "q", 0.25, 0.0, 10.0)
+        assert not small_ctx.uq11_sometime("loose")
+
+        mixed = {"tight": 0.25, "loose": 2.25, "distant": 0.25}
+        mixed_ctx = HeterogeneousQueryContext.build(functions, mixed, "q", 0.25, 0.0, 10.0)
+        assert mixed_ctx.uq11_sometime("loose")
+        assert mixed_ctx.uq12_always("loose")
+
+    def test_matches_homogeneous_context_when_radii_equal(self, functions):
+        radii = {"tight": 0.5, "loose": 0.5, "distant": 0.5}
+        hetero = HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+        homo = QueryContext.build(functions, "q", 0.0, 10.0, 2.0)
+        assert set(hetero.all_sometime()) == set(homo.uq31_all_sometime())
+        assert set(hetero.all_always()) == set(homo.uq32_all_always())
+        for object_id in radii:
+            assert hetero.uq13_fraction(object_id) == pytest.approx(
+                homo.uq13_fraction(object_id), abs=1e-6
+            )
+
+    def test_category3_variants_and_statistics(self, functions):
+        radii = {"tight": 0.5, "loose": 1.5, "distant": 0.5}
+        context = HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+        sometime = set(context.all_sometime())
+        always = set(context.all_always())
+        half = set(context.all_at_least(0.5))
+        assert always <= half <= sometime
+        assert "distant" not in sometime
+        stats = context.pruning_statistics()
+        assert stats.total_candidates == 3
+        assert stats.surviving_candidates == len(sometime)
+        with pytest.raises(ValueError):
+            context.all_at_least(1.5)
+
+    def test_intervals_accessor(self, functions):
+        radii = {"tight": 0.5, "loose": 1.5, "distant": 0.5}
+        context = HeterogeneousQueryContext.build(functions, radii, "q", 0.5, 0.0, 10.0)
+        intervals = context.nonzero_probability_intervals("tight")
+        assert intervals and intervals[0][0] == pytest.approx(0.0)
+        assert context.nonzero_probability_intervals("distant") == []

@@ -1,0 +1,107 @@
+"""Tests for Algorithm 3: constructing the IPAC-NN tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.ipacnn import build_ipac_tree, build_ipac_tree_with_statistics
+from repro.geometry.envelope.divide_conquer import lower_envelope
+from repro.geometry.envelope.klevel import k_level_envelopes
+
+from ..conftest import make_linear_function, random_functions
+
+
+class TestTreeConstruction:
+    def test_empty_candidates_give_empty_tree(self):
+        tree = build_ipac_tree([], "q", 0.0, 10.0, band_width=2.0)
+        assert tree.size() == 0
+        assert tree.depth() == 0
+
+    def test_invalid_window_and_band_rejected(self, crossing_functions):
+        with pytest.raises(ValueError):
+            build_ipac_tree(crossing_functions, "q", 10.0, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            build_ipac_tree(crossing_functions, "q", 0.0, 10.0, -1.0)
+
+    def test_level1_nodes_match_lower_envelope(self, crossing_functions):
+        tree = build_ipac_tree(crossing_functions, "q", 0.0, 10.0, band_width=2.0)
+        envelope = lower_envelope(crossing_functions, 0.0, 10.0)
+        level1 = tree.nodes_at_level(1)
+        assert [node.object_id for node in level1] == envelope.owner_ids
+        assert level1[0].t_start == pytest.approx(0.0)
+        assert level1[-1].t_end == pytest.approx(10.0)
+
+    def test_children_lie_within_parent_interval(self, rng):
+        functions = random_functions(10, rng)
+        tree = build_ipac_tree(functions, "q", 0.0, 10.0, band_width=3.0)
+        for node in tree.walk():
+            for child in node.children:
+                assert child.t_start >= node.t_start - 1e-6
+                assert child.t_end <= node.t_end + 1e-6
+                assert child.level == node.level + 1
+
+    def test_path_labels_are_distinct(self, rng):
+        functions = random_functions(10, rng)
+        tree = build_ipac_tree(functions, "q", 0.0, 10.0, band_width=3.0)
+        times = np.linspace(0.05, 9.95, 19)
+        for t in times:
+            ranking = tree.ranking_at(float(t))
+            assert len(ranking) == len(set(ranking))
+
+    def test_ranking_agrees_with_level_envelopes(self, rng):
+        functions = random_functions(8, rng)
+        # A huge band keeps every candidate, so the tree ranking must equal
+        # the k-level-envelope ranking everywhere.
+        tree = build_ipac_tree(functions, "q", 0.0, 10.0, band_width=1000.0)
+        levels = k_level_envelopes(functions, 0.0, 10.0, max_levels=4)
+        for t in np.linspace(0.1, 9.9, 15):
+            tree_ranking = tree.ranking_at(float(t))[:3]
+            level_ranking = levels.owners_at(float(t))[:3]
+            assert tree_ranking == level_ranking
+
+    def test_pruned_objects_never_appear(self):
+        near = make_linear_function("near", 1.0, 0.0, 0.0, 0.0)
+        close = make_linear_function("close", 2.0, 0.0, 0.0, 0.0)
+        far = make_linear_function("far", 100.0, 0.0, 0.0, 0.0)
+        tree = build_ipac_tree([near, close, far], "q", 0.0, 10.0, band_width=2.0)
+        assert "far" not in tree.labelled_object_ids()
+        assert set(tree.labelled_object_ids()) == {"near", "close"}
+
+    def test_max_levels_caps_depth(self, rng):
+        functions = random_functions(10, rng)
+        tree = build_ipac_tree(functions, "q", 0.0, 10.0, band_width=1000.0, max_levels=2)
+        assert tree.depth() <= 2
+
+    def test_depth_bounded_by_candidate_count(self, rng):
+        functions = random_functions(5, rng)
+        tree = build_ipac_tree(functions, "q", 0.0, 10.0, band_width=1000.0)
+        assert tree.depth() <= 5
+
+    def test_query_metadata_stored(self, crossing_functions):
+        tree = build_ipac_tree(crossing_functions, "the-query", 2.0, 8.0, band_width=2.0)
+        assert tree.query_id == "the-query"
+        assert tree.t_start == 2.0
+        assert tree.t_end == 8.0
+
+    def test_single_candidate_tree(self):
+        only = make_linear_function("only", 3.0, 0.0, 0.0, 0.0)
+        tree = build_ipac_tree([only], "q", 0.0, 10.0, band_width=2.0)
+        assert tree.size() == 1
+        assert tree.depth() == 1
+        assert tree.ranking_at(5.0) == ["only"]
+
+
+class TestTreeWithStatistics:
+    def test_returns_envelope_and_stats(self, rng):
+        functions = random_functions(12, rng)
+        tree, envelope, stats = build_ipac_tree_with_statistics(
+            functions, "q", 0.0, 10.0, band_width=2.0
+        )
+        assert stats.total_candidates == 12
+        assert 0 < stats.surviving_candidates <= 12
+        assert envelope.t_start == pytest.approx(0.0)
+        assert tree.size() >= len(envelope)
+
+    def test_empty_input(self):
+        tree, envelope, stats = build_ipac_tree_with_statistics([], "q", 0.0, 10.0, 2.0)
+        assert tree.size() == 0
+        assert stats.total_candidates == 0

@@ -1,0 +1,79 @@
+"""Tests for Theorem 1: distance ranking vs probability ranking."""
+
+import pytest
+
+from repro.core.ranking import (
+    expected_distances_at,
+    monte_carlo_ranking,
+    nn_probability_snapshot,
+    ranking_by_expected_distance,
+    ranking_by_nn_probability,
+    validate_theorem1,
+)
+from repro.trajectories.mod import MovingObjectsDatabase
+
+from ..conftest import straight_trajectory
+
+
+@pytest.fixture
+def clustered_mod() -> MovingObjectsDatabase:
+    """Query plus three candidates that all stay probability-relevant.
+
+    The candidates run parallel to the query at 1.2, 2.0 and 2.8 miles — all
+    within each other's R_min/R_max rings for r = 0.5 — so every one has
+    non-zero NN probability and Theorem 1's ordering claim has bite.
+    """
+    return MovingObjectsDatabase(
+        [
+            straight_trajectory("q", (0.0, 0.0), (30.0, 0.0)),
+            straight_trajectory("first", (0.0, 1.2), (30.0, 1.2)),
+            straight_trajectory("second", (0.0, -2.0), (30.0, -2.0)),
+            straight_trajectory("third", (0.0, 2.8), (30.0, 2.8)),
+        ]
+    )
+
+
+class TestExpectedDistances:
+    def test_distances_exclude_query(self, clustered_mod):
+        distances = expected_distances_at(clustered_mod, "q", 30.0)
+        assert set(distances) == {"first", "second", "third"}
+        assert distances["first"] == pytest.approx(1.2)
+        assert distances["second"] == pytest.approx(2.0)
+
+    def test_distance_ranking(self, clustered_mod):
+        ranking = ranking_by_expected_distance(clustered_mod, "q", 30.0)
+        assert ranking == ["first", "second", "third"]
+
+
+class TestProbabilityRanking:
+    def test_probability_ranking_matches_distance_ranking(self, clustered_mod):
+        by_probability = ranking_by_nn_probability(clustered_mod, "q", 30.0, grid_size=256)
+        assert by_probability == ["first", "second", "third"]
+
+    def test_snapshot_probabilities_are_sane(self, clustered_mod):
+        snapshot = nn_probability_snapshot(clustered_mod, "q", 30.0, grid_size=256)
+        assert snapshot["first"] > snapshot["second"] > snapshot["third"]
+        assert 0.0 < sum(snapshot.values()) <= 1.0 + 1e-6
+
+    def test_crisp_query_variant(self, clustered_mod):
+        ranking = ranking_by_nn_probability(
+            clustered_mod, "q", 30.0, grid_size=256, query_is_crisp=True
+        )
+        assert ranking[0] == "first"
+
+
+class TestTheorem1Validation:
+    def test_validation_agrees_on_clustered_scenario(self, clustered_mod):
+        comparison = validate_theorem1(clustered_mod, "q", 30.0, top_k=3, grid_size=256)
+        assert comparison.agrees
+        assert comparison.distance_ranking == comparison.probability_ranking
+
+    def test_validation_restricts_to_meaningful_prefix(self, clustered_mod):
+        # Ask for more ranks than there are probability-bearing candidates:
+        # the comparison must clamp rather than fail on noise.
+        comparison = validate_theorem1(clustered_mod, "q", 30.0, top_k=10, grid_size=256)
+        assert comparison.agrees
+
+    def test_monte_carlo_referee_agrees_on_top1(self, clustered_mod, rng):
+        sampled = monte_carlo_ranking(clustered_mod, "q", 30.0, samples=8000, rng=rng)
+        assert sampled[0] == "first"

@@ -1,0 +1,108 @@
+"""Tests for reverse and all-pairs continuous probabilistic NN queries."""
+
+import pytest
+
+from repro.core.reverse import all_pairs_nn_matrix, mutual_nn_pairs, reverse_nn_query
+from repro.trajectories.mod import MovingObjectsDatabase
+
+from ..conftest import straight_trajectory
+
+
+@pytest.fixture
+def mod() -> MovingObjectsDatabase:
+    """Three vehicles on parallel tracks plus a far-away pair.
+
+    ``center`` runs between ``north`` and ``south`` (2 miles away from each);
+    ``remote`` and ``remote-buddy`` drive 40 miles away and only one mile
+    apart, so each other's nearest neighbor is unambiguous and the near
+    cluster is irrelevant to them.
+    """
+    return MovingObjectsDatabase(
+        [
+            straight_trajectory("center", (0.0, 0.0), (30.0, 0.0)),
+            straight_trajectory("north", (0.0, 2.0), (30.0, 2.0)),
+            straight_trajectory("south", (0.0, -2.0), (30.0, -2.0)),
+            straight_trajectory("remote", (0.0, 40.0), (30.0, 40.0)),
+            straight_trajectory("remote-buddy", (0.0, 39.0), (30.0, 39.0)),
+        ]
+    )
+
+
+class TestReverseNNQuery:
+    def test_center_is_reverse_neighbor_of_its_flankers(self, mod):
+        results = reverse_nn_query(mod, "center", 0.0, 60.0)
+        ids = [result.object_id for result in results]
+        assert "north" in ids and "south" in ids
+        assert "remote" not in ids
+
+    def test_remote_object_is_reverse_neighbor_only_of_its_buddy(self, mod):
+        results = reverse_nn_query(mod, "remote", 0.0, 60.0)
+        # Only the buddy (one mile away) can have 'remote' as its NN; the near
+        # cluster is ~38 miles away with closer alternatives of its own.
+        assert [result.object_id for result in results] == ["remote-buddy"]
+
+    def test_reverse_results_report_always_and_fraction(self, mod):
+        results = reverse_nn_query(mod, "center", 0.0, 60.0)
+        by_id = {result.object_id: result for result in results}
+        assert by_id["north"].always
+        assert by_id["north"].fraction == pytest.approx(1.0, abs=1e-6)
+
+    def test_results_sorted_by_fraction(self, mod):
+        results = reverse_nn_query(mod, "center", 0.0, 60.0)
+        fractions = [result.fraction for result in results]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_candidate_restriction(self, mod):
+        results = reverse_nn_query(mod, "center", 0.0, 60.0, candidate_ids=["north"])
+        assert [result.object_id for result in results] == ["north"]
+
+    def test_unknown_query_raises(self, mod):
+        with pytest.raises(KeyError):
+            reverse_nn_query(mod, "missing", 0.0, 60.0)
+
+    def test_reverse_vs_forward_asymmetry(self):
+        """An object crowded by others may be 'everyone's neighbor' only one way.
+
+        ``loner`` is nearest to the pair but the pair members are each other's
+        nearest neighbors — so the loner has the pair in its forward answer,
+        while its reverse answer may still contain them only through the band.
+        """
+        mod = MovingObjectsDatabase(
+            [
+                straight_trajectory("pair-a", (0.0, 0.0), (30.0, 0.0)),
+                straight_trajectory("pair-b", (0.0, 0.6), (30.0, 0.6)),
+                straight_trajectory("loner", (0.0, 6.0), (30.0, 6.0)),
+            ]
+        )
+        reverse_of_loner = reverse_nn_query(mod, "loner", 0.0, 60.0)
+        # Neither pair member can have the loner as NN: the partner is closer
+        # by more than the band.
+        assert reverse_of_loner == []
+
+
+class TestAllPairs:
+    def test_matrix_shape_and_contents(self, mod):
+        matrix = all_pairs_nn_matrix(mod, 0.0, 60.0)
+        assert set(matrix) == {"center", "north", "south", "remote", "remote-buddy"}
+        assert set(matrix["center"]) == {"north", "south"}
+        assert "center" in matrix["north"]
+        assert matrix["remote"] == ["remote-buddy"]
+        assert matrix["remote-buddy"] == ["remote"]
+
+    def test_mutual_pairs(self, mod):
+        pairs = mutual_nn_pairs(mod, 0.0, 60.0)
+        normalized = {tuple(sorted((str(a), str(b)))) for a, b in pairs}
+        assert ("center", "north") in normalized
+        assert ("center", "south") in normalized
+        assert ("remote", "remote-buddy") in normalized
+        # The far pair never mixes with the near cluster.
+        assert not any(
+            ("remote" in pair or "remote-buddy" in pair)
+            and ("center" in pair or "north" in pair or "south" in pair)
+            for pair in normalized
+        )
+
+    def test_mutual_pairs_are_unique(self, mod):
+        pairs = mutual_nn_pairs(mod, 0.0, 60.0)
+        normalized = [tuple(sorted((str(a), str(b)))) for a, b in pairs]
+        assert len(normalized) == len(set(normalized))

@@ -1,0 +1,37 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.experiments.report import format_table
+
+
+class TestFormatTable:
+    def test_simple_table(self):
+        table = format_table(["a", "b"], [(1, 2), (3, 4)])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "1" in lines[2] and "4" in lines[3]
+
+    def test_title_rendering(self):
+        table = format_table(["col"], [(1,)], title="My Title")
+        lines = table.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [(0.12345678,), (1.5e-7,), (12345.0,), (0.0,)])
+        assert "0.1235" in table
+        assert "e-07" in table
+        assert "e+04" in table or "1.234e+04" in table
+        assert "\n0" in table  # zero renders plainly
+
+    def test_column_alignment(self):
+        table = format_table(["name", "value"], [("long-name-here", 1), ("x", 22)])
+        lines = table.splitlines()
+        # All data rows have the same separator position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])

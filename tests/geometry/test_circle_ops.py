@@ -1,0 +1,120 @@
+"""Tests for circle-circle geometry (lens areas, intersection points)."""
+
+import math
+
+import pytest
+
+from repro.geometry.circle_ops import (
+    annulus_area,
+    chord_angles,
+    circle_circle_intersection_points,
+    circle_intersection_area,
+    disk_intersection_area,
+)
+from repro.geometry.disk import Disk
+from repro.geometry.point import Point2D
+
+
+class TestCircleIntersectionArea:
+    def test_disjoint_circles_have_zero_area(self):
+        area = circle_intersection_area(Point2D(0, 0), 1.0, Point2D(5, 0), 1.0)
+        assert area == 0.0
+
+    def test_contained_circle_gives_smaller_circle_area(self):
+        area = circle_intersection_area(Point2D(0, 0), 3.0, Point2D(0.5, 0), 1.0)
+        assert area == pytest.approx(math.pi)
+
+    def test_coincident_circles_give_full_area(self):
+        area = circle_intersection_area(Point2D(0, 0), 2.0, Point2D(0, 0), 2.0)
+        assert area == pytest.approx(4.0 * math.pi)
+
+    def test_half_overlap_is_symmetric(self):
+        area_ab = circle_intersection_area(Point2D(0, 0), 1.0, Point2D(1, 0), 1.0)
+        area_ba = circle_intersection_area(Point2D(1, 0), 1.0, Point2D(0, 0), 1.0)
+        assert area_ab == pytest.approx(area_ba)
+
+    def test_unit_circles_at_unit_distance_known_value(self):
+        # Standard closed form: 2·acos(1/2) − (1/2)·sqrt(3) for r=1, d=1.
+        expected = 2.0 * math.acos(0.5) - 0.5 * math.sqrt(3.0)
+        area = circle_intersection_area(Point2D(0, 0), 1.0, Point2D(1, 0), 1.0)
+        assert area == pytest.approx(expected, rel=1e-9)
+
+    def test_tangent_circles_have_zero_area(self):
+        area = circle_intersection_area(Point2D(0, 0), 1.0, Point2D(2, 0), 1.0)
+        assert area == 0.0
+
+    def test_zero_radius_gives_zero_area(self):
+        assert circle_intersection_area(Point2D(0, 0), 0.0, Point2D(0, 0), 1.0) == 0.0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            circle_intersection_area(Point2D(0, 0), -1.0, Point2D(0, 0), 1.0)
+
+    def test_area_monotone_in_distance(self):
+        distances = [0.0, 0.5, 1.0, 1.5, 1.9]
+        areas = [
+            circle_intersection_area(Point2D(0, 0), 1.0, Point2D(d, 0), 1.0)
+            for d in distances
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(areas, areas[1:]))
+
+    def test_disk_wrapper_matches(self):
+        a = Disk(Point2D(0, 0), 1.0)
+        b = Disk(Point2D(1, 0), 1.5)
+        assert disk_intersection_area(a, b) == pytest.approx(
+            circle_intersection_area(a.center, a.radius, b.center, b.radius)
+        )
+
+
+class TestCircleIntersectionPoints:
+    def test_two_intersections(self):
+        points = circle_circle_intersection_points(
+            Point2D(0, 0), 1.0, Point2D(1, 0), 1.0
+        )
+        assert len(points) == 2
+        for point in points:
+            assert point.distance_to(Point2D(0, 0)) == pytest.approx(1.0)
+            assert point.distance_to(Point2D(1, 0)) == pytest.approx(1.0)
+
+    def test_tangent_circles_single_point(self):
+        points = circle_circle_intersection_points(
+            Point2D(0, 0), 1.0, Point2D(2, 0), 1.0
+        )
+        assert len(points) == 1
+        assert points[0].is_close(Point2D(1.0, 0.0), tolerance=1e-9)
+
+    def test_disjoint_circles_no_points(self):
+        assert (
+            circle_circle_intersection_points(Point2D(0, 0), 1.0, Point2D(5, 0), 1.0)
+            == []
+        )
+
+    def test_contained_circles_no_points(self):
+        assert (
+            circle_circle_intersection_points(Point2D(0, 0), 3.0, Point2D(0.5, 0), 1.0)
+            == []
+        )
+
+    def test_coincident_circles_raise(self):
+        with pytest.raises(ValueError):
+            circle_circle_intersection_points(Point2D(0, 0), 1.0, Point2D(0, 0), 1.0)
+
+
+class TestChordAnglesAndAnnulus:
+    def test_chord_angles_symmetric_configuration(self):
+        alpha, beta = chord_angles(1.0, 1.0, 1.0)
+        assert alpha == pytest.approx(beta)
+        assert alpha == pytest.approx(math.acos(0.5))
+
+    def test_chord_angles_require_proper_intersection(self):
+        with pytest.raises(ValueError):
+            chord_angles(5.0, 1.0, 1.0)
+
+    def test_annulus_area(self):
+        assert annulus_area(1.0, 2.0) == pytest.approx(3.0 * math.pi)
+
+    def test_annulus_area_validation(self):
+        with pytest.raises(ValueError):
+            annulus_area(2.0, 1.0)
+        with pytest.raises(ValueError):
+            annulus_area(-1.0, 1.0)

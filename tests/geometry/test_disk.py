@@ -1,0 +1,81 @@
+"""Tests for the disk (uncertainty zone) primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry.disk import Disk
+from repro.geometry.point import Point2D
+
+
+@pytest.fixture
+def unit_disk() -> Disk:
+    return Disk(Point2D(0.0, 0.0), 1.0)
+
+
+class TestDiskBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(Point2D(0.0, 0.0), -0.1)
+
+    def test_area(self, unit_disk):
+        assert unit_disk.area == pytest.approx(math.pi)
+
+    def test_contains_center_and_boundary(self, unit_disk):
+        assert unit_disk.contains_point(Point2D(0.0, 0.0))
+        assert unit_disk.contains_point(Point2D(1.0, 0.0))
+
+    def test_does_not_contain_outside_point(self, unit_disk):
+        assert not unit_disk.contains_point(Point2D(1.1, 0.0))
+
+    def test_contains_disk(self, unit_disk):
+        assert unit_disk.contains_disk(Disk(Point2D(0.2, 0.0), 0.5))
+        assert not unit_disk.contains_disk(Disk(Point2D(0.8, 0.0), 0.5))
+
+    def test_translated(self, unit_disk):
+        moved = unit_disk.translated(2.0, 3.0)
+        assert moved.center.as_tuple() == (2.0, 3.0)
+        assert moved.radius == 1.0
+
+
+class TestDiskDistances:
+    def test_min_distance_to_outside_point(self, unit_disk):
+        assert unit_disk.min_distance_to_point(Point2D(3.0, 0.0)) == pytest.approx(2.0)
+
+    def test_min_distance_inside_point_is_zero(self, unit_disk):
+        assert unit_disk.min_distance_to_point(Point2D(0.5, 0.0)) == 0.0
+
+    def test_max_distance_to_point(self, unit_disk):
+        assert unit_disk.max_distance_to_point(Point2D(3.0, 0.0)) == pytest.approx(4.0)
+
+    def test_min_distance_between_disjoint_disks(self, unit_disk):
+        other = Disk(Point2D(5.0, 0.0), 1.0)
+        assert unit_disk.min_distance_to_disk(other) == pytest.approx(3.0)
+
+    def test_min_distance_between_overlapping_disks_is_zero(self, unit_disk):
+        other = Disk(Point2D(1.5, 0.0), 1.0)
+        assert unit_disk.min_distance_to_disk(other) == 0.0
+
+    def test_max_distance_between_disks(self, unit_disk):
+        other = Disk(Point2D(5.0, 0.0), 2.0)
+        assert unit_disk.max_distance_to_disk(other) == pytest.approx(8.0)
+
+
+class TestDiskRelations:
+    def test_intersects_overlapping(self, unit_disk):
+        assert unit_disk.intersects(Disk(Point2D(1.5, 0.0), 1.0))
+
+    def test_intersects_tangent(self, unit_disk):
+        assert unit_disk.intersects(Disk(Point2D(2.0, 0.0), 1.0))
+
+    def test_does_not_intersect_distant(self, unit_disk):
+        assert not unit_disk.intersects(Disk(Point2D(2.5, 0.0), 1.0))
+
+    def test_minkowski_sum_grows_radius(self, unit_disk):
+        grown = unit_disk.minkowski_sum(2.5)
+        assert grown.radius == pytest.approx(3.5)
+        assert grown.center == unit_disk.center
+
+    def test_minkowski_sum_negative_radius_rejected(self, unit_disk):
+        with pytest.raises(ValueError):
+            unit_disk.minkowski_sum(-1.0)

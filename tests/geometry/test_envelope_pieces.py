@@ -1,0 +1,116 @@
+"""Tests for the Envelope/EnvelopePiece containers."""
+
+import pytest
+
+from repro.geometry.envelope.hyperbola import DistanceFunction
+from repro.geometry.envelope.pieces import Envelope, EnvelopePiece
+
+
+def constant_function(object_id, distance, t_lo=0.0, t_hi=10.0) -> DistanceFunction:
+    return DistanceFunction.single_segment(object_id, distance, 0.0, 0.0, 0.0, t_lo, t_hi)
+
+
+@pytest.fixture
+def two_piece_envelope() -> Envelope:
+    near = constant_function("near", 1.0)
+    far = constant_function("far", 2.0)
+    return Envelope(
+        [EnvelopePiece(near, 0.0, 6.0), EnvelopePiece(far, 6.0, 10.0)]
+    )
+
+
+class TestEnvelopePiece:
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EnvelopePiece(constant_function("a", 1.0), 5.0, 4.0)
+
+    def test_duration_and_object_id(self):
+        piece = EnvelopePiece(constant_function("a", 1.0), 1.0, 4.0)
+        assert piece.duration == 3.0
+        assert piece.object_id == "a"
+
+    def test_clipped_overlapping(self):
+        piece = EnvelopePiece(constant_function("a", 1.0), 0.0, 10.0)
+        clipped = piece.clipped(2.0, 4.0)
+        assert (clipped.t_start, clipped.t_end) == (2.0, 4.0)
+
+    def test_clipped_disjoint_returns_none(self):
+        piece = EnvelopePiece(constant_function("a", 1.0), 0.0, 1.0)
+        assert piece.clipped(5.0, 6.0) is None
+
+
+class TestEnvelope:
+    def test_requires_pieces(self):
+        with pytest.raises(ValueError):
+            Envelope([])
+
+    def test_rejects_overlapping_pieces(self):
+        a = constant_function("a", 1.0)
+        b = constant_function("b", 2.0)
+        with pytest.raises(ValueError):
+            Envelope([EnvelopePiece(a, 0.0, 6.0), EnvelopePiece(b, 5.0, 10.0)])
+
+    def test_coalesces_adjacent_pieces_of_same_function(self):
+        a = constant_function("a", 1.0)
+        envelope = Envelope([EnvelopePiece(a, 0.0, 5.0), EnvelopePiece(a, 5.0, 10.0)])
+        assert len(envelope) == 1
+        assert envelope.pieces[0].t_start == 0.0
+        assert envelope.pieces[0].t_end == 10.0
+
+    def test_span_and_contiguity(self, two_piece_envelope):
+        assert two_piece_envelope.t_start == 0.0
+        assert two_piece_envelope.t_end == 10.0
+        assert two_piece_envelope.is_contiguous
+
+    def test_gap_detection(self):
+        a = constant_function("a", 1.0)
+        b = constant_function("b", 2.0)
+        gapped = Envelope([EnvelopePiece(a, 0.0, 3.0), EnvelopePiece(b, 5.0, 10.0)])
+        assert not gapped.is_contiguous
+
+    def test_owner_and_value_lookup(self, two_piece_envelope):
+        assert two_piece_envelope.owner_at(3.0) == "near"
+        assert two_piece_envelope.owner_at(8.0) == "far"
+        assert two_piece_envelope.value(3.0) == pytest.approx(1.0)
+        assert two_piece_envelope.value(8.0) == pytest.approx(2.0)
+
+    def test_lookup_outside_span_raises(self, two_piece_envelope):
+        with pytest.raises(ValueError):
+            two_piece_envelope.value(11.0)
+
+    def test_lookup_in_gap_raises(self):
+        a = constant_function("a", 1.0)
+        b = constant_function("b", 2.0)
+        gapped = Envelope([EnvelopePiece(a, 0.0, 3.0), EnvelopePiece(b, 5.0, 10.0)])
+        with pytest.raises(ValueError):
+            gapped.value(4.0)
+
+    def test_critical_times(self, two_piece_envelope):
+        assert two_piece_envelope.critical_times == [0.0, 6.0, 10.0]
+
+    def test_owner_ids(self, two_piece_envelope):
+        assert two_piece_envelope.owner_ids == ["near", "far"]
+        assert two_piece_envelope.distinct_owner_ids == ["near", "far"]
+
+    def test_restricted(self, two_piece_envelope):
+        restricted = two_piece_envelope.restricted(5.0, 7.0)
+        assert restricted.t_start == pytest.approx(5.0)
+        assert restricted.t_end == pytest.approx(7.0)
+        assert restricted.owner_ids == ["near", "far"]
+
+    def test_restricted_disjoint_raises(self, two_piece_envelope):
+        with pytest.raises(ValueError):
+            two_piece_envelope.restricted(20.0, 30.0)
+
+    def test_total_duration_of(self, two_piece_envelope):
+        assert two_piece_envelope.total_duration_of("near") == pytest.approx(6.0)
+        assert two_piece_envelope.total_duration_of("far") == pytest.approx(4.0)
+        assert two_piece_envelope.total_duration_of("unknown") == 0.0
+
+    def test_sample_skips_gaps(self):
+        a = constant_function("a", 1.0)
+        b = constant_function("b", 2.0)
+        gapped = Envelope([EnvelopePiece(a, 0.0, 3.0), EnvelopePiece(b, 5.0, 10.0)])
+        samples = gapped.sample([1.0, 4.0, 6.0])
+        assert [s[0] for s in samples] == [1.0, 6.0]
+        assert [s[2] for s in samples] == ["a", "b"]

@@ -1,0 +1,76 @@
+"""Tests for k-level envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.envelope.klevel import k_level_envelopes
+
+from ..conftest import make_linear_function, random_functions
+
+
+class TestKLevelEnvelopes:
+    def test_level1_is_the_lower_envelope(self, crossing_functions):
+        levels = k_level_envelopes(crossing_functions, 0.0, 10.0, max_levels=1)
+        assert len(levels) == 1
+        assert levels.level(1).owner_at(0.1) == "a"
+
+    def test_level_values_are_sorted_at_every_time(self, rng):
+        functions = random_functions(8, rng)
+        levels = k_level_envelopes(functions, 0.0, 10.0, max_levels=4)
+        for t in np.linspace(0.05, 9.95, 21):
+            values = []
+            for level_index in range(1, len(levels) + 1):
+                try:
+                    values.append(levels.level(level_index).value(float(t)))
+                except ValueError:
+                    continue
+            assert values == sorted(values)
+
+    def test_level_k_is_kth_order_statistic(self, rng):
+        functions = random_functions(6, rng)
+        levels = k_level_envelopes(functions, 0.0, 10.0, max_levels=3)
+        for t in np.linspace(0.05, 9.95, 11):
+            sorted_values = sorted(f.value(float(t)) for f in functions)
+            for k in range(1, 4):
+                assert levels.level(k).value(float(t)) == pytest.approx(
+                    sorted_values[k - 1], rel=1e-6, abs=1e-9
+                )
+
+    def test_owners_at_are_distinct(self, rng):
+        functions = random_functions(7, rng)
+        levels = k_level_envelopes(functions, 0.0, 10.0, max_levels=4)
+        owners = levels.owners_at(4.3)
+        assert len(owners) == len(set(owners))
+
+    def test_rank_of_owner(self, crossing_functions):
+        levels = k_level_envelopes(crossing_functions, 0.0, 10.0, max_levels=3)
+        owner = levels.level(1).owner_at(0.1)
+        assert levels.rank_of(owner, 0.1) == 1
+
+    def test_rank_of_absent_object(self, crossing_functions):
+        levels = k_level_envelopes(crossing_functions, 0.0, 10.0, max_levels=2)
+        assert levels.rank_of("no-such-object", 5.0) is None
+
+    def test_number_of_levels_bounded_by_function_count(self, rng):
+        functions = random_functions(4, rng)
+        levels = k_level_envelopes(functions, 0.0, 10.0)
+        assert len(levels) <= 4
+
+    def test_requesting_too_deep_level_raises(self, crossing_functions):
+        levels = k_level_envelopes(crossing_functions, 0.0, 10.0, max_levels=2)
+        with pytest.raises(IndexError):
+            levels.level(5)
+        with pytest.raises(IndexError):
+            levels.level(0)
+
+    def test_duplicate_object_ids_rejected(self):
+        duplicate = [
+            make_linear_function("same", 1.0, 0.0, 0.0, 0.0),
+            make_linear_function("same", 2.0, 0.0, 0.0, 0.0),
+        ]
+        with pytest.raises(ValueError):
+            k_level_envelopes(duplicate, 0.0, 10.0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValueError):
+            k_level_envelopes([], 0.0, 10.0)

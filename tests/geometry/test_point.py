@@ -1,0 +1,99 @@
+"""Tests for 2D points and vectors."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import ORIGIN, Point2D, Vector2D, ZERO_VECTOR
+
+
+class TestPoint2D:
+    def test_as_tuple(self):
+        assert Point2D(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+    def test_iteration_yields_coordinates(self):
+        assert list(Point2D(3.0, 4.0)) == [3.0, 4.0]
+
+    def test_distance_to_is_euclidean(self):
+        assert Point2D(0.0, 0.0).distance_to(Point2D(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point2D(1.0, 2.0), Point2D(-3.0, 7.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point2D(1.0, 2.0), Point2D(4.0, 6.0)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_subtraction_yields_vector(self):
+        delta = Point2D(5.0, 7.0) - Point2D(2.0, 3.0)
+        assert isinstance(delta, Vector2D)
+        assert delta.as_tuple() == (3.0, 4.0)
+
+    def test_translation_by_vector(self):
+        assert (Point2D(1.0, 1.0) + Vector2D(2.0, -1.0)).as_tuple() == (3.0, 0.0)
+
+    def test_midpoint(self):
+        assert Point2D(0.0, 0.0).midpoint(Point2D(4.0, 6.0)).as_tuple() == (2.0, 3.0)
+
+    def test_is_close_within_tolerance(self):
+        assert Point2D(1.0, 1.0).is_close(Point2D(1.0 + 1e-12, 1.0 - 1e-12))
+
+    def test_is_close_rejects_far_points(self):
+        assert not Point2D(1.0, 1.0).is_close(Point2D(1.1, 1.0))
+
+    def test_origin_constant(self):
+        assert ORIGIN.as_tuple() == (0.0, 0.0)
+
+    def test_points_are_hashable_value_objects(self):
+        assert Point2D(1.0, 2.0) == Point2D(1.0, 2.0)
+        assert len({Point2D(1.0, 2.0), Point2D(1.0, 2.0)}) == 1
+
+
+class TestVector2D:
+    def test_length(self):
+        assert Vector2D(3.0, 4.0).length == pytest.approx(5.0)
+
+    def test_squared_length(self):
+        assert Vector2D(3.0, 4.0).squared_length == pytest.approx(25.0)
+
+    def test_scaling(self):
+        assert Vector2D(1.0, -2.0).scaled(3.0).as_tuple() == (3.0, -6.0)
+
+    def test_multiplication_operators(self):
+        assert (2.0 * Vector2D(1.0, 1.0)).as_tuple() == (2.0, 2.0)
+        assert (Vector2D(1.0, 1.0) * 2.0).as_tuple() == (2.0, 2.0)
+
+    def test_dot_product(self):
+        assert Vector2D(1.0, 2.0).dot(Vector2D(3.0, 4.0)) == pytest.approx(11.0)
+
+    def test_cross_product_sign(self):
+        assert Vector2D(1.0, 0.0).cross(Vector2D(0.0, 1.0)) == pytest.approx(1.0)
+        assert Vector2D(0.0, 1.0).cross(Vector2D(1.0, 0.0)) == pytest.approx(-1.0)
+
+    def test_normalized_has_unit_length(self):
+        assert Vector2D(3.0, 4.0).normalized().length == pytest.approx(1.0)
+
+    def test_normalizing_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            ZERO_VECTOR.normalized()
+
+    def test_rotation_quarter_turn(self):
+        rotated = Vector2D(1.0, 0.0).rotated(math.pi / 2.0)
+        assert rotated.dx == pytest.approx(0.0, abs=1e-12)
+        assert rotated.dy == pytest.approx(1.0)
+
+    def test_rotation_preserves_length(self):
+        vector = Vector2D(2.0, -5.0)
+        assert vector.rotated(1.234).length == pytest.approx(vector.length)
+
+    def test_addition_and_subtraction(self):
+        assert (Vector2D(1.0, 2.0) + Vector2D(3.0, 4.0)).as_tuple() == (4.0, 6.0)
+        assert (Vector2D(1.0, 2.0) - Vector2D(3.0, 4.0)).as_tuple() == (-2.0, -2.0)
+
+    def test_negation(self):
+        assert (-Vector2D(1.0, -2.0)).as_tuple() == (-1.0, 2.0)
+
+    def test_iteration_and_tuple(self):
+        assert list(Vector2D(5.0, 6.0)) == [5.0, 6.0]
+        assert Vector2D(5.0, 6.0).as_tuple() == (5.0, 6.0)

@@ -1,0 +1,81 @@
+"""Tests for the STR-packed R-tree."""
+
+import pytest
+
+from repro.index.boxes import Box3D, IndexEntry, segment_boxes
+from repro.index.grid import GridIndex
+from repro.index.rtree import STRRTree
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+from ..conftest import straight_trajectory
+
+
+class TestRTreeConstruction:
+    def test_empty_tree(self):
+        tree = STRRTree([])
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.query_box(Box3D(0, 0, 0, 1, 1, 1)) == set()
+
+    def test_leaf_capacity_validation(self):
+        with pytest.raises(ValueError):
+            STRRTree([], leaf_capacity=1)
+
+    def test_height_grows_with_size(self):
+        def entry(i):
+            return IndexEntry(Box3D(i, i, 0, i + 1, i + 1, 1), i)
+
+        small = STRRTree([entry(i) for i in range(8)], leaf_capacity=4)
+        large = STRRTree([entry(i) for i in range(200)], leaf_capacity=4)
+        assert small.height >= 1
+        assert large.height > small.height
+
+    def test_from_trajectories_counts_segments(self):
+        trajectories = generate_trajectories(
+            RandomWaypointConfig(num_objects=20, segments_per_trajectory=3, seed=5)
+        )
+        tree = STRRTree.from_trajectories(trajectories)
+        assert len(tree) == 20 * 3
+
+
+class TestRTreeQueries:
+    def test_query_matches_brute_force(self):
+        trajectories = generate_trajectories(
+            RandomWaypointConfig(num_objects=80, segments_per_trajectory=2, seed=9)
+        )
+        tree = STRRTree.from_trajectories(trajectories, leaf_capacity=8)
+        probes = [
+            Box3D(0.0, 0.0, 0.0, 10.0, 10.0, 30.0),
+            Box3D(15.0, 15.0, 10.0, 25.0, 25.0, 50.0),
+            Box3D(35.0, 35.0, 0.0, 40.0, 40.0, 60.0),
+        ]
+        for probe in probes:
+            expected = set()
+            for trajectory in trajectories:
+                for entry in segment_boxes(trajectory):
+                    if entry.box.intersects(probe):
+                        expected.add(trajectory.object_id)
+            assert tree.query_box(probe) == expected
+
+    def test_query_matches_grid_index(self):
+        trajectories = generate_trajectories(
+            RandomWaypointConfig(num_objects=50, seed=11)
+        )
+        tree = STRRTree.from_trajectories(trajectories)
+        grid = GridIndex.covering(trajectories, cells=20)
+        probe = Box3D(5.0, 5.0, 0.0, 25.0, 25.0, 60.0)
+        assert tree.query_box(probe) == grid.query_box(probe)
+
+    def test_corridor_query(self):
+        query = straight_trajectory("q", (0.0, 0.0), (30.0, 0.0))
+        near = straight_trajectory("near", (0.0, 2.0), (30.0, 2.0))
+        far = straight_trajectory("far", (0.0, 30.0), (30.0, 30.0))
+        tree = STRRTree.from_trajectories([query, near, far])
+        found = tree.query_corridor(query, 5.0, 0.0, 60.0)
+        assert found == {"near"}
+
+    def test_corridor_negative_distance_rejected(self):
+        query = straight_trajectory("q", (0.0, 0.0), (30.0, 0.0))
+        tree = STRRTree.from_trajectories([query])
+        with pytest.raises(ValueError):
+            tree.query_corridor(query, -0.5, 0.0, 60.0)

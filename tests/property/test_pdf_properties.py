@@ -1,0 +1,67 @@
+"""Property-based tests for the location pdfs (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.uncertainty.cone import ConePDF
+from repro.uncertainty.gaussian import TruncatedGaussianPDF
+from repro.uncertainty.uniform import UniformDiskPDF
+
+radius_values = st.floats(min_value=0.1, max_value=3.0, allow_nan=False, allow_infinity=False)
+distance_values = st.floats(min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False)
+pdf_families = st.sampled_from(["uniform", "gaussian", "cone"])
+
+
+def make_pdf(family: str, radius: float):
+    if family == "uniform":
+        return UniformDiskPDF(radius)
+    if family == "gaussian":
+        return TruncatedGaussianPDF(radius)
+    return ConePDF(radius)
+
+
+@settings(max_examples=40, deadline=None)
+@given(family=pdf_families, radius=radius_values)
+def test_total_mass_is_one(family, radius):
+    pdf = make_pdf(family, radius)
+    assert abs(pdf.total_mass() - 1.0) < 5e-3
+
+
+@settings(max_examples=40, deadline=None)
+@given(family=pdf_families, radius=radius_values)
+def test_radial_cdf_is_monotone_and_bounded(family, radius):
+    pdf = make_pdf(family, radius)
+    radii = np.linspace(0.0, pdf.support_radius * 1.2, 25)
+    values = [pdf.radial_cdf(float(r)) for r in radii]
+    assert all(0.0 <= value <= 1.0 + 1e-9 for value in values)
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] >= 1.0 - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=pdf_families, radius=radius_values, distance=distance_values)
+def test_within_distance_probability_is_monotone_in_radius(family, radius, distance):
+    pdf = make_pdf(family, radius)
+    within = np.linspace(0.0, distance + pdf.support_radius + 1.0, 15)
+    values = [pdf.within_distance_probability(distance, float(w)) for w in within]
+    assert all(0.0 <= value <= 1.0 + 1e-9 for value in values)
+    assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+    assert values[-1] >= 1.0 - 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(family=pdf_families, radius=radius_values, distance=distance_values)
+def test_density_is_non_negative_inside_support(family, radius, distance):
+    pdf = make_pdf(family, radius)
+    rho = min(distance, pdf.support_radius)
+    assert pdf.density(rho) >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(family=pdf_families, radius=radius_values)
+def test_samples_respect_the_support(family, radius):
+    pdf = make_pdf(family, radius)
+    rng = np.random.default_rng(0)
+    samples = pdf.sample(rng, 200)
+    radii = np.hypot(samples[:, 0], samples[:, 1])
+    assert np.all(radii <= pdf.support_radius + 1e-9)

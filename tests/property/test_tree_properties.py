@@ -1,0 +1,77 @@
+"""Property-based tests for the IPAC-NN tree construction (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ipacnn import build_ipac_tree
+from repro.geometry.envelope.divide_conquer import lower_envelope
+from repro.geometry.envelope.hyperbola import DistanceFunction
+
+T_LO, T_HI = 0.0, 10.0
+
+coordinate = st.floats(min_value=-25.0, max_value=25.0, allow_nan=False, allow_infinity=False)
+velocity = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False)
+band_widths = st.floats(min_value=0.5, max_value=8.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def function_sets(draw, min_size=2, max_size=6):
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    return [
+        DistanceFunction.single_segment(
+            f"f{index}",
+            draw(coordinate),
+            draw(coordinate),
+            draw(velocity),
+            draw(velocity),
+            T_LO,
+            T_HI,
+        )
+        for index in range(count)
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(functions=function_sets(), band=band_widths)
+def test_level1_nodes_tile_the_window_with_the_envelope_owners(functions, band):
+    tree = build_ipac_tree(functions, "q", T_LO, T_HI, band)
+    envelope = lower_envelope(functions, T_LO, T_HI)
+    level1 = tree.nodes_at_level(1)
+    assert [node.object_id for node in level1] == envelope.owner_ids
+    assert abs(level1[0].t_start - T_LO) < 1e-9
+    assert abs(level1[-1].t_end - T_HI) < 1e-9
+    for previous, current in zip(level1, level1[1:]):
+        assert abs(previous.t_end - current.t_start) < 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(functions=function_sets(), band=band_widths)
+def test_children_are_nested_and_strictly_deeper(functions, band):
+    tree = build_ipac_tree(functions, "q", T_LO, T_HI, band)
+    for node in tree.walk():
+        for child in node.children:
+            assert child.level == node.level + 1
+            assert child.t_start >= node.t_start - 1e-6
+            assert child.t_end <= node.t_end + 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(functions=function_sets(), band=band_widths)
+def test_path_rankings_are_duplicate_free_and_distance_sorted(functions, band):
+    tree = build_ipac_tree(functions, "q", T_LO, T_HI, band)
+    by_id = {function.object_id: function for function in functions}
+    for t in np.linspace(T_LO + 0.05, T_HI - 0.05, 9):
+        ranking = tree.ranking_at(float(t))
+        assert len(ranking) == len(set(ranking))
+        distances = [by_id[object_id].value(float(t)) for object_id in ranking]
+        assert distances == sorted(distances)
+
+
+@settings(max_examples=20, deadline=None)
+@given(functions=function_sets(), band=band_widths)
+def test_tree_size_is_bounded_by_the_arrangement_complexity(functions, band):
+    tree = build_ipac_tree(functions, "q", T_LO, T_HI, band)
+    count = len(functions)
+    # Loose combinatorial bound: per level at most 2N-1 pieces, at most N levels.
+    assert tree.size() <= count * (2 * count - 1) * (2 * count)
+    assert tree.depth() <= count

@@ -1,0 +1,68 @@
+"""Tests for the interpolation/resampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.trajectories.interpolation import (
+    pairwise_expected_distances,
+    positions_at,
+    resample,
+    sampled_polyline,
+    uniform_time_grid,
+)
+from repro.trajectories.trajectory import Trajectory, UncertainTrajectory
+
+from ..conftest import straight_trajectory
+
+
+class TestInterpolationHelpers:
+    def test_positions_at(self):
+        trajectory = straight_trajectory("a", (0.0, 0.0), (10.0, 0.0), t_hi=10.0)
+        positions = positions_at(trajectory, [0.0, 5.0, 10.0])
+        assert [p.as_tuple() for p in positions] == [
+            pytest.approx((0.0, 0.0)),
+            pytest.approx((5.0, 0.0)),
+            pytest.approx((10.0, 0.0)),
+        ]
+
+    def test_resample_preserves_geometry(self):
+        trajectory = Trajectory("a", [(0, 0, 0.0), (10, 0, 10.0), (10, 10, 20.0)])
+        resampled = resample(trajectory, [0.0, 5.0, 10.0, 15.0, 20.0])
+        for t in np.linspace(0.0, 20.0, 21):
+            assert resampled.position_at(float(t)).distance_to(
+                trajectory.position_at(float(t))
+            ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_resample_preserves_uncertainty_metadata(self):
+        trajectory = straight_trajectory("a", (0.0, 0.0), (10.0, 0.0), radius=0.7)
+        resampled = resample(trajectory, [0.0, 30.0, 60.0])
+        assert isinstance(resampled, UncertainTrajectory)
+        assert resampled.radius == pytest.approx(0.7)
+
+    def test_resample_validation(self):
+        trajectory = straight_trajectory("a", (0.0, 0.0), (10.0, 0.0))
+        with pytest.raises(ValueError):
+            resample(trajectory, [0.0])
+        with pytest.raises(ValueError):
+            resample(trajectory, [10.0, 5.0])
+
+    def test_uniform_time_grid(self):
+        grid = uniform_time_grid(0.0, 10.0, 5)
+        np.testing.assert_allclose(grid, [0.0, 2.5, 5.0, 7.5, 10.0])
+        with pytest.raises(ValueError):
+            uniform_time_grid(0.0, 10.0, 1)
+        with pytest.raises(ValueError):
+            uniform_time_grid(10.0, 0.0, 3)
+
+    def test_pairwise_expected_distances(self):
+        first = straight_trajectory("a", (0.0, 0.0), (10.0, 0.0), t_hi=10.0)
+        second = straight_trajectory("b", (0.0, 4.0), (10.0, 4.0), t_hi=10.0)
+        distances = pairwise_expected_distances(first, second, [0.0, 5.0, 10.0])
+        np.testing.assert_allclose(distances, [4.0, 4.0, 4.0])
+
+    def test_sampled_polyline(self):
+        trajectory = Trajectory("a", [(0, 1, 2.0), (3, 4, 5.0)])
+        xs, ys, ts = sampled_polyline(trajectory)
+        np.testing.assert_allclose(xs, [0.0, 3.0])
+        np.testing.assert_allclose(ys, [1.0, 4.0])
+        np.testing.assert_allclose(ts, [2.0, 5.0])

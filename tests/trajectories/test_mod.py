@@ -1,0 +1,106 @@
+"""Tests for the MovingObjectsDatabase store."""
+
+import pytest
+
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.trajectories.trajectory import Trajectory
+
+from ..conftest import straight_trajectory
+
+
+@pytest.fixture
+def mod() -> MovingObjectsDatabase:
+    return MovingObjectsDatabase(
+        [
+            straight_trajectory("q", (0.0, 0.0), (30.0, 0.0)),
+            straight_trajectory("a", (0.0, 2.0), (30.0, 2.0)),
+            straight_trajectory("b", (5.0, -3.0), (25.0, 3.0)),
+        ]
+    )
+
+
+class TestStoreOperations:
+    def test_length_and_membership(self, mod):
+        assert len(mod) == 3
+        assert "a" in mod
+        assert "missing" not in mod
+
+    def test_get_known_and_unknown(self, mod):
+        assert mod.get("a").object_id == "a"
+        with pytest.raises(KeyError):
+            mod.get("missing")
+
+    def test_duplicate_ids_rejected(self, mod):
+        with pytest.raises(KeyError):
+            mod.add(straight_trajectory("a", (0, 0), (1, 1)))
+
+    def test_only_uncertain_trajectories_accepted(self, mod):
+        with pytest.raises(TypeError):
+            mod.add(Trajectory("plain", [(0, 0, 0), (1, 1, 1)]))
+
+    def test_remove(self, mod):
+        removed = mod.remove("b")
+        assert removed.object_id == "b"
+        assert len(mod) == 2
+        with pytest.raises(KeyError):
+            mod.remove("b")
+
+    def test_add_all_and_iteration(self):
+        mod = MovingObjectsDatabase()
+        mod.add_all(
+            [
+                straight_trajectory("x", (0, 0), (1, 1)),
+                straight_trajectory("y", (1, 1), (2, 2)),
+            ]
+        )
+        assert sorted(t.object_id for t in mod) == ["x", "y"]
+        assert mod.object_ids == ["x", "y"]
+
+
+class TestAggregates:
+    def test_common_time_span(self, mod):
+        assert mod.common_time_span() == (0.0, 60.0)
+
+    def test_common_time_span_empty_raises(self):
+        with pytest.raises(ValueError):
+            MovingObjectsDatabase().common_time_span()
+
+    def test_disjoint_spans_raise(self):
+        mod = MovingObjectsDatabase(
+            [
+                straight_trajectory("early", (0, 0), (1, 1), t_lo=0.0, t_hi=10.0),
+                straight_trajectory("late", (0, 0), (1, 1), t_lo=20.0, t_hi=30.0),
+            ]
+        )
+        with pytest.raises(ValueError):
+            mod.common_time_span()
+
+    def test_uniform_uncertainty_radius(self, mod):
+        assert mod.uniform_uncertainty_radius() == pytest.approx(0.5)
+
+    def test_heterogeneous_radii_detected(self, mod):
+        mod.add(straight_trajectory("thick", (0, 0), (1, 1), radius=1.0))
+        with pytest.raises(ValueError):
+            mod.uniform_uncertainty_radius()
+
+    def test_uncertainty_radii_list(self, mod):
+        assert mod.uncertainty_radii() == [0.5, 0.5, 0.5]
+
+
+class TestQuerySupport:
+    def test_distance_functions_exclude_query(self, mod):
+        functions = mod.distance_functions("q", 0.0, 60.0)
+        assert sorted(f.object_id for f in functions) == ["a", "b"]
+
+    def test_distance_functions_with_candidate_filter(self, mod):
+        functions = mod.distance_functions("q", 0.0, 60.0, candidate_ids=["a", "q"])
+        assert [f.object_id for f in functions] == ["a"]
+
+    def test_distance_functions_unknown_query_raises(self, mod):
+        with pytest.raises(KeyError):
+            mod.distance_functions("missing", 0.0, 60.0)
+
+    def test_clipped_database(self, mod):
+        clipped = mod.clipped(10.0, 20.0)
+        assert len(clipped) == 3
+        assert clipped.common_time_span() == (10.0, 20.0)

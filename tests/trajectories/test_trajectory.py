@@ -1,0 +1,146 @@
+"""Tests for the trajectory and uncertain-trajectory model."""
+
+import pytest
+
+from repro.trajectories.trajectory import Trajectory, TrajectorySample, UncertainTrajectory
+from repro.uncertainty.gaussian import TruncatedGaussianPDF
+from repro.uncertainty.uniform import UniformDiskPDF
+
+
+@pytest.fixture
+def l_shaped() -> Trajectory:
+    """East for 10 minutes, then north for 10 minutes."""
+    return Trajectory(
+        "obj",
+        [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0), (10.0, 10.0, 20.0)],
+    )
+
+
+class TestTrajectoryConstruction:
+    def test_needs_at_least_two_samples(self):
+        with pytest.raises(ValueError):
+            Trajectory("x", [(0.0, 0.0, 0.0)])
+
+    def test_rejects_time_regressions(self):
+        with pytest.raises(ValueError):
+            Trajectory("x", [(0.0, 0.0, 5.0), (1.0, 1.0, 4.0)])
+
+    def test_accepts_tuples_and_samples(self):
+        trajectory = Trajectory(
+            "x", [TrajectorySample(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]
+        )
+        assert len(trajectory) == 2
+
+    def test_from_waypoints(self):
+        trajectory = Trajectory.from_waypoints("w", [(0, 0, 0), (5, 5, 10)])
+        assert trajectory.object_id == "w"
+        assert trajectory.duration == 10.0
+
+
+class TestTrajectoryGeometry:
+    def test_time_span(self, l_shaped):
+        assert l_shaped.start_time == 0.0
+        assert l_shaped.end_time == 20.0
+        assert l_shaped.duration == 20.0
+
+    def test_covers_time_and_interval(self, l_shaped):
+        assert l_shaped.covers_time(15.0)
+        assert not l_shaped.covers_time(25.0)
+        assert l_shaped.covers_interval(2.0, 18.0)
+        assert not l_shaped.covers_interval(2.0, 28.0)
+
+    def test_segments(self, l_shaped):
+        segments = l_shaped.segments()
+        assert len(segments) == 2
+        assert segments[0].velocity.as_tuple() == pytest.approx((1.0, 0.0))
+        assert segments[1].velocity.as_tuple() == pytest.approx((0.0, 1.0))
+
+    def test_zero_duration_legs_are_skipped(self):
+        trajectory = Trajectory(
+            "x", [(0, 0, 0.0), (5, 0, 5.0), (5, 0, 5.0), (5, 5, 10.0)]
+        )
+        assert len(trajectory.segments()) == 2
+
+    def test_position_interpolation(self, l_shaped):
+        assert l_shaped.position_at(5.0).as_tuple() == pytest.approx((5.0, 0.0))
+        assert l_shaped.position_at(15.0).as_tuple() == pytest.approx((10.0, 5.0))
+
+    def test_position_outside_span_raises(self, l_shaped):
+        with pytest.raises(ValueError):
+            l_shaped.position_at(21.0)
+
+    def test_velocity_at(self, l_shaped):
+        assert l_shaped.velocity_at(3.0).as_tuple() == pytest.approx((1.0, 0.0))
+        assert l_shaped.velocity_at(13.0).as_tuple() == pytest.approx((0.0, 1.0))
+
+    def test_sample_times_and_breakpoints(self, l_shaped):
+        assert l_shaped.sample_times() == [0.0, 10.0, 20.0]
+        assert l_shaped.breakpoints_in(0.0, 20.0) == [10.0]
+        assert l_shaped.breakpoints_in(11.0, 20.0) == []
+
+    def test_spatial_bounds_and_length(self, l_shaped):
+        assert l_shaped.spatial_bounds() == (0.0, 0.0, 10.0, 10.0)
+        assert l_shaped.total_length() == pytest.approx(20.0)
+
+
+class TestTrajectoryClipping:
+    def test_clipping_inside_one_segment(self, l_shaped):
+        clipped = l_shaped.clipped(2.0, 8.0)
+        assert clipped.start_time == 2.0
+        assert clipped.end_time == 8.0
+        assert clipped.position_at(5.0).as_tuple() == pytest.approx((5.0, 0.0))
+
+    def test_clipping_across_breakpoint_keeps_it(self, l_shaped):
+        clipped = l_shaped.clipped(5.0, 15.0)
+        assert 10.0 in clipped.sample_times()
+        assert clipped.position_at(15.0).as_tuple() == pytest.approx((10.0, 5.0))
+
+    def test_clipping_outside_raises(self, l_shaped):
+        with pytest.raises(ValueError):
+            l_shaped.clipped(-5.0, 10.0)
+
+
+class TestUncertainTrajectory:
+    def make(self, radius=0.5, pdf=None) -> UncertainTrajectory:
+        return UncertainTrajectory(
+            "u", [(0, 0, 0.0), (10, 0, 10.0)], radius, pdf
+        )
+
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self.make(radius=0.0)
+
+    def test_default_pdf_is_uniform_with_matching_radius(self):
+        trajectory = self.make(radius=0.7)
+        assert isinstance(trajectory.pdf, UniformDiskPDF)
+        assert trajectory.pdf.radius == pytest.approx(0.7)
+
+    def test_pdf_support_cannot_exceed_radius(self):
+        with pytest.raises(ValueError):
+            self.make(radius=0.5, pdf=UniformDiskPDF(1.0))
+
+    def test_gaussian_pdf_accepted(self):
+        trajectory = self.make(radius=1.0, pdf=TruncatedGaussianPDF(1.0))
+        assert trajectory.pdf.support_radius == pytest.approx(1.0)
+
+    def test_uncertainty_disk_follows_expected_location(self):
+        trajectory = self.make()
+        disk = trajectory.uncertainty_disk_at(5.0)
+        assert disk.center.as_tuple() == pytest.approx((5.0, 0.0))
+        assert disk.radius == 0.5
+
+    def test_crisp_projection(self):
+        crisp = self.make().crisp()
+        assert isinstance(crisp, Trajectory)
+        assert not isinstance(crisp, UncertainTrajectory)
+        assert crisp.object_id == "u"
+
+    def test_clipping_preserves_uncertainty(self):
+        clipped = self.make().clipped(2.0, 8.0)
+        assert isinstance(clipped, UncertainTrajectory)
+        assert clipped.radius == 0.5
+
+    def test_with_radius(self):
+        changed = self.make().with_radius(1.5)
+        assert changed.radius == 1.5
+        assert changed.object_id == "u"

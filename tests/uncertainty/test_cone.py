@@ -1,0 +1,63 @@
+"""Tests for the cone pdf (Eq. 7 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.cone import ConePDF
+
+
+@pytest.fixture
+def cone() -> ConePDF:
+    return ConePDF(uncertainty_radius=1.0)
+
+
+class TestConePDF:
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            ConePDF(0.0)
+
+    def test_support_is_twice_the_radius(self, cone):
+        assert cone.support_radius == 2.0
+
+    def test_apex_height_matches_paper(self, cone):
+        # Example 4: height 3/(4πr²) for r = 1.
+        assert cone.apex_height == pytest.approx(3.0 / (4.0 * math.pi))
+        assert cone.density(0.0) == pytest.approx(cone.apex_height)
+
+    def test_density_linear_decay(self, cone):
+        assert cone.density(1.0) == pytest.approx(cone.apex_height * 0.5)
+        assert cone.density(2.0) == 0.0
+        assert cone.density(3.0) == 0.0
+
+    def test_density_rejects_negative(self, cone):
+        with pytest.raises(ValueError):
+            cone.density(-0.1)
+
+    def test_total_mass_is_one(self, cone):
+        assert cone.total_mass() == pytest.approx(1.0, abs=1e-6)
+
+    def test_radial_cdf_endpoints_and_monotonicity(self, cone):
+        assert cone.radial_cdf(0.0) == 0.0
+        assert cone.radial_cdf(2.0) == 1.0
+        values = [cone.radial_cdf(r) for r in np.linspace(0.0, 2.0, 21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_radial_cdf_matches_numeric_default(self, cone):
+        numeric = super(ConePDF, cone).radial_cdf(1.3)
+        assert cone.radial_cdf(1.3) == pytest.approx(numeric, abs=2e-3)
+
+    def test_samples_follow_exact_difference_distribution(self, cone, rng):
+        # Samples are drawn as the difference of two uniform-disk samples, so
+        # they must stay within 2r and be centered at the origin.
+        samples = cone.sample(rng, 5000)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        assert np.all(radii <= 2.0 + 1e-12)
+        assert abs(samples[:, 0].mean()) < 0.05
+        assert abs(samples[:, 1].mean()) < 0.05
+
+    def test_scaling_with_radius(self):
+        small = ConePDF(0.5)
+        assert small.support_radius == 1.0
+        assert small.apex_height == pytest.approx(3.0 / (4.0 * math.pi * 0.25))

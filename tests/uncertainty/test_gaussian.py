@@ -1,0 +1,76 @@
+"""Tests for the truncated-Gaussian location pdf."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.gaussian import TruncatedGaussianPDF
+
+
+@pytest.fixture
+def pdf() -> TruncatedGaussianPDF:
+    return TruncatedGaussianPDF(radius=2.0, sigma=1.0)
+
+
+class TestTruncatedGaussian:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianPDF(radius=0.0)
+        with pytest.raises(ValueError):
+            TruncatedGaussianPDF(radius=1.0, sigma=0.0)
+
+    def test_default_sigma_is_half_radius(self):
+        assert TruncatedGaussianPDF(radius=3.0).sigma == pytest.approx(1.5)
+
+    def test_support_radius(self, pdf):
+        assert pdf.support_radius == 2.0
+
+    def test_density_zero_outside(self, pdf):
+        assert pdf.density(2.5) == 0.0
+
+    def test_density_peaks_at_center(self, pdf):
+        assert pdf.density(0.0) > pdf.density(1.0) > pdf.density(1.9)
+
+    def test_density_rejects_negative_radius(self, pdf):
+        with pytest.raises(ValueError):
+            pdf.density(-0.5)
+
+    def test_total_mass_is_one(self, pdf):
+        assert pdf.total_mass() == pytest.approx(1.0, abs=1e-6)
+
+    def test_radial_cdf_endpoints(self, pdf):
+        assert pdf.radial_cdf(0.0) == 0.0
+        assert pdf.radial_cdf(2.0) == 1.0
+        assert pdf.radial_cdf(5.0) == 1.0
+
+    def test_radial_cdf_monotone(self, pdf):
+        values = [pdf.radial_cdf(r) for r in np.linspace(0.0, 2.0, 21)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_radial_cdf_matches_numeric_integration(self, pdf):
+        # Compare the closed form against the generic numeric default.
+        numeric = super(TruncatedGaussianPDF, pdf).radial_cdf(1.2)
+        assert pdf.radial_cdf(1.2) == pytest.approx(numeric, abs=2e-3)
+
+    def test_within_distance_probability_bounds(self, pdf):
+        for d in np.linspace(0.0, 5.0, 6):
+            for Rd in np.linspace(0.1, 6.0, 6):
+                p = pdf.within_distance_probability(float(d), float(Rd))
+                assert 0.0 <= p <= 1.0
+
+    def test_samples_inside_support(self, pdf, rng):
+        samples = pdf.sample(rng, 3000)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        assert np.all(radii <= pdf.support_radius + 1e-9)
+
+    def test_samples_concentrate_near_center(self, pdf, rng):
+        samples = pdf.sample(rng, 5000)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        # Truncated Rayleigh: P(R <= sigma) = (1 − e^{−1/2}) / (1 − e^{−2}) ≈ 0.455,
+        # noticeably more concentrated than the uniform disk's (1/2)² = 0.25.
+        assert np.mean(radii <= 1.0) == pytest.approx(pdf.radial_cdf(1.0), abs=0.03)
+        assert np.mean(radii <= 1.0) > 0.35
+
+    def test_sample_cdf_matches_radial_cdf(self, pdf, rng):
+        samples = pdf.sample(rng, 6000)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        assert np.mean(radii <= 1.5) == pytest.approx(pdf.radial_cdf(1.5), abs=0.03)

@@ -1,0 +1,116 @@
+"""Tests for the uniform-disk location pdf (Eq. 2 / Eq. 4 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.uniform import UniformDiskPDF
+
+
+@pytest.fixture
+def pdf() -> UniformDiskPDF:
+    return UniformDiskPDF(2.0)
+
+
+class TestUniformDensity:
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UniformDiskPDF(0.0)
+
+    def test_density_inside_is_constant(self, pdf):
+        expected = 1.0 / (math.pi * 4.0)
+        assert pdf.density(0.0) == pytest.approx(expected)
+        assert pdf.density(1.9) == pytest.approx(expected)
+
+    def test_density_outside_is_zero(self, pdf):
+        assert pdf.density(2.1) == 0.0
+
+    def test_density_rejects_negative_radius(self, pdf):
+        with pytest.raises(ValueError):
+            pdf.density(-0.1)
+
+    def test_total_mass_is_one(self, pdf):
+        assert pdf.total_mass() == pytest.approx(1.0)
+
+    def test_radial_cdf(self, pdf):
+        assert pdf.radial_cdf(0.0) == 0.0
+        assert pdf.radial_cdf(1.0) == pytest.approx(0.25)
+        assert pdf.radial_cdf(2.0) == 1.0
+        assert pdf.radial_cdf(5.0) == 1.0
+
+
+class TestUniformWithinDistance:
+    def test_fully_covered(self, pdf):
+        assert pdf.within_distance_probability(1.0, 10.0) == 1.0
+
+    def test_fully_outside(self, pdf):
+        assert pdf.within_distance_probability(10.0, 1.0) == 0.0
+
+    def test_zero_radius_query(self, pdf):
+        assert pdf.within_distance_probability(1.0, 0.0) == 0.0
+
+    def test_matches_generic_numeric_integration(self, pdf):
+        # The closed form (lens area) must agree with the base-class numeric
+        # angular-coverage integral.
+        generic = super(UniformDiskPDF, pdf).within_distance_probability
+        for d, Rd in [(3.0, 2.0), (2.0, 1.0), (1.0, 2.0), (0.5, 1.0), (4.0, 2.5)]:
+            assert pdf.within_distance_probability(d, Rd) == pytest.approx(
+                generic(d, Rd), abs=2e-3
+            )
+
+    def test_monotone_in_within_radius(self, pdf):
+        values = [pdf.within_distance_probability(3.0, r) for r in np.linspace(0.5, 6.0, 23)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_probability_bounds(self, pdf):
+        for d in np.linspace(0.0, 6.0, 13):
+            for Rd in np.linspace(0.0, 6.0, 13):
+                p = pdf.within_distance_probability(float(d), float(Rd))
+                assert 0.0 <= p <= 1.0
+
+    def test_query_inside_uncertainty_zone(self, pdf):
+        # Reference point at the pdf's center: P = (Rd/r)² for Rd <= r.
+        assert pdf.within_distance_probability(0.0, 1.0) == pytest.approx(0.25)
+
+
+class TestUniformWithinDistanceDensity:
+    def test_density_matches_finite_difference(self, pdf):
+        for d, Rd in [(3.0, 2.0), (3.0, 3.5), (2.0, 1.5), (1.0, 2.0)]:
+            step = 1e-5
+            numeric = (
+                pdf.within_distance_probability(d, Rd + step)
+                - pdf.within_distance_probability(d, Rd - step)
+            ) / (2.0 * step)
+            assert pdf.within_distance_density(d, Rd) == pytest.approx(numeric, abs=1e-3)
+
+    def test_density_zero_outside_support(self, pdf):
+        assert pdf.within_distance_density(10.0, 1.0) == 0.0
+        assert pdf.within_distance_density(1.0, 10.0) == 0.0
+
+    def test_density_non_negative(self, pdf):
+        for d in np.linspace(0.0, 5.0, 11):
+            for Rd in np.linspace(0.1, 6.0, 11):
+                assert pdf.within_distance_density(float(d), float(Rd)) >= 0.0
+
+
+class TestUniformSampling:
+    def test_samples_inside_disk(self, pdf, rng):
+        samples = pdf.sample(rng, 2000)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        assert np.all(radii <= pdf.radius + 1e-12)
+
+    def test_sample_mean_near_center(self, pdf, rng):
+        samples = pdf.sample(rng, 5000)
+        assert abs(samples[:, 0].mean()) < 0.1
+        assert abs(samples[:, 1].mean()) < 0.1
+
+    def test_sample_radial_cdf_matches(self, pdf, rng):
+        samples = pdf.sample(rng, 5000)
+        radii = np.hypot(samples[:, 0], samples[:, 1])
+        empirical = np.mean(radii <= 1.0)
+        assert empirical == pytest.approx(pdf.radial_cdf(1.0), abs=0.03)
+
+    def test_negative_count_rejected(self, pdf, rng):
+        with pytest.raises(ValueError):
+            pdf.sample(rng, -1)

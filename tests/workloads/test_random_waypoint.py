@@ -1,0 +1,127 @@
+"""Tests for the paper's random-waypoint workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty.gaussian import TruncatedGaussianPDF
+from repro.uncertainty.uniform import UniformDiskPDF
+from repro.workloads.random_waypoint import (
+    MAX_SPEED_MILES_PER_MINUTE,
+    MIN_SPEED_MILES_PER_MINUTE,
+    RandomWaypointConfig,
+    generate_mod,
+    generate_trajectories,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        config = RandomWaypointConfig()
+        assert config.region_size_miles == 40.0
+        assert config.duration_minutes == 60.0
+        assert config.min_speed == pytest.approx(15.0 / 60.0)
+        assert config.max_speed == pytest.approx(60.0 / 60.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(num_objects=0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(region_size_miles=-1.0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(duration_minutes=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(min_speed=1.0, max_speed=0.5)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(segments_per_trajectory=0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(uncertainty_radius=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointConfig(pdf_family="exotic")
+
+    def test_make_pdf(self):
+        assert isinstance(RandomWaypointConfig().make_pdf(), UniformDiskPDF)
+        assert isinstance(
+            RandomWaypointConfig(pdf_family="gaussian").make_pdf(),
+            TruncatedGaussianPDF,
+        )
+
+
+class TestGeneration:
+    def test_object_count_and_ids(self):
+        trajectories = generate_trajectories(RandomWaypointConfig(num_objects=25, seed=1))
+        assert len(trajectories) == 25
+        assert [t.object_id for t in trajectories] == list(range(25))
+
+    def test_time_span_matches_duration(self):
+        trajectories = generate_trajectories(RandomWaypointConfig(num_objects=5, seed=1))
+        for trajectory in trajectories:
+            assert trajectory.start_time == 0.0
+            assert trajectory.end_time == pytest.approx(60.0)
+
+    def test_positions_stay_inside_region(self):
+        config = RandomWaypointConfig(num_objects=50, segments_per_trajectory=4, seed=2)
+        trajectories = generate_trajectories(config)
+        for trajectory in trajectories:
+            for sample in trajectory.samples:
+                assert 0.0 <= sample.x <= config.region_size_miles
+                assert 0.0 <= sample.y <= config.region_size_miles
+
+    def test_speeds_within_configured_range(self):
+        # With reflection at the boundary a leg's chord can only be shorter
+        # than the travelled distance, so speeds are bounded above by the max.
+        config = RandomWaypointConfig(num_objects=50, seed=3)
+        trajectories = generate_trajectories(config)
+        for trajectory in trajectories:
+            for segment in trajectory.segments():
+                assert segment.speed <= MAX_SPEED_MILES_PER_MINUTE + 1e-9
+
+    def test_most_speeds_reach_minimum(self):
+        config = RandomWaypointConfig(num_objects=200, seed=3)
+        trajectories = generate_trajectories(config)
+        speeds = [t.segments()[0].speed for t in trajectories]
+        slow = sum(1 for s in speeds if s < MIN_SPEED_MILES_PER_MINUTE - 1e-9)
+        # Only reflected trajectories can fall below the minimum chord speed.
+        assert slow / len(speeds) < 0.5
+
+    def test_segment_count_matches_config(self):
+        config = RandomWaypointConfig(num_objects=10, segments_per_trajectory=4, seed=4)
+        trajectories = generate_trajectories(config)
+        for trajectory in trajectories:
+            assert len(trajectory.segments()) == 4
+
+    def test_synchronized_velocity_changes(self):
+        config = RandomWaypointConfig(num_objects=10, segments_per_trajectory=3, seed=4)
+        trajectories = generate_trajectories(config)
+        expected_times = [0.0, 20.0, 40.0, 60.0]
+        for trajectory in trajectories:
+            assert trajectory.sample_times() == pytest.approx(expected_times)
+
+    def test_determinism_with_same_seed(self):
+        config = RandomWaypointConfig(num_objects=15, seed=42)
+        first = generate_trajectories(config)
+        second = generate_trajectories(config)
+        for a, b in zip(first, second):
+            assert a.samples == b.samples
+
+    def test_different_seeds_differ(self):
+        first = generate_trajectories(RandomWaypointConfig(num_objects=5, seed=1))
+        second = generate_trajectories(RandomWaypointConfig(num_objects=5, seed=2))
+        assert any(a.samples != b.samples for a, b in zip(first, second))
+
+    def test_uncertainty_metadata_propagates(self):
+        config = RandomWaypointConfig(num_objects=5, uncertainty_radius=1.25, seed=1)
+        trajectories = generate_trajectories(config)
+        for trajectory in trajectories:
+            assert trajectory.radius == pytest.approx(1.25)
+            assert trajectory.pdf.support_radius == pytest.approx(1.25)
+
+    def test_explicit_rng_overrides_seed(self):
+        config = RandomWaypointConfig(num_objects=5, seed=1)
+        custom = generate_trajectories(config, rng=np.random.default_rng(99))
+        default = generate_trajectories(config)
+        assert any(a.samples != b.samples for a, b in zip(custom, default))
+
+    def test_generate_mod(self):
+        mod = generate_mod(RandomWaypointConfig(num_objects=12, seed=6))
+        assert len(mod) == 12
+        assert mod.common_time_span() == (0.0, 60.0)

@@ -1,0 +1,79 @@
+"""Tests for the example-scenario generators."""
+
+import pytest
+
+from repro.workloads.scenarios import (
+    commuter_traffic,
+    convoy_with_stragglers,
+    delivery_fleet,
+    ride_hailing_snapshot,
+)
+
+
+class TestDeliveryFleet:
+    def test_sizes_and_ids(self):
+        mod = delivery_fleet(num_vans=6, num_stops=3)
+        assert len(mod) == 6
+        assert "van-0" in mod and "van-5" in mod
+
+    def test_vans_start_and_end_at_depot(self):
+        mod = delivery_fleet(num_vans=3, num_stops=2, region_size_miles=20.0)
+        depot = (10.0, 10.0)
+        for van in mod:
+            assert van.position_at(van.start_time).as_tuple() == pytest.approx(depot)
+            assert van.position_at(van.end_time).as_tuple() == pytest.approx(depot)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            delivery_fleet(num_vans=0)
+        with pytest.raises(ValueError):
+            delivery_fleet(num_stops=0)
+
+
+class TestCommuterTraffic:
+    def test_sizes(self):
+        mod = commuter_traffic(num_commuters=10)
+        assert len(mod) == 10
+
+    def test_commute_goes_west_to_east(self):
+        mod = commuter_traffic(num_commuters=20, region_size_miles=30.0)
+        for commuter in mod:
+            start = commuter.position_at(commuter.start_time)
+            end = commuter.position_at(commuter.end_time)
+            assert start.x < 10.0
+            assert end.x > 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            commuter_traffic(num_commuters=0)
+
+
+class TestConvoy:
+    def test_composition(self):
+        mod = convoy_with_stragglers(convoy_size=4, straggler_count=3)
+        ids = mod.object_ids
+        assert sum(1 for i in ids if str(i).startswith("convoy-")) == 4
+        assert sum(1 for i in ids if str(i).startswith("straggler-")) == 3
+
+    def test_convoy_members_stay_close(self):
+        mod = convoy_with_stragglers(convoy_size=3, straggler_count=0, spacing_miles=0.5)
+        lead = mod.get("convoy-0")
+        for other_id in ("convoy-1", "convoy-2"):
+            other = mod.get(other_id)
+            for t in (0.0, 30.0, 60.0):
+                assert lead.position_at(t).distance_to(other.position_at(t)) <= 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            convoy_with_stragglers(convoy_size=0)
+
+
+class TestRideHailing:
+    def test_sizes_and_span(self):
+        mod = ride_hailing_snapshot(num_drivers=8, horizon_minutes=20.0)
+        assert len(mod) == 8
+        assert mod.common_time_span() == (0.0, 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ride_hailing_snapshot(num_drivers=0)
