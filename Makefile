@@ -1,0 +1,21 @@
+# Convenience targets for the tier-1 suite, benchmarks, and linting.
+# Everything runs from the repo root with src/ on PYTHONPATH, so no install
+# step is required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_batch_engine.py --quick
+
+bench:
+	$(PYTHON) benchmarks/bench_batch_engine.py
+
+lint:
+	$(PYTHON) -m compileall -q src benchmarks examples
+	$(PYTHON) -c "import repro; import repro.engine; print('import ok:', repro.__version__)"

@@ -1,0 +1,119 @@
+"""Benchmark: batched engine preparation vs unfiltered per-query preparation.
+
+Sweeps the random-waypoint workload over database sizes and batch sizes and
+reports, per configuration:
+
+* per-query preparation latency through the :class:`repro.engine.QueryEngine`
+  (bulk-loaded STR R-tree, corridor candidate filtering, shared batch pass);
+* per-query latency of the unfiltered baseline (``QueryContext.from_mod``
+  with every candidate, the pre-engine code path);
+* the index filter ratio (candidates removed before envelope construction)
+  and the 4r-band pruning ratio among the remaining candidates;
+* cache-hit latency for a repeated (dashboard refresh) batch.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py --sizes 100 500 --batches 1 8
+
+The full default sweep (N ∈ {100, 500, 2000} × batches {1, 8, 32}) takes a
+few minutes on a laptop; ``--quick`` runs a reduced grid for smoke testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List
+
+from repro.core.queries import QueryContext
+from repro.engine import QueryEngine
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+#: Queries measured for the unfiltered baseline at each configuration; the
+#: baseline is per-query (no shared state), so a few samples suffice.
+BASELINE_SAMPLES = 4
+
+
+def build_mod(num_objects: int, seed: int = 7) -> MovingObjectsDatabase:
+    """The paper's random-waypoint workload at the requested size."""
+    config = RandomWaypointConfig(num_objects=num_objects, seed=seed)
+    return MovingObjectsDatabase(generate_trajectories(config))
+
+
+def pick_query_ids(mod: MovingObjectsDatabase, count: int) -> List[object]:
+    """Deterministic evenly-spread query ids."""
+    ids = mod.object_ids
+    stride = max(1, len(ids) // count)
+    return ids[:: stride][:count]
+
+
+def run_configuration(
+    mod: MovingObjectsDatabase, num_queries: int, max_workers: int | None
+) -> None:
+    lo, hi = mod.common_time_span()
+    query_ids = pick_query_ids(mod, num_queries)
+
+    engine = QueryEngine(mod, max_workers=max_workers)
+    batch = engine.prepare_batch(query_ids, lo, hi)
+    engine_per_query = batch.total_seconds / len(batch)
+
+    baseline_ids = query_ids[:BASELINE_SAMPLES]
+    started = time.perf_counter()
+    for query_id in baseline_ids:
+        QueryContext.from_mod(mod, query_id, lo, hi)
+    baseline_per_query = (time.perf_counter() - started) / len(baseline_ids)
+
+    refreshed = engine.prepare_batch(query_ids, lo, hi)
+    refresh_per_query = refreshed.total_seconds / len(refreshed)
+
+    kept = [p.candidate_count for p in batch]
+    band_pruning = batch.mean_band_pruning_ratio()
+    speedup = baseline_per_query / engine_per_query if engine_per_query else float("inf")
+    print(
+        f"  Q={num_queries:3d}  engine {engine_per_query * 1000.0:8.1f} ms/q"
+        f"  unfiltered {baseline_per_query * 1000.0:8.1f} ms/q"
+        f"  speedup {speedup:4.2f}x"
+        f"  cached {refresh_per_query * 1e6:7.0f} us/q"
+    )
+    print(
+        f"         filter kept {min(kept)}-{max(kept)} of {len(mod) - 1} candidates"
+        f" (filter ratio {batch.mean_filter_ratio:5.1%},"
+        f" band pruning of survivors {band_pruning:5.1%})"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100, 500, 2000],
+        help="database sizes to sweep",
+    )
+    parser.add_argument(
+        "--batches", type=int, nargs="+", default=[1, 8, 32],
+        help="concurrent query batch sizes to sweep",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="thread pool size for batch preparation (default: serial)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (sizes 100/500, batches 1/8) for smoke tests",
+    )
+    args = parser.parse_args()
+    sizes = [100, 500] if args.quick else args.sizes
+    batches = [1, 8] if args.quick else args.batches
+
+    print("batched engine vs unfiltered per-query preparation")
+    print(f"(random-waypoint workload; baseline sampled over {BASELINE_SAMPLES} queries)")
+    for num_objects in sizes:
+        mod = build_mod(num_objects)
+        print(f"N={num_objects} objects:")
+        for num_queries in batches:
+            run_configuration(mod, num_queries, args.workers)
+
+
+if __name__ == "__main__":
+    main()

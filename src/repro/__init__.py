@@ -21,6 +21,7 @@ from .core import (
     QueryContext,
     build_ipac_tree,
 )
+from .engine import BatchResult, PreparedQuery, QueryEngine
 from .trajectories import (
     MovingObjectsDatabase,
     Trajectory,
@@ -33,14 +34,17 @@ from .workloads import RandomWaypointConfig, generate_mod, generate_trajectories
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchResult",
     "ConePDF",
     "ContinuousProbabilisticNNQuery",
     "CrispPDF",
     "IPACNode",
     "IPACTree",
     "MovingObjectsDatabase",
+    "PreparedQuery",
     "ProbabilityDescriptor",
     "QueryContext",
+    "QueryEngine",
     "RandomWaypointConfig",
     "Trajectory",
     "TrajectorySample",

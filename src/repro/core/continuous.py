@@ -19,7 +19,6 @@ from typing import List, Optional, Sequence, Tuple
 from ..index.grid import GridIndex
 from ..index.rtree import STRRTree
 from ..trajectories.mod import MovingObjectsDatabase
-from ..uncertainty.within_distance import effective_pruning_radius
 from .answer import IPACTree
 from .descriptors import annotate_tree
 from .queries import QueryContext
@@ -97,15 +96,7 @@ class ContinuousProbabilisticNNQuery:
 
     def _default_band_width(self) -> float:
         """``2·(support_i + support_q)`` maximized over the stored pdfs (= 4r)."""
-        query_pdf = self.query.pdf
-        widths = [
-            effective_pruning_radius(trajectory.pdf, query_pdf)
-            for trajectory in self.mod
-            if trajectory.object_id != self.query.object_id
-        ]
-        if not widths:
-            raise ValueError("the database holds no candidate trajectories")
-        return max(widths)
+        return self.mod.default_band_width(self.query.object_id)
 
     def _index_corridor_radius(self) -> float:
         """Corridor radius for index pre-filtering.

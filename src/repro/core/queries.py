@@ -94,6 +94,43 @@ class QueryContext:
             envelope=envelope,
         )
 
+    @staticmethod
+    def from_mod(
+        mod,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        band_width: Optional[float] = None,
+        candidate_ids: Optional[Sequence[object]] = None,
+    ) -> "QueryContext":
+        """Build a context from a MOD, optionally restricted to pre-filtered candidates.
+
+        This is the seam the batched :class:`repro.engine.QueryEngine` uses:
+        an index probe produces ``candidate_ids`` and the expensive difference
+        function + envelope construction only runs over that subset.
+
+        Args:
+            mod: a :class:`repro.trajectories.mod.MovingObjectsDatabase`.
+            query_id: id of the query trajectory (must be stored).
+            t_start: query window start.
+            t_end: query window end.
+            band_width: pruning band width; defaults to the MOD's
+                ``default_band_width`` (the paper's ``4r``).
+            candidate_ids: restrict to these objects, e.g. the output of an
+                index corridor probe; defaults to every other stored object.
+        """
+        if band_width is None:
+            band_width = mod.default_band_width(query_id)
+        functions = mod.distance_functions(
+            query_id, t_start, t_end, candidate_ids=candidate_ids
+        )
+        if not functions:
+            raise ValueError(
+                "no candidate trajectories cover the query window; "
+                "check the window or the candidate filter"
+            )
+        return QueryContext.build(functions, query_id, t_start, t_end, band_width)
+
     # ------------------------------------------------------------------
     # Shared lazily-computed artefacts.
     # ------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Batched multi-query serving on top of the paper's query machinery.
+
+The :class:`QueryEngine` bulk-loads a spatio-temporal index once, shrinks
+each query's candidate set with a provably safe corridor probe, prepares
+whole batches of :class:`~repro.core.queries.QueryContext`s (optionally on a
+thread pool), and memoizes them in an LRU cache — the architectural seam the
+scaling roadmap (sharding, async serving, distributed caching) builds on.
+"""
+
+from .cache import CacheInfo, ContextCache, context_key
+from .engine import BatchResult, PreparedQuery, QueryEngine
+from .filtering import (
+    TrajectoryArrays,
+    conservative_corridor_radius,
+    filter_candidates,
+    max_pairwise_distance,
+)
+
+__all__ = [
+    "BatchResult",
+    "CacheInfo",
+    "ContextCache",
+    "PreparedQuery",
+    "QueryEngine",
+    "TrajectoryArrays",
+    "conservative_corridor_radius",
+    "context_key",
+    "filter_candidates",
+    "max_pairwise_distance",
+]

@@ -1,0 +1,433 @@
+"""The batched multi-query engine.
+
+:class:`QueryEngine` is the serving-side counterpart of the per-query
+:class:`~repro.core.continuous.ContinuousProbabilisticNNQuery` façade.  It
+amortizes the costs a production deployment pays once per *database* rather
+than once per *query*:
+
+* the spatio-temporal index (STR R-tree or grid) is bulk-loaded once and
+  shared by every query served;
+* each query's candidate set is shrunk by a provably safe corridor probe
+  (:mod:`repro.engine.filtering`) before the O(N log N) difference-function
+  and envelope construction runs;
+* batches of query ids are prepared in one pass, optionally on a
+  ``concurrent.futures`` thread pool;
+* prepared :class:`~repro.core.queries.QueryContext`s are memoized in an
+  LRU cache keyed by (query id, window, band width), so re-evaluating a
+  continuous query on a refreshed dashboard is a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.queries import QueryContext
+from ..trajectories.mod import MovingObjectsDatabase
+from .cache import CacheInfo, ContextCache
+from .filtering import TrajectoryArrays, all_other_ids, filter_candidates
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedQuery:
+    """One query's prepared context plus the preparation telemetry.
+
+    Attributes:
+        query_id: id of the query trajectory.
+        context: the prepared :class:`QueryContext`.
+        candidate_count: candidates that entered envelope construction.
+        total_candidates: stored objects other than the query.
+        corridor_radius: index probe radius used (``None`` when unfiltered).
+        from_cache: whether the context came from the LRU cache.
+        prepare_seconds: wall-clock preparation time for this query.
+    """
+
+    query_id: object
+    context: QueryContext
+    candidate_count: int
+    total_candidates: int
+    corridor_radius: Optional[float]
+    from_cache: bool
+    prepare_seconds: float
+
+    @property
+    def filter_ratio(self) -> float:
+        """Fraction of candidates removed by the index filter."""
+        if self.total_candidates == 0:
+            return 0.0
+        return 1.0 - self.candidate_count / self.total_candidates
+
+    def band_pruning_ratio(self) -> float:
+        """Fraction of the *filtered* candidates pruned by the 4r band."""
+        return self.context.pruning_statistics().pruning_ratio
+
+
+@dataclass
+class BatchResult:
+    """Outcome of preparing one batch of queries."""
+
+    prepared: List[PreparedQuery]
+    total_seconds: float
+    cache_info: CacheInfo
+
+    def __iter__(self):
+        return iter(self.prepared)
+
+    def __len__(self) -> int:
+        return len(self.prepared)
+
+    @property
+    def contexts(self) -> Dict[object, QueryContext]:
+        """Prepared contexts keyed by query id."""
+        return {item.query_id: item.context for item in self.prepared}
+
+    @property
+    def mean_prepare_seconds(self) -> float:
+        """Mean per-query preparation time."""
+        if not self.prepared:
+            return 0.0
+        return sum(item.prepare_seconds for item in self.prepared) / len(self.prepared)
+
+    @property
+    def mean_filter_ratio(self) -> float:
+        """Mean fraction of candidates removed by the index filter."""
+        if not self.prepared:
+            return 0.0
+        return sum(item.filter_ratio for item in self.prepared) / len(self.prepared)
+
+    def mean_band_pruning_ratio(self) -> float:
+        """Mean 4r-band pruning ratio over the batch (triggers band pruning)."""
+        if not self.prepared:
+            return 0.0
+        return sum(item.band_pruning_ratio() for item in self.prepared) / len(
+            self.prepared
+        )
+
+
+class QueryEngine:
+    """Prepares and serves batches of continuous probabilistic NN queries.
+
+    Args:
+        mod: the moving objects database to serve queries against.
+        index: ``"rtree"`` (default) or ``"grid"`` to build that index over
+            the MOD, ``None`` to disable candidate filtering, or a prebuilt
+            index object answering ``query_corridor`` probes.
+        leaf_capacity: R-tree leaf capacity when building an R-tree.
+        grid_cells: cells per axis when building a grid.
+        max_workers: when > 1, prepare batch members on a thread pool of
+            this size; ``None``/1 prepares serially.
+        cache_size: capacity of the LRU context cache.
+    """
+
+    def __init__(
+        self,
+        mod: MovingObjectsDatabase,
+        index: object = "rtree",
+        *,
+        leaf_capacity: int = 16,
+        grid_cells: int = 32,
+        max_workers: Optional[int] = None,
+        cache_size: int = 256,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if isinstance(index, str) and index not in ("rtree", "grid"):
+            raise ValueError(
+                f"unknown index kind {index!r} (expected 'rtree', 'grid', None, "
+                "or a prebuilt index object)"
+            )
+        self.mod = mod
+        self._index_kind = index if index in ("rtree", "grid") else None
+        self._leaf_capacity = leaf_capacity
+        self._grid_cells = grid_cells
+        if index == "rtree":
+            self._index = mod.build_index("rtree", leaf_capacity=leaf_capacity)
+        elif index == "grid":
+            self._index = mod.build_index("grid", cells=grid_cells)
+        else:
+            self._index = index  # prebuilt index object or None
+        self._max_workers = max_workers
+        self._cache_size = cache_size
+        self._cache = ContextCache(max_size=cache_size)
+        self._arrays = TrajectoryArrays()
+        self._band_widths: Dict[object, float] = {}
+        self._mod_revision = mod.revision
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self):
+        """The shared spatio-temporal index (``None`` when filtering is off)."""
+        return self._index
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the context cache."""
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        """Drop every cached context."""
+        self._cache.clear()
+
+    def invalidate(self, query_id: object) -> int:
+        """Drop cached contexts of one query (e.g. after a trajectory update)."""
+        self._arrays.invalidate(query_id)
+        return self._cache.invalidate(query_id)
+
+    def _default_band_width(self, query_id: object) -> float:
+        """The MOD's default 4r band width, memoized until the MOD changes.
+
+        The value depends only on the stored pdf supports, but computing it
+        scans every trajectory; memoizing keeps fully cached batch refreshes
+        at dictionary-lookup cost.
+        """
+        width = self._band_widths.get(query_id)
+        if width is None:
+            width = self.mod.default_band_width(query_id)
+            self._band_widths[query_id] = width
+        return width
+
+    def _refresh_after_mod_change(self) -> None:
+        """Resynchronize derived state when the MOD contents changed.
+
+        Cached contexts and position arrays are computed against a snapshot
+        of the store, and an engine-built index no longer covers added
+        objects, so all three are rebuilt.  A caller-supplied index cannot be
+        rebuilt here; the caller owns its freshness, and the engine only
+        drops its own caches.
+        """
+        if self.mod.revision == self._mod_revision:
+            return
+        if self._index_kind == "rtree":
+            self._index = self.mod.build_index(
+                "rtree", leaf_capacity=self._leaf_capacity
+            )
+        elif self._index_kind == "grid":
+            self._index = self.mod.build_index("grid", cells=self._grid_cells)
+        self._cache = ContextCache(max_size=self._cache_size)
+        self._arrays = TrajectoryArrays()
+        self._band_widths = {}
+        self._mod_revision = self.mod.revision
+
+    # ------------------------------------------------------------------
+    # Candidate filtering.
+    # ------------------------------------------------------------------
+
+    def candidate_ids(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        band_width: Optional[float] = None,
+    ) -> List[object]:
+        """Index-filtered candidate ids for one query (safe superset of survivors).
+
+        Falls back to every other stored object when the engine has no index.
+        """
+        self._refresh_after_mod_change()
+        if band_width is None:
+            band_width = self._default_band_width(query_id)
+        if self._index is None:
+            return all_other_ids(self.mod, query_id)
+        candidates, _ = filter_candidates(
+            self.mod, self._index, query_id, t_start, t_end, band_width, self._arrays
+        )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Preparation.
+    # ------------------------------------------------------------------
+
+    def prepare(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        band_width: Optional[float] = None,
+        use_index: bool = True,
+    ) -> PreparedQuery:
+        """Prepare (or fetch from cache) the context of one query."""
+        if t_end < t_start:
+            raise ValueError(f"empty query window [{t_start}, {t_end}]")
+        self._refresh_after_mod_change()
+        if band_width is None:
+            band_width = self._default_band_width(query_id)
+        started = time.perf_counter()
+        # Unfiltered preparations (use_index=False) exist to *measure* the
+        # no-filter path, so they bypass the cache in both directions.
+        cached = (
+            self._cache.get(query_id, t_start, t_end, band_width)
+            if use_index
+            else None
+        )
+        if cached is not None:
+            return PreparedQuery(
+                query_id=query_id,
+                context=cached,
+                candidate_count=len(cached.functions),
+                total_candidates=len(self.mod) - 1,
+                corridor_radius=None,
+                from_cache=True,
+                prepare_seconds=time.perf_counter() - started,
+            )
+        prepared = self._prepare_uncached(
+            query_id, t_start, t_end, band_width, use_index, started
+        )
+        if use_index:
+            self._cache.put(query_id, t_start, t_end, band_width, prepared.context)
+        return prepared
+
+    def prepare_batch(
+        self,
+        query_ids: Sequence[object],
+        t_start: float,
+        t_end: float,
+        band_width: Optional[float] = None,
+        use_index: bool = True,
+    ) -> BatchResult:
+        """Prepare a batch of queries over a shared window in one pass.
+
+        Cached members are served immediately; the remainder are built
+        serially or on a thread pool, depending on ``max_workers``.
+
+        Args:
+            query_ids: ids of the query trajectories (duplicates allowed; the
+                second occurrence hits the cache populated by the first).
+            t_start: shared window start.
+            t_end: shared window end.
+            band_width: shared band width; per-query default when ``None``.
+            use_index: disable to measure unfiltered preparation.
+        """
+        if t_end < t_start:
+            raise ValueError(f"empty query window [{t_start}, {t_end}]")
+        self._refresh_after_mod_change()
+        batch_started = time.perf_counter()
+        widths = {
+            query_id: (
+                band_width
+                if band_width is not None
+                else self._default_band_width(query_id)
+            )
+            for query_id in query_ids
+        }
+
+        results: Dict[int, PreparedQuery] = {}
+        pending: List[int] = []
+        for position, query_id in enumerate(query_ids):
+            started = time.perf_counter()
+            cached = (
+                self._cache.get(query_id, t_start, t_end, widths[query_id])
+                if use_index
+                else None
+            )
+            if cached is not None:
+                results[position] = PreparedQuery(
+                    query_id=query_id,
+                    context=cached,
+                    candidate_count=len(cached.functions),
+                    total_candidates=len(self.mod) - 1,
+                    corridor_radius=None,
+                    from_cache=True,
+                    prepare_seconds=time.perf_counter() - started,
+                )
+            else:
+                pending.append(position)
+
+        def build(position: int) -> PreparedQuery:
+            query_id = query_ids[position]
+            return self._prepare_uncached(
+                query_id,
+                t_start,
+                t_end,
+                widths[query_id],
+                use_index,
+                time.perf_counter(),
+            )
+
+        # Deduplicate concurrent builds of the same (query, band) pair: only
+        # the first position builds, later duplicates reuse its context.
+        first_build: Dict[object, int] = {}
+        duplicates: List[int] = []
+        builders: List[int] = []
+        for position in pending:
+            key = (query_ids[position], widths[query_ids[position]])
+            if key in first_build:
+                duplicates.append(position)
+            else:
+                first_build[key] = position
+                builders.append(position)
+
+        if self._max_workers and self._max_workers > 1 and len(builders) > 1:
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                built = list(pool.map(build, builders))
+        else:
+            built = [build(position) for position in builders]
+        for position, prepared in zip(builders, built):
+            results[position] = prepared
+            if use_index:
+                self._cache.put(
+                    prepared.query_id, t_start, t_end,
+                    widths[prepared.query_id], prepared.context,
+                )
+        for position in duplicates:
+            key = (query_ids[position], widths[query_ids[position]])
+            original = results[first_build[key]]
+            results[position] = PreparedQuery(
+                query_id=original.query_id,
+                context=original.context,
+                candidate_count=original.candidate_count,
+                total_candidates=original.total_candidates,
+                corridor_radius=original.corridor_radius,
+                from_cache=True,
+                prepare_seconds=0.0,
+            )
+
+        ordered = [results[position] for position in range(len(query_ids))]
+        return BatchResult(
+            prepared=ordered,
+            total_seconds=time.perf_counter() - batch_started,
+            cache_info=self._cache.info(),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _prepare_uncached(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        band_width: float,
+        use_index: bool,
+        started: float,
+    ) -> PreparedQuery:
+        corridor: Optional[float] = None
+        candidate_ids: Optional[List[object]] = None
+        # A zero-length window cannot be sliced into probe segments (and the
+        # preparation it gates is trivial anyway), so it skips the filter.
+        if use_index and self._index is not None and t_end > t_start:
+            candidate_ids, corridor = filter_candidates(
+                self.mod, self._index, query_id, t_start, t_end, band_width,
+                self._arrays,
+            )
+        context = QueryContext.from_mod(
+            self.mod,
+            query_id,
+            t_start,
+            t_end,
+            band_width=band_width,
+            candidate_ids=candidate_ids,
+        )
+        return PreparedQuery(
+            query_id=query_id,
+            context=context,
+            candidate_count=len(context.functions),
+            total_candidates=len(self.mod) - 1,
+            corridor_radius=corridor,
+            from_cache=False,
+            prepare_seconds=time.perf_counter() - started,
+        )

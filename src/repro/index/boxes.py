@@ -7,6 +7,7 @@ anywhere near the probed region.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -102,29 +103,64 @@ class IndexEntry:
 
 
 def segment_boxes(
-    trajectory: Trajectory, spatial_margin: float | None = None
+    trajectory: Trajectory,
+    spatial_margin: float | None = None,
+    max_extent: float | None = None,
 ) -> List[IndexEntry]:
-    """One index entry per segment of a trajectory.
+    """Index entries covering a trajectory, one or more per segment.
+
+    A long diagonal segment has a bounding box whose area vastly exceeds the
+    swept corridor (the classic R-tree dead-space problem), which ruins the
+    selectivity of corridor probes.  Passing ``max_extent`` subdivides each
+    segment into equal time slices until every slice's unexpanded spatial
+    extent is at most ``max_extent`` per axis, trading a few more entries for
+    near-tight coverage of the polyline in *both* space and time.
 
     Args:
         trajectory: the trajectory to index.
         spatial_margin: extra spatial slack around the expected polyline; by
             default the uncertainty radius of an :class:`UncertainTrajectory`
             and zero for a crisp one.
+        max_extent: maximum per-axis spatial extent of one entry's unexpanded
+            box; ``None`` keeps one box per segment.
     """
     if spatial_margin is None:
         spatial_margin = (
             trajectory.radius if isinstance(trajectory, UncertainTrajectory) else 0.0
         )
+    if max_extent is not None and max_extent <= 0:
+        raise ValueError("max_extent must be positive")
     entries = []
     for segment in trajectory.segments():
-        x_lo, y_lo, x_hi, y_hi = segment.expanded_spatial_bounds(spatial_margin)
-        entries.append(
-            IndexEntry(
-                Box3D(x_lo, y_lo, segment.t_start, x_hi, y_hi, segment.t_end),
-                trajectory.object_id,
-            )
+        span = max(
+            abs(segment.end.x - segment.start.x),
+            abs(segment.end.y - segment.start.y),
         )
+        slices = 1
+        if max_extent is not None and span > max_extent:
+            slices = math.ceil(span / max_extent)
+        for index in range(slices):
+            f_lo = index / slices
+            f_hi = (index + 1) / slices
+            x_a = segment.start.x + (segment.end.x - segment.start.x) * f_lo
+            y_a = segment.start.y + (segment.end.y - segment.start.y) * f_lo
+            x_b = segment.start.x + (segment.end.x - segment.start.x) * f_hi
+            y_b = segment.start.y + (segment.end.y - segment.start.y) * f_hi
+            t_a = segment.t_start + segment.duration * f_lo
+            t_b = segment.t_start + segment.duration * f_hi
+            entries.append(
+                IndexEntry(
+                    Box3D(
+                        min(x_a, x_b) - spatial_margin,
+                        min(y_a, y_b) - spatial_margin,
+                        t_a,
+                        max(x_a, x_b) + spatial_margin,
+                        max(y_a, y_b) + spatial_margin,
+                        t_b,
+                    ),
+                    trajectory.object_id,
+                )
+            )
     return entries
 
 

@@ -27,11 +27,13 @@ class GridIndex:
         x_max: float,
         y_max: float,
         cells: int = 32,
+        max_box_extent: float | None = None,
     ):
         if x_max <= x_min or y_max <= y_min:
             raise ValueError("the region must have positive extent")
         if cells < 1:
             raise ValueError("the grid needs at least one cell per axis")
+        self._max_box_extent = max_box_extent
         self._x_min = x_min
         self._y_min = y_min
         self._x_max = x_max
@@ -58,7 +60,9 @@ class GridIndex:
 
     def insert_trajectory(self, trajectory: Trajectory, spatial_margin: float | None = None) -> None:
         """Register every segment of a trajectory."""
-        for entry in segment_boxes(trajectory, spatial_margin):
+        for entry in segment_boxes(
+            trajectory, spatial_margin, max_extent=self._max_box_extent
+        ):
             self.insert_entry(entry)
 
     def insert_all(self, trajectories: Iterable[Trajectory]) -> None:
@@ -93,8 +97,13 @@ class GridIndex:
         clipped = trajectory.clipped(
             max(t_lo, trajectory.start_time), min(t_hi, trajectory.end_time)
         )
+        probe_extent = (
+            None
+            if self._max_box_extent is None
+            else max(self._max_box_extent, distance)
+        )
         found: Set[object] = set()
-        for entry in segment_boxes(clipped, spatial_margin=0.0):
+        for entry in segment_boxes(clipped, spatial_margin=0.0, max_extent=probe_extent):
             probe = entry.box.expanded(distance)
             found.update(self.query_box(probe))
         found.discard(trajectory.object_id)
@@ -122,7 +131,10 @@ class GridIndex:
 
     @staticmethod
     def covering(
-        trajectories: Sequence[Trajectory], cells: int = 32, margin: float = 1.0
+        trajectories: Sequence[Trajectory],
+        cells: int = 32,
+        margin: float = 1.0,
+        max_box_extent: float | None = None,
     ) -> "GridIndex":
         """Build a grid whose region covers all the given trajectories."""
         if not trajectories:
@@ -132,6 +144,8 @@ class GridIndex:
         y_min = min(b[1] for b in bounds) - margin
         x_max = max(b[2] for b in bounds) + margin
         y_max = max(b[3] for b in bounds) + margin
-        index = GridIndex(x_min, y_min, x_max, y_max, cells=cells)
+        index = GridIndex(
+            x_min, y_min, x_max, y_max, cells=cells, max_box_extent=max_box_extent
+        )
         index.insert_all(trajectories)
         return index

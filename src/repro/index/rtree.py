@@ -38,10 +38,16 @@ class _Node:
 class STRRTree:
     """Sort-Tile-Recursive bulk-loaded, read-only R-tree."""
 
-    def __init__(self, entries: Sequence[IndexEntry], leaf_capacity: int = 16):
+    def __init__(
+        self,
+        entries: Sequence[IndexEntry],
+        leaf_capacity: int = 16,
+        max_box_extent: Optional[float] = None,
+    ):
         if leaf_capacity < 2:
             raise ValueError("leaf capacity must be at least 2")
         self._leaf_capacity = leaf_capacity
+        self._max_box_extent = max_box_extent
         self._size = len(entries)
         self._root: Optional[_Node] = (
             self._bulk_load(list(entries)) if entries else None
@@ -130,6 +136,16 @@ class STRRTree:
             node = stack.pop()
             if not node.box.intersects(box):
                 continue
+            if box.contains(node.box):
+                # Whole subtree lies inside the probe: collect without tests.
+                subtree = [node]
+                while subtree:
+                    inner = subtree.pop()
+                    if inner.is_leaf:
+                        found.update(entry.object_id for entry in inner.entries)
+                    else:
+                        subtree.extend(inner.children)
+                continue
             if node.is_leaf:
                 for entry in node.entries:
                     if entry.box.intersects(box):
@@ -151,8 +167,15 @@ class STRRTree:
         clipped = trajectory.clipped(
             max(t_lo, trajectory.start_time), min(t_hi, trajectory.end_time)
         )
+        # Probe granularity scales with the corridor width: slicing finer
+        # than the expansion radius only multiplies near-identical probes.
+        probe_extent = (
+            None
+            if self._max_box_extent is None
+            else max(self._max_box_extent, distance)
+        )
         found: Set[object] = set()
-        for entry in segment_boxes(clipped, spatial_margin=0.0):
+        for entry in segment_boxes(clipped, spatial_margin=0.0, max_extent=probe_extent):
             found.update(self.query_box(entry.box.expanded(distance)))
         found.discard(trajectory.object_id)
         return found
@@ -166,9 +189,19 @@ class STRRTree:
         trajectories: Iterable[Trajectory],
         spatial_margin: float | None = None,
         leaf_capacity: int = 16,
+        max_box_extent: float | None = None,
     ) -> "STRRTree":
-        """Bulk load a tree from the segment boxes of several trajectories."""
+        """Bulk load a tree from the segment boxes of several trajectories.
+
+        ``max_box_extent`` subdivides long segments into several tighter
+        entries (see :func:`repro.index.boxes.segment_boxes`); corridor
+        probes then use the same subdivision on the query side.
+        """
         entries: List[IndexEntry] = []
         for trajectory in trajectories:
-            entries.extend(segment_boxes(trajectory, spatial_margin))
-        return STRRTree(entries, leaf_capacity=leaf_capacity)
+            entries.extend(
+                segment_boxes(trajectory, spatial_margin, max_extent=max_box_extent)
+            )
+        return STRRTree(
+            entries, leaf_capacity=leaf_capacity, max_box_extent=max_box_extent
+        )

@@ -20,9 +20,19 @@ class MovingObjectsDatabase:
 
     def __init__(self, trajectories: Optional[Iterable[UncertainTrajectory]] = None):
         self._trajectories: Dict[object, UncertainTrajectory] = {}
+        self._revision = 0
         if trajectories is not None:
             for trajectory in trajectories:
                 self.add(trajectory)
+
+    @property
+    def revision(self) -> int:
+        """Monotonic change counter, bumped on every add/remove.
+
+        Lets derived structures (indexes, flattened position arrays) detect
+        staleness without hashing the whole store.
+        """
+        return self._revision
 
     # ------------------------------------------------------------------
     # Store operations.
@@ -35,6 +45,7 @@ class MovingObjectsDatabase:
         if trajectory.object_id in self._trajectories:
             raise KeyError(f"object id {trajectory.object_id!r} already stored")
         self._trajectories[trajectory.object_id] = trajectory
+        self._revision += 1
 
     def add_all(self, trajectories: Iterable[UncertainTrajectory]) -> None:
         """Insert several trajectories."""
@@ -49,6 +60,7 @@ class MovingObjectsDatabase:
         """
         if object_id not in self._trajectories:
             raise KeyError(f"unknown object id {object_id!r}")
+        self._revision += 1
         return self._trajectories.pop(object_id)
 
     def get(self, object_id: object) -> UncertainTrajectory:
@@ -112,6 +124,95 @@ class MovingObjectsDatabase:
                 f"trajectories have heterogeneous uncertainty radii: {sorted(radii)}"
             )
         return next(iter(radii))
+
+    # ------------------------------------------------------------------
+    # Index support.
+    # ------------------------------------------------------------------
+
+    def default_band_width(self, query_id: object) -> float:
+        """``2·(support_i + support_q)`` maximized over the stored pdfs (= 4r).
+
+        Raises:
+            ValueError: when the MOD holds no candidate besides the query.
+        """
+        from ..uncertainty.within_distance import effective_pruning_radius
+
+        query_pdf = self.get(query_id).pdf
+        widths = [
+            effective_pruning_radius(trajectory.pdf, query_pdf)
+            for trajectory in self._trajectories.values()
+            if trajectory.object_id != query_id
+        ]
+        if not widths:
+            raise ValueError("the database holds no candidate trajectories")
+        return max(widths)
+
+    def build_index(
+        self,
+        kind: str = "rtree",
+        leaf_capacity: int = 16,
+        cells: int = 32,
+        margin: float = 1.0,
+        max_box_extent: float | str | None = "auto",
+    ):
+        """Build a spatio-temporal index over every stored trajectory.
+
+        Args:
+            kind: ``"rtree"`` for the STR bulk-loaded R-tree, ``"grid"`` for
+                the uniform grid.
+            leaf_capacity: R-tree leaf/fan-out capacity.
+            cells: grid cells per axis.
+            margin: extra spatial slack around the grid region.
+            max_box_extent: per-axis cap on one entry's unexpanded box so
+                long segments are indexed as several tight slices;
+                ``"auto"`` picks 1/32 of the populated region's larger side,
+                ``None`` keeps one box per segment.
+
+        Returns:
+            An index object answering ``query_box``/``query_corridor`` probes.
+        """
+        from ..index.grid import GridIndex
+        from ..index.rtree import STRRTree
+
+        if not self._trajectories:
+            raise ValueError("cannot index an empty database")
+        trajectories = list(self._trajectories.values())
+        if max_box_extent == "auto":
+            bounds = [t.spatial_bounds() for t in trajectories]
+            x_span = max(b[2] for b in bounds) - min(b[0] for b in bounds)
+            y_span = max(b[3] for b in bounds) - min(b[1] for b in bounds)
+            span = max(x_span, y_span)
+            max_box_extent = span / 32.0 if span > 0 else None
+        if kind == "rtree":
+            return STRRTree.from_trajectories(
+                trajectories,
+                leaf_capacity=leaf_capacity,
+                max_box_extent=max_box_extent,
+            )
+        if kind == "grid":
+            return GridIndex.covering(
+                trajectories, cells=cells, margin=margin, max_box_extent=max_box_extent
+            )
+        raise ValueError(f"unknown index kind {kind!r} (expected 'rtree' or 'grid')")
+
+    def candidates_within_corridor(
+        self,
+        query_id: object,
+        corridor: float,
+        t_lo: float,
+        t_hi: float,
+        index,
+    ) -> List[object]:
+        """Candidate ids whose indexed boxes come within ``corridor`` of the query.
+
+        A thin wrapper over ``index.query_corridor`` that excludes the query
+        itself and returns a deterministic (string-sorted) order so batched
+        runs are reproducible.
+        """
+        query = self.get(query_id)
+        found = index.query_corridor(query, corridor, t_lo, t_hi)
+        found.discard(query_id)
+        return sorted((object_id for object_id in found if object_id in self), key=str)
 
     # ------------------------------------------------------------------
     # Query support.

@@ -11,6 +11,7 @@ from .scenarios import (
     commuter_traffic,
     convoy_with_stragglers,
     delivery_fleet,
+    multi_query_fleet,
     ride_hailing_snapshot,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "delivery_fleet",
     "generate_mod",
     "generate_trajectories",
+    "multi_query_fleet",
     "ride_hailing_snapshot",
 ]

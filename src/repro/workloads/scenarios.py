@@ -11,13 +11,16 @@ on recognizable situations rather than pure noise:
 * :func:`commuter_traffic` — commuters driving between home and work zones
   across town at rush hour;
 * :func:`convoy_with_stragglers` — a tight convoy plus stragglers, useful to
-  show rank-k (Category 2) queries doing something interesting.
+  show rank-k (Category 2) queries doing something interesting;
+* :func:`multi_query_fleet` — a city-scale mixed fleet plus a set of
+  dispatcher-monitored vehicle ids, the input shape of the batched
+  :class:`~repro.engine.QueryEngine`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -161,6 +164,86 @@ def convoy_with_stragglers(
             )
         )
     return MovingObjectsDatabase(trajectories)
+
+
+def multi_query_fleet(
+    num_vehicles: int = 60,
+    num_queries: int = 8,
+    num_depots: int = 3,
+    region_size_miles: float = 25.0,
+    shift_minutes: float = 90.0,
+    uncertainty_radius: float = 0.3,
+    seed: int = 29,
+) -> Tuple[MovingObjectsDatabase, List[object]]:
+    """A mixed city fleet plus the vehicle ids a dispatcher monitors.
+
+    The world mixes two populations sharing one shift window:
+
+    * two thirds of the vehicles are *depot vans*: each is attached to one of
+      ``num_depots`` depots, drives out to two jobs, and returns — so vans of
+      the same depot genuinely interact (several plausible nearest
+      neighbors);
+    * the rest is *through traffic* crossing the region on straight legs.
+
+    Every ``num_vehicles / num_queries``-th vehicle is monitored, which is
+    exactly the batched-workload shape the :class:`~repro.engine.QueryEngine`
+    serves: many concurrent continuous queries against one MOD.
+
+    Returns:
+        ``(mod, query_ids)`` — ids are ``"veh-<k>"`` strings.
+    """
+    if num_vehicles < 2:
+        raise ValueError("need at least two vehicles")
+    if not 1 <= num_queries <= num_vehicles:
+        raise ValueError("need between 1 and num_vehicles query vehicles")
+    if num_depots < 1:
+        raise ValueError("need at least one depot")
+    rng = np.random.default_rng(seed)
+    pdf = UniformDiskPDF(uncertainty_radius)
+    depots = [
+        (
+            rng.uniform(region_size_miles * 0.25, region_size_miles * 0.75),
+            rng.uniform(region_size_miles * 0.25, region_size_miles * 0.75),
+        )
+        for _ in range(num_depots)
+    ]
+    van_count = (2 * num_vehicles) // 3
+
+    trajectories: List[UncertainTrajectory] = []
+    for vehicle in range(num_vehicles):
+        if vehicle < van_count:
+            depot = depots[vehicle % num_depots]
+            jobs = [
+                (
+                    min(region_size_miles, max(0.0, depot[0] + rng.normal(0.0, region_size_miles / 6.0))),
+                    min(region_size_miles, max(0.0, depot[1] + rng.normal(0.0, region_size_miles / 6.0))),
+                )
+                for _ in range(2)
+            ]
+            waypoints = [depot, *jobs, depot]
+        else:
+            edge_in = rng.uniform(0.0, region_size_miles, 2)
+            edge_out = rng.uniform(0.0, region_size_miles, 2)
+            mid = rng.uniform(region_size_miles * 0.2, region_size_miles * 0.8, 2)
+            waypoints = [
+                (edge_in[0], edge_in[1]),
+                (mid[0], mid[1]),
+                (edge_out[0], edge_out[1]),
+            ]
+        leg_minutes = shift_minutes / (len(waypoints) - 1)
+        samples = [
+            TrajectorySample(x, y, index * leg_minutes)
+            for index, (x, y) in enumerate(waypoints)
+        ]
+        trajectories.append(
+            UncertainTrajectory(f"veh-{vehicle}", samples, uncertainty_radius, pdf)
+        )
+
+    stride = num_vehicles // num_queries
+    query_ids: List[object] = [
+        f"veh-{vehicle}" for vehicle in range(0, stride * num_queries, stride)
+    ]
+    return MovingObjectsDatabase(trajectories), query_ids
 
 
 def ride_hailing_snapshot(

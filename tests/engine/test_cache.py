@@ -1,0 +1,67 @@
+"""The LRU context cache: keys, eviction, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.cache import ContextCache, context_key
+
+
+class FakeContext:
+    """Stand-in for a QueryContext; the cache never inspects its values."""
+
+
+class TestContextKey:
+    def test_quantizes_float_noise(self):
+        assert context_key("q", 0.1 + 0.2, 1.0, 2.0) == context_key("q", 0.3, 1.0, 2.0)
+
+    def test_distinguishes_queries_windows_and_bands(self):
+        base = context_key("q", 0.0, 1.0, 2.0)
+        assert context_key("r", 0.0, 1.0, 2.0) != base
+        assert context_key("q", 0.5, 1.0, 2.0) != base
+        assert context_key("q", 0.0, 1.5, 2.0) != base
+        assert context_key("q", 0.0, 1.0, 2.5) != base
+
+
+class TestContextCache:
+    def test_miss_then_hit(self):
+        cache = ContextCache(max_size=4)
+        assert cache.get("q", 0.0, 1.0, 2.0) is None
+        context = FakeContext()
+        cache.put("q", 0.0, 1.0, 2.0, context)
+        assert cache.get("q", 0.0, 1.0, 2.0) is context
+        info = cache.info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+        assert info.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = ContextCache(max_size=2)
+        first, second, third = FakeContext(), FakeContext(), FakeContext()
+        cache.put("a", 0.0, 1.0, 0.0, first)
+        cache.put("b", 0.0, 1.0, 0.0, second)
+        assert cache.get("a", 0.0, 1.0, 0.0) is first  # refresh "a"
+        cache.put("c", 0.0, 1.0, 0.0, third)  # evicts "b", the LRU entry
+        assert cache.get("b", 0.0, 1.0, 0.0) is None
+        assert cache.get("a", 0.0, 1.0, 0.0) is first
+        assert cache.get("c", 0.0, 1.0, 0.0) is third
+
+    def test_invalidate_by_query_id(self):
+        cache = ContextCache(max_size=8)
+        cache.put("a", 0.0, 1.0, 0.0, FakeContext())
+        cache.put("a", 0.0, 2.0, 0.0, FakeContext())
+        cache.put("b", 0.0, 1.0, 0.0, FakeContext())
+        assert cache.invalidate("a") == 2
+        assert len(cache) == 1
+        assert cache.get("b", 0.0, 1.0, 0.0) is not None
+
+    def test_clear_resets_counters(self):
+        cache = ContextCache(max_size=2)
+        cache.put("a", 0.0, 1.0, 0.0, FakeContext())
+        cache.get("a", 0.0, 1.0, 0.0)
+        cache.clear()
+        info = cache.info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ContextCache(max_size=0)

@@ -1,0 +1,273 @@
+"""The batched QueryEngine: equivalence with per-query contexts, caching, batching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import QueryContext
+from repro.engine import QueryEngine
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+
+def unfiltered_context(mod: MovingObjectsDatabase, query_id: object) -> QueryContext:
+    lo, hi = mod.common_time_span()
+    return QueryContext.from_mod(mod, query_id, lo, hi)
+
+
+def assert_contexts_equivalent(
+    engine_context: QueryContext, reference: QueryContext
+) -> None:
+    """Batched preparation must answer every query exactly like the reference."""
+    assert set(engine_context.uq31_all_sometime()) == set(reference.uq31_all_sometime())
+    assert set(engine_context.uq32_all_always()) == set(reference.uq32_all_always())
+    assert set(engine_context.uq33_all_at_least(0.5)) == set(
+        reference.uq33_all_at_least(0.5)
+    )
+    for object_id in reference.uq31_all_sometime():
+        assert engine_context.uq11_sometime(object_id)
+        assert engine_context.uq13_fraction(object_id) == pytest.approx(
+            reference.uq13_fraction(object_id), abs=1e-9
+        )
+        engine_intervals = engine_context.nonzero_probability_intervals(object_id)
+        reference_intervals = reference.nonzero_probability_intervals(object_id)
+        assert len(engine_intervals) == len(reference_intervals)
+        for (a_start, a_end), (b_start, b_end) in zip(
+            engine_intervals, reference_intervals
+        ):
+            assert a_start == pytest.approx(b_start, abs=1e-7)
+            assert a_end == pytest.approx(b_end, abs=1e-7)
+
+
+class TestBatchMatchesPerQuery:
+    def test_tiny_mod(self, tiny_mod):
+        lo, hi = tiny_mod.common_time_span()
+        engine = QueryEngine(tiny_mod)
+        batch = engine.prepare_batch(["q", "near"], lo, hi)
+        for prepared in batch:
+            assert_contexts_equivalent(
+                prepared.context, unfiltered_context(tiny_mod, prepared.query_id)
+            )
+
+    def test_small_mod(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        query_ids = small_mod.object_ids[:4]
+        engine = QueryEngine(small_mod)
+        batch = engine.prepare_batch(query_ids, lo, hi)
+        assert [p.query_id for p in batch] == query_ids
+        for prepared in batch:
+            assert_contexts_equivalent(
+                prepared.context, unfiltered_context(small_mod, prepared.query_id)
+            )
+
+    def test_grid_backend_matches_rtree(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        query_ids = small_mod.object_ids[:3]
+        rtree_batch = QueryEngine(small_mod, index="rtree").prepare_batch(
+            query_ids, lo, hi
+        )
+        grid_batch = QueryEngine(small_mod, index="grid").prepare_batch(
+            query_ids, lo, hi
+        )
+        for r_prepared, g_prepared in zip(rtree_batch, grid_batch):
+            assert set(r_prepared.context.uq31_all_sometime()) == set(
+                g_prepared.context.uq31_all_sometime()
+            )
+
+    def test_parallel_batch_matches_serial(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        query_ids = small_mod.object_ids[:4]
+        serial = QueryEngine(small_mod).prepare_batch(query_ids, lo, hi)
+        parallel = QueryEngine(small_mod, max_workers=4).prepare_batch(
+            query_ids, lo, hi
+        )
+        for s_prepared, p_prepared in zip(serial, parallel):
+            assert s_prepared.query_id == p_prepared.query_id
+            assert s_prepared.candidate_count == p_prepared.candidate_count
+            assert set(s_prepared.context.uq31_all_sometime()) == set(
+                p_prepared.context.uq31_all_sometime()
+            )
+
+    def test_no_index_engine_uses_all_candidates(self, tiny_mod):
+        lo, hi = tiny_mod.common_time_span()
+        engine = QueryEngine(tiny_mod, index=None)
+        prepared = engine.prepare("q", lo, hi)
+        assert prepared.candidate_count == len(tiny_mod) - 1
+        assert prepared.corridor_radius is None
+
+
+class TestFilterSafety:
+    """The index filter may never drop an object that survives the 4r band."""
+
+    @pytest.mark.parametrize("seed", [3, 21, 99])
+    def test_band_survivors_retained_random(self, seed):
+        config = RandomWaypointConfig(num_objects=24, uncertainty_radius=0.5, seed=seed)
+        mod = MovingObjectsDatabase(generate_trajectories(config))
+        lo, hi = mod.common_time_span()
+        engine = QueryEngine(mod)
+        for query_id in mod.object_ids[:5]:
+            reference = unfiltered_context(mod, query_id)
+            survivors = {f.object_id for f in reference.survivors()}
+            candidates = set(engine.candidate_ids(query_id, lo, hi))
+            assert survivors <= candidates
+            prepared = engine.prepare(query_id, lo, hi)
+            assert survivors == {f.object_id for f in prepared.context.survivors()}
+
+    def test_band_survivors_retained_tiny(self, tiny_mod):
+        lo, hi = tiny_mod.common_time_span()
+        engine = QueryEngine(tiny_mod)
+        reference = unfiltered_context(tiny_mod, "q")
+        survivors = {f.object_id for f in reference.survivors()}
+        assert survivors <= set(engine.candidate_ids("q", lo, hi))
+
+
+class TestContextCache:
+    def test_cache_hit_returns_identical_object(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        engine = QueryEngine(small_mod)
+        first = engine.prepare(small_mod.object_ids[0], lo, hi)
+        second = engine.prepare(small_mod.object_ids[0], lo, hi)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.context is first.context
+
+    def test_batch_refresh_hits_cache(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        query_ids = small_mod.object_ids[:3]
+        engine = QueryEngine(small_mod)
+        cold = engine.prepare_batch(query_ids, lo, hi)
+        warm = engine.prepare_batch(query_ids, lo, hi)
+        assert not any(p.from_cache for p in cold)
+        assert all(p.from_cache for p in warm)
+        for cold_prepared, warm_prepared in zip(cold, warm):
+            assert warm_prepared.context is cold_prepared.context
+        info = engine.cache_info()
+        assert info.hits == len(query_ids)
+        assert info.misses == len(query_ids)
+
+    def test_duplicate_ids_in_one_batch_share_context(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        query_id = small_mod.object_ids[0]
+        engine = QueryEngine(small_mod)
+        batch = engine.prepare_batch([query_id, query_id], lo, hi)
+        assert batch.prepared[1].context is batch.prepared[0].context
+        assert batch.prepared[1].from_cache
+
+    def test_different_windows_do_not_collide(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        mid = (lo + hi) / 2.0
+        engine = QueryEngine(small_mod)
+        query_id = small_mod.object_ids[0]
+        full = engine.prepare(query_id, lo, hi)
+        half = engine.prepare(query_id, lo, mid)
+        assert half.context is not full.context
+        assert half.context.t_end == mid
+
+    def test_invalidate_drops_cached_contexts(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        engine = QueryEngine(small_mod)
+        query_id = small_mod.object_ids[0]
+        first = engine.prepare(query_id, lo, hi)
+        assert engine.invalidate(query_id) == 1
+        rebuilt = engine.prepare(query_id, lo, hi)
+        assert not rebuilt.from_cache
+        assert rebuilt.context is not first.context
+
+
+class TestBatchStatistics:
+    def test_batch_result_shape(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        query_ids = small_mod.object_ids[:3]
+        batch = QueryEngine(small_mod).prepare_batch(query_ids, lo, hi)
+        assert len(batch) == 3
+        assert set(batch.contexts) == set(query_ids)
+        assert batch.total_seconds > 0
+        assert batch.mean_prepare_seconds > 0
+        assert 0.0 <= batch.mean_filter_ratio <= 1.0
+        assert 0.0 <= batch.mean_band_pruning_ratio() <= 1.0
+        for prepared in batch:
+            assert prepared.total_candidates == len(small_mod) - 1
+            assert 0 < prepared.candidate_count <= prepared.total_candidates
+
+    def test_rejects_bad_worker_count(self, tiny_mod):
+        with pytest.raises(ValueError):
+            QueryEngine(tiny_mod, max_workers=0)
+
+    def test_rejects_unknown_index_kind_string(self, tiny_mod):
+        with pytest.raises(ValueError, match="unknown index kind"):
+            QueryEngine(tiny_mod, index="r-tree")
+
+    def test_unfiltered_prepare_bypasses_cache(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        engine = QueryEngine(small_mod)
+        query_id = small_mod.object_ids[0]
+        filtered = engine.prepare(query_id, lo, hi)
+        unfiltered = engine.prepare(query_id, lo, hi, use_index=False)
+        assert not unfiltered.from_cache
+        assert unfiltered.context is not filtered.context
+        assert unfiltered.candidate_count == len(small_mod) - 1
+        # ... and the unfiltered build must not poison the cache either.
+        assert engine.prepare(query_id, lo, hi).context is filtered.context
+
+
+class TestWindowValidation:
+    def test_rejects_inverted_window(self, tiny_mod):
+        lo, hi = tiny_mod.common_time_span()
+        engine = QueryEngine(tiny_mod)
+        with pytest.raises(ValueError, match="empty query window"):
+            engine.prepare("q", hi, lo)
+        with pytest.raises(ValueError, match="empty query window"):
+            engine.prepare_batch(["q"], hi, lo)
+
+    def test_degenerate_window_prepares_without_filtering(self, tiny_mod):
+        lo, _ = tiny_mod.common_time_span()
+        engine = QueryEngine(tiny_mod)
+        prepared = engine.prepare("q", lo, lo)
+        assert prepared.candidate_count == len(tiny_mod) - 1
+        assert prepared.corridor_radius is None
+        assert prepared.context.t_start == prepared.context.t_end == lo
+
+
+class TestModMutation:
+    def test_added_object_becomes_visible(self, small_mod):
+        from ..conftest import straight_trajectory
+
+        lo, hi = small_mod.common_time_span()
+        engine = QueryEngine(small_mod)
+        query_id = small_mod.object_ids[0]
+        before = engine.prepare(query_id, lo, hi)
+        # A companion glued to the query trajectory must appear as both a
+        # candidate and a band survivor after insertion.
+        query = small_mod.get(query_id)
+        companion = straight_trajectory(
+            "companion",
+            (query.position_at(lo).x + 0.1, query.position_at(lo).y),
+            (query.position_at(hi).x + 0.1, query.position_at(hi).y),
+            t_lo=lo,
+            t_hi=hi,
+        )
+        small_mod.add(companion)
+        try:
+            after = engine.prepare(query_id, lo, hi)
+            assert not after.from_cache  # the stale cached context was dropped
+            assert after.total_candidates == before.total_candidates + 1
+            assert "companion" in set(engine.candidate_ids(query_id, lo, hi))
+            assert "companion" in {
+                f.object_id for f in after.context.survivors()
+            }
+        finally:
+            small_mod.remove("companion")
+
+    def test_removed_object_disappears(self, small_mod):
+        lo, hi = small_mod.common_time_span()
+        engine = QueryEngine(small_mod)
+        query_id = small_mod.object_ids[0]
+        victim = small_mod.object_ids[-1]
+        engine.prepare(query_id, lo, hi)
+        removed = small_mod.remove(victim)
+        try:
+            after = engine.prepare(query_id, lo, hi)
+            assert victim not in after.context.functions
+            assert after.total_candidates == len(small_mod) - 1
+        finally:
+            small_mod.add(removed)

@@ -6,6 +6,7 @@ from repro.workloads.scenarios import (
     commuter_traffic,
     convoy_with_stragglers,
     delivery_fleet,
+    multi_query_fleet,
     ride_hailing_snapshot,
 )
 
@@ -77,3 +78,33 @@ class TestRideHailing:
     def test_validation(self):
         with pytest.raises(ValueError):
             ride_hailing_snapshot(num_drivers=0)
+
+
+class TestMultiQueryFleet:
+    def test_sizes_ids_and_queries(self):
+        mod, query_ids = multi_query_fleet(num_vehicles=24, num_queries=4)
+        assert len(mod) == 24
+        assert len(query_ids) == 4
+        assert len(set(query_ids)) == 4
+        for query_id in query_ids:
+            assert query_id in mod
+        assert mod.common_time_span() == (0.0, 90.0)
+
+    def test_deterministic_for_a_seed(self):
+        first_mod, first_ids = multi_query_fleet(num_vehicles=12, num_queries=3, seed=5)
+        second_mod, second_ids = multi_query_fleet(num_vehicles=12, num_queries=3, seed=5)
+        assert first_ids == second_ids
+        for object_id in first_mod.object_ids:
+            first_traj = first_mod.get(object_id)
+            second_traj = second_mod.get(object_id)
+            assert first_traj.position_at(45.0).is_close(second_traj.position_at(45.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_query_fleet(num_vehicles=1)
+        with pytest.raises(ValueError):
+            multi_query_fleet(num_vehicles=10, num_queries=0)
+        with pytest.raises(ValueError):
+            multi_query_fleet(num_vehicles=10, num_queries=11)
+        with pytest.raises(ValueError):
+            multi_query_fleet(num_depots=0)
