@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench lint
+.PHONY: test bench-smoke bench bench-streaming bench-streaming-smoke lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,12 @@ bench-smoke:
 bench:
 	$(PYTHON) benchmarks/bench_batch_engine.py
 
+bench-streaming-smoke:
+	$(PYTHON) benchmarks/bench_streaming.py --quick --batches 3 --json BENCH_streaming.json
+
+bench-streaming:
+	$(PYTHON) benchmarks/bench_streaming.py --json BENCH_streaming.json --min-speedup 3
+
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples
-	$(PYTHON) -c "import repro; import repro.engine; print('import ok:', repro.__version__)"
+	$(PYTHON) -c "import repro; import repro.engine; import repro.streaming; print('import ok:', repro.__version__)"

@@ -1,0 +1,155 @@
+"""Benchmark: incremental streaming maintenance vs rebuild-from-scratch.
+
+Replays the :func:`repro.workloads.scenarios.streaming_fleet` update stream
+through a :class:`repro.streaming.ContinuousMonitor` and measures, per
+single-object update batch:
+
+* **incremental** — ``monitor.apply()``: replace one trajectory, patch the
+  R-tree, run the corridor-intersection affected-query checks, re-evaluate
+  only the affected standing queries, diff, and emit deltas;
+* **rebuild** — the pre-streaming semantics: bulk-reload the index, prepare
+  every standing query's context from scratch, and recompute every answer.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py
+    PYTHONPATH=src python benchmarks/bench_streaming.py --quick --json BENCH_streaming.json
+
+The default configuration (500 vehicles, 8 standing queries) matches the
+acceptance bar of incremental maintenance being at least 3x faster than
+rebuild+reprepare for a single-object batch; ``--min-speedup`` turns that
+bar into the exit code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List
+
+from repro.engine import QueryEngine
+from repro.streaming import ContinuousMonitor
+from repro.workloads.scenarios import streaming_fleet
+
+
+def rebuild_from_scratch(monitor: ContinuousMonitor) -> float:
+    """Seconds to rebuild the index and re-derive every standing answer."""
+    started = time.perf_counter()
+    engine = QueryEngine(monitor.mod)
+    for standing in monitor.standing_queries:
+        window = monitor.resolve_window(standing.key)
+        prepared = engine.prepare(
+            standing.query_id, window[0], window[1], band_width=standing.band_width
+        )
+        context = prepared.context
+        for member in context.uq31_all_sometime():
+            context.nonzero_probability_intervals(member)
+    return time.perf_counter() - started
+
+
+def run(
+    num_vehicles: int,
+    num_queries: int,
+    measured_batches: int,
+    sliding_minutes: float,
+) -> Dict[str, float]:
+    scenario = streaming_fleet(
+        num_vehicles=num_vehicles,
+        num_queries=num_queries,
+        num_batches=measured_batches + 1,
+        seed=31,
+    )
+    monitor = ContinuousMonitor(scenario.mod)
+    for query_id in scenario.query_ids:
+        monitor.register(query_id, sliding=sliding_minutes)
+    for object_id in scenario.mod.object_ids:
+        monitor.track(
+            object_id,
+            max_speed=scenario.max_speed,
+            minimum_radius=scenario.uncertainty_radius,
+        )
+
+    # Warm-up: one full-fleet batch so every feed, array, and context is hot.
+    for object_id, reports in scenario.batches[0].items():
+        monitor.ingest(object_id, reports)
+    monitor.apply()
+
+    # Measured: single-object batches — most of the fleet is silent while
+    # one object keeps reporting at its cadence (skipping a vehicle's
+    # batches would legitimately widen its ellipse bound and its radius).
+    incremental: List[float] = []
+    rebuild: List[float] = []
+    affected_counts: List[int] = []
+    reporter = list(scenario.batches[1].keys())[7 % num_vehicles]
+    for index in range(1, measured_batches + 1):
+        batch = scenario.batches[index]
+        monitor.ingest(reporter, batch[reporter])
+        started = time.perf_counter()
+        report = monitor.apply()
+        incremental.append(time.perf_counter() - started)
+        affected_counts.append(len(report.affected_queries))
+        rebuild.append(rebuild_from_scratch(monitor))
+
+    mean_incremental = sum(incremental) / len(incremental)
+    mean_rebuild = sum(rebuild) / len(rebuild)
+    return {
+        "objects": num_vehicles,
+        "standing_queries": num_queries,
+        "measured_batches": measured_batches,
+        "incremental_ms": mean_incremental * 1000.0,
+        "rebuild_ms": mean_rebuild * 1000.0,
+        "speedup": mean_rebuild / mean_incremental if mean_incremental else float("inf"),
+        "mean_affected_queries": sum(affected_counts) / len(affected_counts),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=500, help="fleet size")
+    parser.add_argument(
+        "--queries", type=int, default=8, help="standing queries to register"
+    )
+    parser.add_argument(
+        "--batches", type=int, default=5, help="measured single-object batches"
+    )
+    parser.add_argument(
+        "--sliding", type=float, default=15.0, help="sliding window width (minutes)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced configuration (120 objects, 4 queries) for smoke tests",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the result record to this JSON file",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero when the incremental speedup falls below this",
+    )
+    args = parser.parse_args()
+    objects = 120 if args.quick else args.objects
+    queries = 4 if args.quick else args.queries
+
+    print("incremental streaming maintenance vs rebuild-from-scratch")
+    print(f"({objects} vehicles, {queries} standing queries, single-object batches)")
+    result = run(objects, queries, args.batches, args.sliding)
+    print(
+        f"  incremental {result['incremental_ms']:8.1f} ms/batch"
+        f"  rebuild {result['rebuild_ms']:8.1f} ms/batch"
+        f"  speedup {result['speedup']:5.1f}x"
+        f"  (affected {result['mean_affected_queries']:.1f}/{queries} queries/batch)"
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"  wrote {args.json}")
+    if args.min_speedup and result["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {result['speedup']:.2f}x below {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,16 @@ interest, which other vans could be its nearest neighbor at any point of the
 shift — e.g. to plan package hand-offs or to reason about coverage — while
 accounting for GPS uncertainty.
 
+**Batch vs streaming.**  Everything here is *batch* analysis: the shift's
+trajectories are already recorded, queries are prepared once, and a
+dashboard refresh at most re-reads a cache.  When the fleet is still on the
+road — positions arriving as update streams, standing queries that must stay
+current — use the streaming layer instead: ``repro.streaming``'s
+``ContinuousMonitor`` extends trajectories in place, patches the index
+incrementally, re-evaluates only the queries a change can affect, and pushes
+answer *deltas* to subscribers.  See ``examples/live_dispatch.py`` for that
+walkthrough over the same kind of fleet.
+
 Run with::
 
     python examples/fleet_monitoring.py

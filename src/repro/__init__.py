@@ -22,7 +22,16 @@ from .core import (
     build_ipac_tree,
 )
 from .engine import BatchResult, PreparedQuery, QueryEngine
+from .streaming import (
+    BatchReport,
+    ContinuousMonitor,
+    IntervalChanged,
+    NeighborAppeared,
+    NeighborDropped,
+    StandingQuery,
+)
 from .trajectories import (
+    ChangeRecord,
     MovingObjectsDatabase,
     Trajectory,
     TrajectorySample,
@@ -34,10 +43,17 @@ from .workloads import RandomWaypointConfig, generate_mod, generate_trajectories
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchReport",
     "BatchResult",
+    "ChangeRecord",
     "ConePDF",
+    "ContinuousMonitor",
     "ContinuousProbabilisticNNQuery",
     "CrispPDF",
+    "IntervalChanged",
+    "NeighborAppeared",
+    "NeighborDropped",
+    "StandingQuery",
     "IPACNode",
     "IPACTree",
     "MovingObjectsDatabase",

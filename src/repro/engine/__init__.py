@@ -14,6 +14,7 @@ from .filtering import (
     conservative_corridor_radius,
     filter_candidates,
     max_pairwise_distance,
+    trajectory_within_corridor,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "context_key",
     "filter_candidates",
     "max_pairwise_distance",
+    "trajectory_within_corridor",
 ]

@@ -92,6 +92,14 @@ class ContextCache:
         while len(self._entries) > self._max_size:
             self._entries.popitem(last=False)
 
+    def items(self) -> list:
+        """Snapshot of ``(key, context)`` pairs (no recency side effects)."""
+        return list(self._entries.items())
+
+    def discard(self, key: Tuple) -> bool:
+        """Drop one entry by key; True when it was present."""
+        return self._entries.pop(key, None) is not None
+
     def invalidate(self, query_id: object) -> int:
         """Drop every cached context of one query id; returns how many."""
         stale = [key for key in self._entries if key[0] == query_id]

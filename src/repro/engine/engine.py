@@ -24,10 +24,18 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.queries import QueryContext
 from ..trajectories.mod import MovingObjectsDatabase
 from .cache import CacheInfo, ContextCache
-from .filtering import TrajectoryArrays, all_other_ids, filter_candidates
+from .filtering import (
+    TrajectoryArrays,
+    all_other_ids,
+    conservative_corridor_radius,
+    filter_candidates,
+    trajectory_within_corridor,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -177,6 +185,32 @@ class QueryEngine:
         self._arrays.invalidate(query_id)
         return self._cache.invalidate(query_id)
 
+    def discard_context(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        band_width: Optional[float] = None,
+    ) -> bool:
+        """Drop one cached context a caller knows it will never ask for again.
+
+        Standing sliding-window queries supersede a cache entry every time
+        their window advances; discarding eagerly keeps dead contexts from
+        occupying the LRU and from being rescanned by selective
+        invalidation.  Best effort: returns False when no such entry exists
+        (e.g. the default band width shifted since it was stored).
+        """
+        if band_width is None:
+            try:
+                band_width = self._default_band_width(query_id)
+            except (KeyError, ValueError):
+                return False
+        from .cache import context_key
+
+        return self._cache.discard(
+            context_key(query_id, t_start, t_end, band_width)
+        )
+
     def _default_band_width(self, query_id: object) -> float:
         """The MOD's default 4r band width, memoized until the MOD changes.
 
@@ -193,14 +227,44 @@ class QueryEngine:
     def _refresh_after_mod_change(self) -> None:
         """Resynchronize derived state when the MOD contents changed.
 
-        Cached contexts and position arrays are computed against a snapshot
-        of the store, and an engine-built index no longer covers added
-        objects, so all three are rebuilt.  A caller-supplied index cannot be
-        rebuilt here; the caller owns its freshness, and the engine only
-        drops its own caches.
+        When the MOD's changelog identifies a small set of changed objects,
+        the engine patches in place: the changed objects' boxes are retired
+        and re-inserted in the engine-built index, their position arrays are
+        dropped, and only the cached contexts a changed object can actually
+        affect are invalidated (the query itself changed, a changed object
+        was among the context's candidates, or a changed object's boxes now
+        come within the context's provably-safe corridor).  Everything else
+        keeps serving from cache.
+
+        When the changelog cannot identify the changes (or most of the store
+        changed), the engine falls back to the full rebuild: fresh index,
+        empty caches.  A caller-supplied index is never rebuilt here; the
+        caller owns its freshness, and the engine only maintains its own.
         """
         if self.mod.revision == self._mod_revision:
             return
+        changes = self.mod.changes_since(self._mod_revision)
+        changed: Optional[Dict[object, Optional[float]]] = None
+        if changes is not None:
+            # Per object, keep the earliest divergence time across its
+            # records; any record without one makes the change global.
+            changed = {}
+            for record in changes:
+                known = record.object_id in changed
+                current = changed.get(record.object_id)
+                if record.divergence_time is None or (known and current is None):
+                    changed[record.object_id] = None
+                elif known:
+                    changed[record.object_id] = min(current, record.divergence_time)
+                else:
+                    changed[record.object_id] = record.divergence_time
+        if changed is not None:
+            self._refresh_incremental(changed)
+        else:
+            self._refresh_full()
+        self._mod_revision = self.mod.revision
+
+    def _refresh_full(self) -> None:
         if self._index_kind == "rtree":
             self._index = self.mod.build_index(
                 "rtree", leaf_capacity=self._leaf_capacity
@@ -210,7 +274,106 @@ class QueryEngine:
         self._cache = ContextCache(max_size=self._cache_size)
         self._arrays = TrajectoryArrays()
         self._band_widths = {}
-        self._mod_revision = self.mod.revision
+
+    def _refresh_incremental(self, changed: Dict[object, Optional[float]]) -> None:
+        """Patch derived state for an identified change set.
+
+        The index is patched in place for small change sets and bulk-reloaded
+        when most of the store moved (incremental insertions slowly degrade
+        the STR packing); cache invalidation is *always* selective — its
+        soundness comes from the corridor/divergence checks, not from the
+        change-set size.
+        """
+        if self._index_kind is not None and self._index is not None:
+            # Patching pays ~O(tree) per changed object (removal cannot prune
+            # by box), so beyond a small batch the O(N log N) bulk reload wins.
+            if len(self.mod) > 0 and len(changed) > 32:
+                if self._index_kind == "rtree":
+                    self._index = self.mod.build_index(
+                        "rtree", leaf_capacity=self._leaf_capacity
+                    )
+                else:
+                    self._index = self.mod.build_index("grid", cells=self._grid_cells)
+            else:
+                for object_id, divergence in changed.items():
+                    if divergence is not None and object_id in self.mod:
+                        # Boxes before the divergence time are provably
+                        # identical; retire and re-insert only the rest.
+                        self._index.remove_object(object_id, after=divergence)
+                        self._index.insert_trajectory(
+                            self.mod.get(object_id), after=divergence
+                        )
+                    else:
+                        self._index.remove_object(object_id)
+                        if object_id in self.mod:
+                            self._index.insert_trajectory(self.mod.get(object_id))
+        for object_id in changed:
+            self._arrays.invalidate(object_id)
+        # Band widths depend only on the set of stored pdf supports; a batch
+        # of pure replacements with finite divergence times (same radius,
+        # same pdf) provably leaves them untouched.
+        if any(divergence is None for divergence in changed.values()):
+            self._band_widths = {}
+        self._invalidate_affected(changed)
+
+    def _invalidate_affected(self, changed: Dict[object, Optional[float]]) -> None:
+        """Drop exactly the cached contexts a changed object can affect.
+
+        A surviving context is answer-equivalent to a fresh preparation:
+        corridor filtering is exact (dropped candidates can neither enter the
+        band nor shape the envelope), so a context stays valid unless a
+        change that diverges inside its window hit its query, one of its
+        candidates, or an object that can now come within its corridor.
+        Changes diverging at or after a context's window end — the common
+        case of an update stream *extending* trajectories beyond standing
+        windows — leave the context untouched.
+        """
+        for key, context in self._cache.items():
+            query_id = key[0]
+            if query_id not in self.mod:
+                self._cache.discard(key)
+                continue
+            relevant = {
+                object_id
+                for object_id, divergence in changed.items()
+                if divergence is None or divergence < context.t_end - 1e-12
+            }
+            if not relevant:
+                continue
+            if query_id in relevant:
+                self._cache.discard(key)
+                continue
+            if not relevant.isdisjoint(context.functions):
+                self._cache.discard(key)
+                continue
+            present = [
+                object_id for object_id in relevant if object_id in self.mod
+            ]
+            if not present:
+                continue
+            corridor = conservative_corridor_radius(
+                self.mod,
+                query_id,
+                context.t_start,
+                context.t_end,
+                context.band_width,
+                self._arrays,
+            )
+            if not np.isfinite(corridor):
+                self._cache.discard(key)
+                continue
+            query = self.mod.get(query_id)
+            if any(
+                trajectory_within_corridor(
+                    self.mod.get(object_id),
+                    query,
+                    corridor,
+                    context.t_start,
+                    context.t_end,
+                )
+                for object_id in present
+            ):
+                self._cache.discard(key)
 
     # ------------------------------------------------------------------
     # Candidate filtering.

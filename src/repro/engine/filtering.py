@@ -221,6 +221,44 @@ def conservative_corridor_radius(
     return tightest + band_width
 
 
+def trajectory_within_corridor(
+    candidate: Trajectory,
+    query: Trajectory,
+    corridor: float,
+    t_lo: float,
+    t_hi: float,
+) -> bool:
+    """Conservative corridor-intersection test between two trajectories.
+
+    True when any of the candidate's (uncertainty-expanded) segment boxes
+    overlapping the window intersects the query's corridor — the same probe
+    an index ``query_corridor`` performs, evaluated pairwise.  Used by the
+    streaming layer to decide whether a changed object can affect a standing
+    query without rebuilding anything.
+    """
+    from ..index.boxes import segment_boxes
+
+    if corridor < 0:
+        raise ValueError("corridor distance must be non-negative")
+    lo = max(t_lo, query.start_time)
+    hi = min(t_hi, query.end_time)
+    if hi < lo or candidate.end_time < t_lo or candidate.start_time > t_hi:
+        return False
+    candidate_boxes = [
+        entry.box
+        for entry in segment_boxes(candidate)
+        if entry.box.t_max >= t_lo and entry.box.t_min <= t_hi
+    ]
+    if not candidate_boxes:
+        return False
+    clipped = query.clipped(lo, hi)
+    for entry in segment_boxes(clipped, spatial_margin=0.0):
+        probe = entry.box.expanded(corridor)
+        if any(probe.intersects(box) for box in candidate_boxes):
+            return True
+    return False
+
+
 def all_other_ids(mod: MovingObjectsDatabase, query_id: object) -> List[object]:
     """Every stored id except the query's, in the deterministic filter order."""
     return sorted((oid for oid in mod.object_ids if oid != query_id), key=str)

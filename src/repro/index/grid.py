@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..trajectories.trajectory import Trajectory
 from .boxes import Box3D, IndexEntry, segment_boxes
@@ -43,6 +43,8 @@ class GridIndex:
         self._cell_height = (y_max - y_min) / cells
         self._buckets: Dict[Tuple[int, int], List[IndexEntry]] = defaultdict(list)
         self._count = 0
+        self._entries_per_object: Dict[object, int] = defaultdict(int)
+        self._cells_per_object: Dict[object, Set[Tuple[int, int]]] = defaultdict(set)
 
     def __len__(self) -> int:
         return self._count
@@ -56,13 +58,72 @@ class GridIndex:
         """Register one (box, object id) entry."""
         for key in self._cells_overlapping(entry.box):
             self._buckets[key].append(entry)
+            self._cells_per_object[entry.object_id].add(key)
         self._count += 1
+        self._entries_per_object[entry.object_id] += 1
 
-    def insert_trajectory(self, trajectory: Trajectory, spatial_margin: float | None = None) -> None:
-        """Register every segment of a trajectory."""
+    def remove_object(
+        self, object_id: object, after: Optional[float] = None
+    ) -> int:
+        """Retire entries of one object; returns how many were removed.
+
+        Only the cells the object occupies are touched.  Trajectories
+        extending beyond the grid region are registered in the clamped
+        border cells, so their entries are found and removed too.
+
+        Args:
+            after: only retire boxes starting at or after this time (the
+                divergence-bounded retirement used by streamed extensions).
+        """
+        cells = self._cells_per_object.get(object_id)
+        if not cells:
+            return 0
+        removed_ids: Set[int] = set()
+        remaining_cells: Set[Tuple[int, int]] = set()
+        for key in cells:
+            bucket = self._buckets.get(key, [])
+            kept = []
+            for entry in bucket:
+                if entry.object_id == object_id and (
+                    after is None or entry.box.t_min >= after - 1e-9
+                ):
+                    removed_ids.add(id(entry))
+                else:
+                    kept.append(entry)
+                    if entry.object_id == object_id:
+                        remaining_cells.add(key)
+            if kept:
+                self._buckets[key] = kept
+            else:
+                self._buckets.pop(key, None)
+        removed = len(removed_ids)
+        self._count -= removed
+        remaining_entries = self._entries_per_object.get(object_id, 0) - removed
+        if remaining_entries > 0:
+            self._entries_per_object[object_id] = remaining_entries
+            self._cells_per_object[object_id] = remaining_cells
+        else:
+            self._entries_per_object.pop(object_id, None)
+            self._cells_per_object.pop(object_id, None)
+        return removed
+
+    def insert_trajectory(
+        self,
+        trajectory: Trajectory,
+        spatial_margin: float | None = None,
+        after: Optional[float] = None,
+    ) -> None:
+        """Register every segment of a trajectory.
+
+        Args:
+            after: only register boxes starting at or after this time — the
+                complement of ``remove_object(..., after=...)``.
+        """
         for entry in segment_boxes(
             trajectory, spatial_margin, max_extent=self._max_box_extent
         ):
+            if after is not None and entry.box.t_min < after - 1e-9:
+                continue
             self.insert_entry(entry)
 
     def insert_all(self, trajectories: Iterable[Trajectory]) -> None:

@@ -8,8 +8,13 @@ box-intersection probes, which the query layer uses to pre-filter NN
 candidates before building distance functions.
 
 Because the external ``rtree`` package (libspatialindex bindings) is not
-available offline, the tree is implemented from scratch; it is deliberately
-read-only (bulk load only), which is all the workloads here need.
+available offline, the tree is implemented from scratch.  The bulk of the
+workloads build it once with the STR packing; the streaming layer additionally
+needs *incremental maintenance* — inserting the segment boxes of an updated
+trajectory and retiring an object's old boxes — so the tree also supports
+classical least-enlargement inserts with node splits and per-object removal.
+A heavily mutated tree degrades from the optimal STR packing, but stays
+correct; rebuild when the mutation volume warrants it.
 """
 
 from __future__ import annotations
@@ -20,6 +25,14 @@ from typing import Iterable, List, Optional, Sequence, Set
 
 from ..trajectories.trajectory import Trajectory
 from .boxes import Box3D, IndexEntry, segment_boxes
+
+
+def _covering_box(items: Sequence) -> Box3D:
+    """Smallest box covering every item's ``box`` (entries or nodes)."""
+    box = items[0].box
+    for item in items[1:]:
+        box = box.union(item.box)
+    return box
 
 
 @dataclass
@@ -36,7 +49,7 @@ class _Node:
 
 
 class STRRTree:
-    """Sort-Tile-Recursive bulk-loaded, read-only R-tree."""
+    """Sort-Tile-Recursive bulk-loaded R-tree with incremental maintenance."""
 
     def __init__(
         self,
@@ -121,6 +134,153 @@ class STRRTree:
                     box = box.union(node.box)
                 parents.append(_Node(box=box, children=list(chunk)))
         return parents
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance.
+    # ------------------------------------------------------------------
+
+    def insert_entry(self, entry: IndexEntry) -> None:
+        """Insert one entry: least-enlargement descent with node splits."""
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(box=entry.box, entries=[entry])
+            return
+        sibling = self._insert_into(self._root, entry)
+        if sibling is not None:
+            self._root = _Node(
+                box=self._root.box.union(sibling.box),
+                children=[self._root, sibling],
+            )
+
+    def insert_trajectory(
+        self,
+        trajectory: Trajectory,
+        spatial_margin: float | None = None,
+        after: Optional[float] = None,
+    ) -> int:
+        """Insert every segment box of a trajectory; returns the entry count.
+
+        Uses the same ``max_box_extent`` subdivision the tree was built with,
+        so incremental entries match bulk-loaded ones.
+
+        Args:
+            after: only insert boxes starting at or after this time — the
+                complement of ``remove_object(..., after=...)`` for applying
+                a trajectory change with a known divergence time.
+        """
+        entries = segment_boxes(
+            trajectory, spatial_margin, max_extent=self._max_box_extent
+        )
+        if after is not None:
+            entries = [
+                entry for entry in entries if entry.box.t_min >= after - 1e-9
+            ]
+        for entry in entries:
+            self.insert_entry(entry)
+        return len(entries)
+
+    def remove_object(
+        self, object_id: object, after: Optional[float] = None
+    ) -> int:
+        """Retire entries of one object; returns how many were removed.
+
+        Args:
+            after: only retire boxes starting at or after this time.  Two
+                trajectories of one object that agree up to a divergence
+                time have identical boxes before it (segment boundaries are
+                sample times, so no box straddles the divergence), which
+                makes a streamed extension O(changed boxes), not O(history).
+
+        Emptied nodes are pruned and bounding boxes along the removal paths
+        are tightened, so later probes do not pay for the dead space.
+        """
+        if self._root is None:
+            return 0
+        removed = self._remove_from(self._root, object_id, after)
+        self._size -= removed
+        if removed:
+            if self._root.is_leaf and not self._root.entries:
+                self._root = None
+            else:
+                while len(self._root.children) == 1:
+                    self._root = self._root.children[0]
+        return removed
+
+    def _insert_into(self, node: _Node, entry: IndexEntry) -> Optional[_Node]:
+        """Recursive insert; returns the split-off sibling on overflow."""
+        node.box = node.box.union(entry.box)
+        if node.is_leaf:
+            node.entries.append(entry)
+            if len(node.entries) > self._leaf_capacity:
+                return self._split(node)
+            return None
+        child = min(
+            node.children,
+            key=lambda candidate: (
+                candidate.box.union(entry.box).volume - candidate.box.volume,
+                candidate.box.volume,
+            ),
+        )
+        sibling = self._insert_into(child, entry)
+        if sibling is not None:
+            node.children.append(sibling)
+            if len(node.children) > self._leaf_capacity:
+                return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Split an overflowing node in half along its widest center spread.
+
+        The node keeps the lower half; the returned sibling takes the rest.
+        """
+        items: List = node.entries if node.is_leaf else node.children
+        centers = [item.box.center for item in items]
+        spreads = [
+            max(center[axis] for center in centers)
+            - min(center[axis] for center in centers)
+            for axis in range(3)
+        ]
+        axis = spreads.index(max(spreads))
+        items.sort(key=lambda item: item.box.center[axis])
+        half = len(items) // 2
+        lower, upper = items[:half], items[half:]
+        if node.is_leaf:
+            node.entries = lower
+            sibling = _Node(box=_covering_box(upper), entries=upper)
+        else:
+            node.children = lower
+            sibling = _Node(box=_covering_box(upper), children=upper)
+        node.box = _covering_box(lower)
+        return sibling
+
+    def _remove_from(
+        self, node: _Node, object_id: object, after: Optional[float]
+    ) -> int:
+        if node.is_leaf:
+            kept = [
+                entry
+                for entry in node.entries
+                if entry.object_id != object_id
+                or (after is not None and entry.box.t_min < after - 1e-9)
+            ]
+            removed = len(node.entries) - len(kept)
+            if removed:
+                node.entries = kept
+                if kept:
+                    node.box = _covering_box(kept)
+            return removed
+        removed = 0
+        for child in node.children:
+            removed += self._remove_from(child, object_id, after)
+        if removed:
+            node.children = [
+                child
+                for child in node.children
+                if child.entries or child.children
+            ]
+            if node.children:
+                node.box = _covering_box(node.children)
+        return removed
 
     # ------------------------------------------------------------------
     # Queries.

@@ -1,0 +1,150 @@
+"""Typed answer-delta events emitted by the continuous monitor.
+
+A standing query's answer is a mapping ``neighbor id → non-zero-probability
+intervals`` (the UQ11/UQ13 information for every member of the UQ3x answer
+set).  When an update batch changes that answer, the monitor does not resend
+it wholesale; it emits the *difference* as typed events:
+
+* :class:`NeighborAppeared` — an object entered the answer set;
+* :class:`NeighborDropped` — an object left the answer set;
+* :class:`IntervalChanged` — an object stayed but its relevance intervals
+  moved.
+
+:func:`diff_answers` computes the delta between two answers and
+:func:`replay_deltas` folds a delta stream back into the answer it encodes —
+the two are exact inverses, which the oracle tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+#: Decimal places at which two interval lists count as equal.  Answers are
+#: recomputed deterministically, so differences below representation noise
+#: only arise from legitimately changed inputs; the tolerance keeps spurious
+#: ``IntervalChanged`` events from firing on re-derived identical answers.
+_INTERVAL_DECIMALS = 9
+
+Intervals = Tuple[Tuple[float, float], ...]
+
+#: A standing query's full answer: neighbor id → relevance intervals.
+Answer = Dict[object, Intervals]
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerDelta:
+    """Base class of all answer-delta events.
+
+    Attributes:
+        query_key: key of the standing query (monitor-assigned).
+        query_id: id of the query trajectory.
+        batch: ingestion batch number that produced the event (0 for the
+            initial evaluation at registration time).
+        neighbor_id: id of the affected answer-set member.
+    """
+
+    query_key: object
+    query_id: object
+    batch: int
+    neighbor_id: object
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborAppeared(AnswerDelta):
+    """A trajectory entered the standing query's answer set."""
+
+    intervals: Intervals = ()
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborDropped(AnswerDelta):
+    """A trajectory left the standing query's answer set."""
+
+    last_intervals: Intervals = ()
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalChanged(AnswerDelta):
+    """An answer-set member's non-zero-probability intervals changed."""
+
+    old_intervals: Intervals = ()
+    new_intervals: Intervals = ()
+
+
+def _rounded(intervals: Iterable[Tuple[float, float]]) -> Intervals:
+    return tuple(
+        (round(start, _INTERVAL_DECIMALS), round(end, _INTERVAL_DECIMALS))
+        for start, end in intervals
+    )
+
+
+def diff_answers(
+    old: Answer,
+    new: Answer,
+    query_key: object,
+    query_id: object,
+    batch: int,
+) -> List[AnswerDelta]:
+    """The typed delta turning ``old`` into ``new`` (deterministic order)."""
+    events: List[AnswerDelta] = []
+    for neighbor_id in sorted(new.keys() - old.keys(), key=str):
+        events.append(
+            NeighborAppeared(
+                query_key, query_id, batch, neighbor_id, _rounded(new[neighbor_id])
+            )
+        )
+    for neighbor_id in sorted(old.keys() - new.keys(), key=str):
+        events.append(
+            NeighborDropped(
+                query_key, query_id, batch, neighbor_id, _rounded(old[neighbor_id])
+            )
+        )
+    for neighbor_id in sorted(new.keys() & old.keys(), key=str):
+        before = _rounded(old[neighbor_id])
+        after = _rounded(new[neighbor_id])
+        if before != after:
+            events.append(
+                IntervalChanged(
+                    query_key, query_id, batch, neighbor_id, before, after
+                )
+            )
+    return events
+
+
+def replay_deltas(
+    events: Iterable[AnswerDelta], initial: Dict[object, Answer] | None = None
+) -> Dict[object, Answer]:
+    """Fold a delta stream into per-query answers (the inverse of diffing).
+
+    Args:
+        events: deltas in emission order.
+        initial: starting answers per query key; empty by default.
+
+    Returns:
+        ``query_key → (neighbor id → intervals)`` after applying every event.
+    """
+    answers: Dict[object, Answer] = {
+        key: dict(value) for key, value in (initial or {}).items()
+    }
+    for event in events:
+        answer = answers.setdefault(event.query_key, {})
+        if isinstance(event, NeighborAppeared):
+            answer[event.neighbor_id] = event.intervals
+        elif isinstance(event, NeighborDropped):
+            answer.pop(event.neighbor_id, None)
+        elif isinstance(event, IntervalChanged):
+            answer[event.neighbor_id] = event.new_intervals
+        else:  # pragma: no cover - future event kinds
+            raise TypeError(f"unknown delta event {event!r}")
+    return answers
+
+
+def answers_equal(first: Answer, second: Answer) -> bool:
+    """Tolerance-aware equality of two answers (same keys, same intervals)."""
+    if first.keys() != second.keys():
+        return False
+    return all(
+        _rounded(first[neighbor_id]) == _rounded(second[neighbor_id])
+        for neighbor_id in first
+    )

@@ -1,0 +1,443 @@
+"""The continuous monitor: standing queries over a live update stream.
+
+:class:`ContinuousMonitor` is the serving loop the paper's dispatcher story
+implies: UQ-style queries stay *registered* while vans report new positions.
+Each ingested batch is applied with delta semantics end to end:
+
+1. only the reporting objects' trajectories are rebuilt (via their feeds)
+   and swapped into the MOD (``replace_trajectory``/``add``);
+2. the engine's spatio-temporal index retires and re-inserts just those
+   objects' segment boxes instead of bulk-rebuilding;
+3. corridor-intersection against the changed objects decides which standing
+   queries are affected — everything else keeps serving its cached context;
+4. only affected queries are re-evaluated, and the old and new answers are
+   diffed into typed :mod:`repro.streaming.events` deltas delivered to
+   subscribers.
+
+Answers reconstructed from the emitted deltas are exactly the answers a
+from-scratch :class:`~repro.core.queries.QueryContext` computes on the final
+MOD state (see :func:`reference_answer`), which the oracle tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.queries import QueryContext
+from ..engine import QueryEngine
+from ..trajectories.mod import MovingObjectsDatabase
+from ..trajectories.trajectory import UncertainTrajectory
+from .events import Answer, AnswerDelta, diff_answers
+from .ingest import DeadReckoningFeed, LocationFeed, StreamIngestor
+
+_VARIANTS = ("sometime", "always", "fraction")
+
+
+def answer_of(
+    context: QueryContext, variant: str, fraction: float = 0.0
+) -> Answer:
+    """A standing query's answer shape from a prepared context.
+
+    The UQ3x member set of the requested variant, each member mapped to its
+    exact non-zero-probability intervals (the UQ11/UQ13 information).  Both
+    the live monitor and the from-scratch :func:`reference_answer` oracle
+    derive their answers through this one dispatch.
+    """
+    if variant == "sometime":
+        members = context.uq31_all_sometime()
+    elif variant == "always":
+        members = context.uq32_all_always()
+    elif variant == "fraction":
+        members = context.uq33_all_at_least(fraction)
+    else:
+        raise ValueError(f"unknown variant {variant!r} (expected {_VARIANTS})")
+    return {
+        member: tuple(context.nonzero_probability_intervals(member))
+        for member in members
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class StandingQuery:
+    """One registered continuous query.
+
+    Attributes:
+        key: monitor-assigned handle used in events and reports.
+        query_id: id of the query trajectory (must stay stored in the MOD).
+        variant: ``"sometime"`` (UQ31), ``"always"`` (UQ32), or
+            ``"fraction"`` (UQ33).
+        fraction: minimum in-band fraction for the ``"fraction"`` variant.
+        window: fixed ``(start, end)`` window, or ``None``.
+        sliding: sliding-window width trailing the fleet's common horizon,
+            or ``None``.  With neither, the query spans the whole common
+            time span.
+        band_width: pruning band width; the MOD default (4r) when ``None``.
+    """
+
+    key: object
+    query_id: object
+    variant: str = "sometime"
+    fraction: float = 0.0
+    window: Optional[Tuple[float, float]] = None
+    sliding: Optional[float] = None
+    band_width: Optional[float] = None
+
+
+@dataclass
+class BatchReport:
+    """Outcome of applying one ingested batch."""
+
+    batch: int
+    changed_ids: Tuple[object, ...]
+    affected_queries: Tuple[object, ...]
+    events: Tuple[AnswerDelta, ...]
+    seconds: float
+
+
+@dataclass
+class _QueryState:
+    window: Optional[Tuple[float, float]] = None
+    answer: Answer = field(default_factory=dict)
+    #: The exact context object the answer was derived from.  Identity (not
+    #: cache-hit flags) decides whether a re-evaluation can be skipped: two
+    #: standing queries can share one cache entry, and a context re-created
+    #: this batch reports ``from_cache=True`` to the second query even
+    #: though its predecessor was invalidated.
+    context: Optional[QueryContext] = None
+    evaluations: int = 0
+
+
+class ContinuousMonitor:
+    """Registers standing queries and maintains their answers under updates.
+
+    Args:
+        mod: the (non-empty) moving objects database to monitor.
+        index: index kind for the internal :class:`QueryEngine` (``"rtree"``
+            or ``"grid"``).
+        cache_size: context-cache capacity; keep it above the number of
+            standing queries so unaffected queries always hit.
+        max_workers: thread-pool width for batch preparation.
+    """
+
+    def __init__(
+        self,
+        mod: MovingObjectsDatabase,
+        *,
+        index: str = "rtree",
+        cache_size: int = 1024,
+        max_workers: Optional[int] = None,
+    ):
+        if len(mod) == 0:
+            raise ValueError(
+                "the monitor needs a non-empty MOD (seed it with the fleet's "
+                "historical trajectories before registering queries)"
+            )
+        self.mod = mod
+        self.engine = QueryEngine(
+            mod, index=index, cache_size=cache_size, max_workers=max_workers
+        )
+        self.ingestor = StreamIngestor()
+        self._queries: Dict[object, StandingQuery] = {}
+        self._states: Dict[object, _QueryState] = {}
+        self._subscribers: List[Tuple[Optional[object], Callable[[AnswerDelta], None]]] = []
+        self._batch = 0
+        self._key_counter = 0
+
+    # ------------------------------------------------------------------
+    # Standing queries and subscriptions.
+    # ------------------------------------------------------------------
+
+    @property
+    def standing_queries(self) -> List[StandingQuery]:
+        """Registered queries in registration order."""
+        return list(self._queries.values())
+
+    @property
+    def batch_count(self) -> int:
+        """Number of applied batches so far."""
+        return self._batch
+
+    def register(
+        self,
+        query_id: object,
+        *,
+        window: Optional[Tuple[float, float]] = None,
+        sliding: Optional[float] = None,
+        variant: str = "sometime",
+        fraction: Optional[float] = None,
+        band_width: Optional[float] = None,
+        key: Optional[object] = None,
+    ) -> StandingQuery:
+        """Register a standing query and evaluate it immediately.
+
+        The initial evaluation emits one :class:`NeighborAppeared` per
+        current answer-set member (so replaying the delta stream from empty
+        reconstructs the full answer).
+
+        Raises:
+            KeyError: when the query trajectory is not stored, or the key is
+                already taken.
+            ValueError: on an unknown variant or inconsistent options.
+        """
+        if query_id not in self.mod:
+            raise KeyError(f"query trajectory {query_id!r} is not stored in the MOD")
+        if variant not in _VARIANTS:
+            raise ValueError(f"unknown variant {variant!r} (expected {_VARIANTS})")
+        if variant == "fraction":
+            if fraction is None or not 0.0 <= fraction <= 1.0:
+                raise ValueError("the 'fraction' variant needs a fraction in [0, 1]")
+        elif fraction is not None:
+            raise ValueError("fraction is only meaningful for the 'fraction' variant")
+        if window is not None and sliding is not None:
+            raise ValueError("a query is either fixed-window or sliding, not both")
+        if window is not None and window[1] < window[0]:
+            raise ValueError(f"empty fixed window {window}")
+        if sliding is not None and sliding <= 0:
+            raise ValueError("the sliding width must be positive")
+        if key is None:
+            key = f"q{self._key_counter}"
+            self._key_counter += 1
+        if key in self._queries:
+            raise KeyError(f"standing-query key {key!r} already registered")
+        standing = StandingQuery(
+            key=key,
+            query_id=query_id,
+            variant=variant,
+            fraction=fraction if fraction is not None else 0.0,
+            window=window,
+            sliding=sliding,
+            band_width=band_width,
+        )
+        self._queries[key] = standing
+        self._states[key] = _QueryState()
+        try:
+            events = self._evaluate_one(standing, self._batch, force=True)
+        except Exception:
+            # A failed initial evaluation (e.g. no candidate trajectories)
+            # must not leave a half-registered query poisoning apply().
+            del self._queries[key]
+            del self._states[key]
+            raise
+        self._dispatch(events)
+        return standing
+
+    def unregister(self, key: object) -> StandingQuery:
+        """Drop a standing query; its cached contexts age out of the LRU."""
+        if key not in self._queries:
+            raise KeyError(f"unknown standing-query key {key!r}")
+        self._states.pop(key)
+        return self._queries.pop(key)
+
+    def subscribe(
+        self,
+        callback: Callable[[AnswerDelta], None],
+        query_key: Optional[object] = None,
+    ) -> Callable[[], None]:
+        """Deliver future delta events to ``callback``; returns an unsubscriber.
+
+        Args:
+            callback: called once per event, in emission order.
+            query_key: restrict delivery to one standing query.
+        """
+        entry = (query_key, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._subscribers:
+                self._subscribers.remove(entry)
+
+        return unsubscribe
+
+    def answers(self, key: object) -> Answer:
+        """The current answer of one standing query (a copy)."""
+        if key not in self._states:
+            raise KeyError(f"unknown standing-query key {key!r}")
+        return dict(self._states[key].answer)
+
+    def resolve_window(self, key: object) -> Optional[Tuple[float, float]]:
+        """The window a standing query currently evaluates over.
+
+        ``None`` when the query is dormant: its fixed window does not
+        intersect the fleet's common time span, or its query trajectory was
+        removed from the MOD.
+        """
+        if key not in self._queries:
+            raise KeyError(f"unknown standing-query key {key!r}")
+        return self._resolve_window(self._queries[key])
+
+    def evaluation_count(self, key: object) -> int:
+        """How many times the query's answer was actually recomputed."""
+        if key not in self._states:
+            raise KeyError(f"unknown standing-query key {key!r}")
+        return self._states[key].evaluations
+
+    # ------------------------------------------------------------------
+    # Ingestion.
+    # ------------------------------------------------------------------
+
+    def track(
+        self,
+        object_id: object,
+        *,
+        max_speed: Optional[float] = None,
+        d_max: Optional[float] = None,
+        minimum_radius: float = 1e-3,
+    ):
+        """Open an update feed for an object, seeded from its stored motion.
+
+        Exactly one of ``max_speed`` (location-update discipline) and
+        ``d_max`` (dead reckoning) must be given.
+        """
+        if (max_speed is None) == (d_max is None):
+            raise ValueError("pass exactly one of max_speed and d_max")
+        seed = self.mod.get(object_id) if object_id in self.mod else None
+        if max_speed is not None:
+            return self.ingestor.location_feed(
+                object_id, max_speed, minimum_radius, seed=seed
+            )
+        return self.ingestor.dead_reckoning_feed(object_id, d_max, seed=seed)
+
+    def ingest(self, object_id: object, reports: Iterable) -> None:
+        """Buffer reports for one tracked object (applied on :meth:`apply`)."""
+        feed = self.ingestor.feed(object_id)
+        feed.push_all(reports)
+
+    # ------------------------------------------------------------------
+    # Batch application.
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        trajectories: Optional[Iterable[UncertainTrajectory]] = None,
+        end_time: Optional[float] = None,
+    ) -> BatchReport:
+        """Apply one batch: buffered feed updates plus optional trajectories.
+
+        Args:
+            trajectories: extra full trajectories to upsert alongside the
+                feeds' output (useful for tests and replay tooling).
+            end_time: extrapolation horizon for dead-reckoning feeds.
+
+        Returns:
+            A :class:`BatchReport` with the changed objects, the standing
+            queries that were re-evaluated, and the emitted delta events.
+        """
+        started = time.perf_counter()
+        self._batch += 1
+        changed = self.ingestor.build_dirty(end_time=end_time)
+        for trajectory in trajectories or ():
+            changed[trajectory.object_id] = trajectory
+        for trajectory in changed.values():
+            self.mod.upsert(trajectory)
+
+        affected: List[object] = []
+        events: List[AnswerDelta] = []
+        for standing in self._queries.values():
+            emitted = self._evaluate_one(standing, self._batch)
+            if emitted is not None:
+                affected.append(standing.key)
+                events.extend(emitted)
+        self._dispatch(events)
+        return BatchReport(
+            batch=self._batch,
+            changed_ids=tuple(sorted(changed.keys(), key=str)),
+            affected_queries=tuple(affected),
+            events=tuple(events),
+            seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _resolve_window(
+        self, standing: StandingQuery
+    ) -> Optional[Tuple[float, float]]:
+        if standing.query_id not in self.mod:
+            # The query trajectory was removed: the query goes dormant (its
+            # neighbors are dropped) and revives if the object returns.
+            return None
+        span_lo, span_hi = self.mod.common_time_span()
+        if standing.window is not None:
+            lo = max(standing.window[0], span_lo)
+            hi = min(standing.window[1], span_hi)
+            if hi < lo:
+                return None
+            return (lo, hi)
+        if standing.sliding is not None:
+            return (max(span_lo, span_hi - standing.sliding), span_hi)
+        return (span_lo, span_hi)
+
+    def _evaluate_one(
+        self, standing: StandingQuery, batch: int, force: bool = False
+    ) -> Optional[List[AnswerDelta]]:
+        """Re-evaluate one query if it may be affected; None when untouched.
+
+        The affected-query decision is delegated to the engine's selective
+        invalidation: when the engine serves the *identical* context object
+        the query's current answer was derived from, over an unchanged
+        window, that context survived the corridor-intersection checks
+        against every changed object, so the answer is provably unchanged
+        and the diff is skipped without recomputing anything.  (Object
+        identity, not the ``from_cache`` flag: a re-created cache entry can
+        serve a second standing query "from cache" within the same batch.)
+        """
+        state = self._states[standing.key]
+        window = self._resolve_window(standing)
+        if window is None:
+            if state.window is None and not force:
+                return None
+            answer: Answer = {}
+            context = None
+        else:
+            prepared = self.engine.prepare(
+                standing.query_id, window[0], window[1], band_width=standing.band_width
+            )
+            context = prepared.context
+            if context is state.context and state.window == window and not force:
+                return None
+            answer = answer_of(context, standing.variant, standing.fraction)
+        state.evaluations += 1
+        delta = diff_answers(
+            state.answer, answer, standing.key, standing.query_id, batch
+        )
+        if state.window is not None and state.window != window:
+            # The old window will never be asked for again; free its slot.
+            self.engine.discard_context(
+                standing.query_id,
+                state.window[0],
+                state.window[1],
+                band_width=standing.band_width,
+            )
+        state.window = window
+        state.answer = answer
+        state.context = context
+        return delta
+
+    def _dispatch(self, events: List[AnswerDelta]) -> None:
+        for event in events:
+            for query_key, callback in list(self._subscribers):
+                if query_key is None or query_key == event.query_key:
+                    callback(event)
+
+
+def reference_answer(
+    mod: MovingObjectsDatabase,
+    query_id: object,
+    t_lo: float,
+    t_hi: float,
+    variant: str = "sometime",
+    fraction: float = 0.0,
+    band_width: Optional[float] = None,
+) -> Answer:
+    """From-scratch oracle answer over the current MOD state.
+
+    Builds an unfiltered :class:`QueryContext` (every stored candidate, no
+    index, no cache) and extracts the same answer shape the monitor
+    maintains — the yardstick the correctness tests compare delta-replayed
+    answers against.
+    """
+    context = QueryContext.from_mod(mod, query_id, t_lo, t_hi, band_width=band_width)
+    return answer_of(context, variant, fraction)

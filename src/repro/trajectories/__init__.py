@@ -14,7 +14,7 @@ from .interpolation import (
     sampled_polyline,
     uniform_time_grid,
 )
-from .mod import MovingObjectsDatabase
+from .mod import ChangeRecord, MovingObjectsDatabase
 from .trajectory import Trajectory, TrajectorySample, UncertainTrajectory
 from .updates import (
     LocationUpdate,
@@ -27,6 +27,7 @@ from .updates import (
 )
 
 __all__ = [
+    "ChangeRecord",
     "LoadReport",
     "LocationUpdate",
     "MovingObjectsDatabase",

@@ -8,11 +8,70 @@ query trajectory, and (optionally) index-assisted candidate filtering.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry.envelope.hyperbola import DistanceFunction
 from .difference import difference_distance_functions
 from .trajectory import Trajectory, UncertainTrajectory
+
+#: Changelog entries kept before old records are trimmed.  Derived structures
+#: that fall further behind than this must resynchronize from scratch.
+_CHANGELOG_CAPACITY = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeRecord:
+    """One MOD mutation: which object changed, how, and at which revision.
+
+    Attributes:
+        revision: the (global) revision the mutation produced.
+        kind: ``"add"``, ``"remove"``, or ``"replace"``.
+        object_id: id of the affected trajectory.
+        divergence_time: for replacements, the time from which the new
+            trajectory may differ from the old one (a pure extension
+            diverges at the old end time).  ``None`` means the change can
+            affect any time — derived structures must treat every window
+            touching the object as stale.  Windows ending at or before a
+            finite divergence time are provably unaffected.
+    """
+
+    revision: int
+    kind: str
+    object_id: object
+    divergence_time: Optional[float] = None
+
+
+def _divergence_time(
+    old: UncertainTrajectory, new: UncertainTrajectory
+) -> Optional[float]:
+    """Earliest time from which two trajectories of one object may differ.
+
+    The motions agree up to the last shared sample prefix; a differing
+    uncertainty radius or pdf support makes the change global (``None``),
+    as does a changed start time.
+    """
+    if (
+        type(old.pdf) is not type(new.pdf)
+        or abs(old.radius - new.radius) > 1e-12
+        or abs(old.pdf.support_radius - new.pdf.support_radius) > 1e-12
+    ):
+        return None
+    shared = 0
+    for first, second in zip(old.samples, new.samples):
+        if (
+            abs(first.t - second.t) > 1e-12
+            or abs(first.x - second.x) > 1e-12
+            or abs(first.y - second.y) > 1e-12
+        ):
+            break
+        shared += 1
+    if shared == 0:
+        return None
+    if shared == len(old.samples) == len(new.samples):
+        # Identical trajectories: diverge only after both end.
+        return old.end_time
+    return old.samples[shared - 1].t
 
 
 class MovingObjectsDatabase:
@@ -21,18 +80,62 @@ class MovingObjectsDatabase:
     def __init__(self, trajectories: Optional[Iterable[UncertainTrajectory]] = None):
         self._trajectories: Dict[object, UncertainTrajectory] = {}
         self._revision = 0
+        self._object_revisions: Dict[object, int] = {}
+        self._changelog: List[ChangeRecord] = []
         if trajectories is not None:
             for trajectory in trajectories:
                 self.add(trajectory)
 
     @property
     def revision(self) -> int:
-        """Monotonic change counter, bumped on every add/remove.
+        """Monotonic change counter, bumped on every add/remove/replace.
 
         Lets derived structures (indexes, flattened position arrays) detect
         staleness without hashing the whole store.
         """
         return self._revision
+
+    def object_revision(self, object_id: object) -> int:
+        """Revision at which the object's trajectory last changed.
+
+        Raises:
+            KeyError: when the object id is unknown.
+        """
+        if object_id not in self._trajectories:
+            raise KeyError(f"unknown object id {object_id!r}")
+        return self._object_revisions[object_id]
+
+    def changes_since(self, revision: int) -> Optional[List[ChangeRecord]]:
+        """Mutations after ``revision``, oldest first, or ``None`` if unknowable.
+
+        ``None`` means the changelog no longer reaches back to ``revision``
+        (or the revision is from another store); callers must then treat the
+        whole database as changed.  An up-to-date caller gets ``[]``.
+        """
+        if revision == self._revision:
+            return []
+        if revision > self._revision or revision < 0:
+            return None
+        if not self._changelog or self._changelog[0].revision > revision + 1:
+            return None
+        return [record for record in self._changelog if record.revision > revision]
+
+    def _record_change(
+        self,
+        kind: str,
+        object_id: object,
+        divergence_time: Optional[float] = None,
+    ) -> None:
+        self._revision += 1
+        if kind == "remove":
+            self._object_revisions.pop(object_id, None)
+        else:
+            self._object_revisions[object_id] = self._revision
+        self._changelog.append(
+            ChangeRecord(self._revision, kind, object_id, divergence_time)
+        )
+        if len(self._changelog) > _CHANGELOG_CAPACITY:
+            del self._changelog[: len(self._changelog) - _CHANGELOG_CAPACITY]
 
     # ------------------------------------------------------------------
     # Store operations.
@@ -45,7 +148,7 @@ class MovingObjectsDatabase:
         if trajectory.object_id in self._trajectories:
             raise KeyError(f"object id {trajectory.object_id!r} already stored")
         self._trajectories[trajectory.object_id] = trajectory
-        self._revision += 1
+        self._record_change("add", trajectory.object_id)
 
     def add_all(self, trajectories: Iterable[UncertainTrajectory]) -> None:
         """Insert several trajectories."""
@@ -60,8 +163,39 @@ class MovingObjectsDatabase:
         """
         if object_id not in self._trajectories:
             raise KeyError(f"unknown object id {object_id!r}")
-        self._revision += 1
-        return self._trajectories.pop(object_id)
+        removed = self._trajectories.pop(object_id)
+        self._record_change("remove", object_id)
+        return removed
+
+    def replace_trajectory(self, trajectory: UncertainTrajectory) -> UncertainTrajectory:
+        """Swap in a new trajectory for an already-stored object id.
+
+        This is the mutation an update stream performs: the object keeps its
+        identity while its motion (typically an extension of the old polyline)
+        is replaced wholesale.  Returns the previous trajectory.
+
+        Raises:
+            KeyError: when the object id is not stored.
+        """
+        if not isinstance(trajectory, UncertainTrajectory):
+            raise TypeError("the MOD stores UncertainTrajectory objects")
+        if trajectory.object_id not in self._trajectories:
+            raise KeyError(f"unknown object id {trajectory.object_id!r}")
+        previous = self._trajectories[trajectory.object_id]
+        self._trajectories[trajectory.object_id] = trajectory
+        self._record_change(
+            "replace",
+            trajectory.object_id,
+            divergence_time=_divergence_time(previous, trajectory),
+        )
+        return previous
+
+    def upsert(self, trajectory: UncertainTrajectory) -> Optional[UncertainTrajectory]:
+        """Insert or replace, returning the previous trajectory when replacing."""
+        if trajectory.object_id in self._trajectories:
+            return self.replace_trajectory(trajectory)
+        self.add(trajectory)
+        return None
 
     def get(self, object_id: object) -> UncertainTrajectory:
         """Return the trajectory with the given id.

@@ -8,17 +8,20 @@ from .random_waypoint import (
     generate_trajectories,
 )
 from .scenarios import (
+    StreamingFleetScenario,
     commuter_traffic,
     convoy_with_stragglers,
     delivery_fleet,
     multi_query_fleet,
     ride_hailing_snapshot,
+    streaming_fleet,
 )
 
 __all__ = [
     "MAX_SPEED_MILES_PER_MINUTE",
     "MIN_SPEED_MILES_PER_MINUTE",
     "RandomWaypointConfig",
+    "StreamingFleetScenario",
     "commuter_traffic",
     "convoy_with_stragglers",
     "delivery_fleet",
@@ -26,4 +29,5 @@ __all__ = [
     "generate_trajectories",
     "multi_query_fleet",
     "ride_hailing_snapshot",
+    "streaming_fleet",
 ]

@@ -14,18 +14,23 @@ on recognizable situations rather than pure noise:
   show rank-k (Category 2) queries doing something interesting;
 * :func:`multi_query_fleet` — a city-scale mixed fleet plus a set of
   dispatcher-monitored vehicle ids, the input shape of the batched
-  :class:`~repro.engine.QueryEngine`.
+  :class:`~repro.engine.QueryEngine`;
+* :func:`streaming_fleet` — a fleet with historical motion plus *scripted
+  future update batches*, the input shape of the streaming
+  :class:`~repro.streaming.ContinuousMonitor`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..trajectories.mod import MovingObjectsDatabase
 from ..trajectories.trajectory import TrajectorySample, UncertainTrajectory
+from ..trajectories.updates import LocationUpdate
 from ..uncertainty.uniform import UniformDiskPDF
 
 
@@ -244,6 +249,129 @@ def multi_query_fleet(
         f"veh-{vehicle}" for vehicle in range(0, stride * num_queries, stride)
     ]
     return MovingObjectsDatabase(trajectories), query_ids
+
+
+@dataclass(frozen=True)
+class StreamingFleetScenario:
+    """A live-fleet world: historical MOD plus scripted future update batches.
+
+    Attributes:
+        mod: the fleet's historical trajectories (the monitor's seed state).
+        query_ids: the dispatcher-monitored vehicle ids.
+        batches: scripted update batches, oldest first; each maps object id
+            to its time-ordered :class:`LocationUpdate` reports.  Every
+            vehicle's reports in one batch end at the same time, so the
+            fleet's common time span advances batch by batch.
+        max_speed: speed bound to open the location feeds with.
+        uncertainty_radius: the fleet's shared radius; the report cadence is
+            chosen so the between-report ellipse bounds never exceed it
+            (open feeds with this as ``minimum_radius`` and the radius stays
+            exactly uniform, keeping the 4r band stable across batches).
+    """
+
+    mod: MovingObjectsDatabase
+    query_ids: List[object]
+    batches: List[Dict[object, List[LocationUpdate]]]
+    max_speed: float
+    uncertainty_radius: float
+
+
+def streaming_fleet(
+    num_vehicles: int = 50,
+    num_queries: int = 4,
+    horizon_minutes: float = 30.0,
+    num_batches: int = 5,
+    batch_minutes: float = 3.0,
+    reports_per_batch: int = 3,
+    region_size_miles: float = 25.0,
+    uncertainty_radius: float = 0.3,
+    seed: int = 31,
+) -> StreamingFleetScenario:
+    """A fleet with history and a scripted stream of position reports.
+
+    Vehicles random-walk the region with bounded speed; the historical part
+    covers ``[0, horizon_minutes]`` and each scripted batch extends every
+    vehicle by ``batch_minutes`` with ``reports_per_batch`` reports.  The
+    speed bound is derived from the report cadence so the Pfoser/Jensen
+    ellipse bound stays below ``uncertainty_radius`` — replaying the stream
+    through location feeds keeps every radius at exactly that value.
+    """
+    if num_vehicles < 2:
+        raise ValueError("need at least two vehicles")
+    if not 1 <= num_queries <= num_vehicles:
+        raise ValueError("need between 1 and num_vehicles query vehicles")
+    if num_batches < 1 or reports_per_batch < 1:
+        raise ValueError("need at least one batch and one report per batch")
+    if batch_minutes <= 0 or horizon_minutes <= 0:
+        raise ValueError("batch and horizon durations must be positive")
+    rng = np.random.default_rng(seed)
+    pdf = UniformDiskPDF(uncertainty_radius)
+    report_gap = batch_minutes / reports_per_batch
+    # Worst-case circular ellipse bound between reports is max_speed·Δt/2;
+    # capping it at the fleet radius keeps streamed radii from growing.
+    max_speed = 2.0 * uncertainty_radius / report_gap
+    cruise_speed = 0.6 * max_speed
+
+    positions = rng.uniform(0.0, region_size_miles, size=(num_vehicles, 2))
+    headings = rng.uniform(0.0, 2.0 * math.pi, size=num_vehicles)
+
+    def advance(vehicle: int, dt: float) -> Tuple[float, float]:
+        """Move one vehicle for ``dt`` minutes, reflecting at the borders."""
+        headings[vehicle] += rng.normal(0.0, 0.4)
+        x = positions[vehicle][0] + cruise_speed * dt * math.cos(headings[vehicle])
+        y = positions[vehicle][1] + cruise_speed * dt * math.sin(headings[vehicle])
+        if not 0.0 <= x <= region_size_miles:
+            headings[vehicle] = math.pi - headings[vehicle]
+            x = min(region_size_miles, max(0.0, x))
+        if not 0.0 <= y <= region_size_miles:
+            headings[vehicle] = -headings[vehicle]
+            y = min(region_size_miles, max(0.0, y))
+        positions[vehicle] = (x, y)
+        return (float(x), float(y))
+
+    # Historical trajectories over [0, horizon]: waypoints at the report gap.
+    history_steps = max(1, int(round(horizon_minutes / report_gap)))
+    step = horizon_minutes / history_steps
+    trajectories: List[UncertainTrajectory] = []
+    for vehicle in range(num_vehicles):
+        samples = [
+            TrajectorySample(
+                float(positions[vehicle][0]), float(positions[vehicle][1]), 0.0
+            )
+        ]
+        for index in range(1, history_steps + 1):
+            x, y = advance(vehicle, step)
+            samples.append(TrajectorySample(x, y, index * step))
+        trajectories.append(
+            UncertainTrajectory(
+                f"veh-{vehicle}", samples, uncertainty_radius, pdf
+            )
+        )
+
+    # Scripted future batches, every vehicle reporting at the shared cadence.
+    batches: List[Dict[object, List[LocationUpdate]]] = []
+    for batch in range(num_batches):
+        batch_start = horizon_minutes + batch * batch_minutes
+        reports: Dict[object, List[LocationUpdate]] = {}
+        for vehicle in range(num_vehicles):
+            stream = []
+            for index in range(1, reports_per_batch + 1):
+                x, y = advance(vehicle, report_gap)
+                stream.append(LocationUpdate(x, y, batch_start + index * report_gap))
+            reports[f"veh-{vehicle}"] = stream
+        batches.append(reports)
+
+    stride = num_vehicles // num_queries
+    query_ids: List[object] = [
+        f"veh-{vehicle}" for vehicle in range(0, stride * num_queries, stride)
+    ]
+    return StreamingFleetScenario(
+        mod=MovingObjectsDatabase(trajectories),
+        query_ids=query_ids,
+        batches=batches,
+        max_speed=max_speed,
+        uncertainty_radius=uncertainty_radius,
+    )
 
 
 def ride_hailing_snapshot(

@@ -1,0 +1,87 @@
+"""Delta computation and replay: diff and fold are exact inverses."""
+
+import pytest
+
+from repro.streaming.events import (
+    IntervalChanged,
+    NeighborAppeared,
+    NeighborDropped,
+    answers_equal,
+    diff_answers,
+    replay_deltas,
+)
+
+
+class TestDiffAnswers:
+    def test_no_change_emits_nothing(self):
+        answer = {"a": ((0.0, 1.0),), "b": ((2.0, 3.0),)}
+        assert diff_answers(answer, dict(answer), "q", "veh", 1) == []
+
+    def test_appearance_drop_and_interval_change(self):
+        old = {"a": ((0.0, 1.0),), "b": ((2.0, 3.0),)}
+        new = {"a": ((0.0, 1.5),), "c": ((4.0, 5.0),)}
+        events = diff_answers(old, new, "q", "veh", 7)
+        kinds = [type(event) for event in events]
+        assert kinds == [NeighborAppeared, NeighborDropped, IntervalChanged]
+        appeared, dropped, changed = events
+        assert appeared.neighbor_id == "c"
+        assert appeared.intervals == ((4.0, 5.0),)
+        assert dropped.neighbor_id == "b"
+        assert dropped.last_intervals == ((2.0, 3.0),)
+        assert changed.neighbor_id == "a"
+        assert changed.old_intervals == ((0.0, 1.0),)
+        assert changed.new_intervals == ((0.0, 1.5),)
+        assert all(event.batch == 7 for event in events)
+
+    def test_representation_noise_does_not_fire_interval_changes(self):
+        old = {"a": ((0.0, 1.0),)}
+        new = {"a": ((1e-13, 1.0 + 1e-13),)}
+        assert diff_answers(old, new, "q", "veh", 1) == []
+
+    def test_events_are_deterministically_ordered(self):
+        old = {}
+        new = {"z": (), "a": (), "m": ()}
+        events = diff_answers(old, new, "q", "veh", 1)
+        assert [event.neighbor_id for event in events] == ["a", "m", "z"]
+
+
+class TestReplayDeltas:
+    def test_replay_reconstructs_answers(self):
+        streams = [
+            ({}, {"a": ((0.0, 1.0),), "b": ((1.0, 2.0),)}),
+            (
+                {"a": ((0.0, 1.0),), "b": ((1.0, 2.0),)},
+                {"a": ((0.5, 1.0),), "c": ((3.0, 4.0),)},
+            ),
+        ]
+        events = []
+        for batch, (old, new) in enumerate(streams):
+            events.extend(diff_answers(old, new, "q", "veh", batch))
+        replayed = replay_deltas(events)
+        assert answers_equal(replayed["q"], streams[-1][1])
+
+    def test_replay_handles_multiple_queries(self):
+        events = diff_answers({}, {"a": ()}, "q1", "veh1", 1) + diff_answers(
+            {}, {"b": ()}, "q2", "veh2", 1
+        )
+        replayed = replay_deltas(events)
+        assert set(replayed) == {"q1", "q2"}
+
+    def test_replay_from_initial_state(self):
+        initial = {"q": {"a": ((0.0, 1.0),)}}
+        events = diff_answers({"a": ((0.0, 1.0),)}, {}, "q", "veh", 2)
+        replayed = replay_deltas(events, initial=initial)
+        assert replayed["q"] == {}
+        # the initial dict is not mutated
+        assert initial["q"] == {"a": ((0.0, 1.0),)}
+
+
+class TestAnswersEqual:
+    def test_differing_members_are_unequal(self):
+        assert not answers_equal({"a": ()}, {"b": ()})
+
+    def test_tolerant_to_representation_noise(self):
+        assert answers_equal({"a": ((0.0, 1.0),)}, {"a": ((0.0, 1.0 + 1e-13),)})
+
+    def test_real_interval_shift_is_unequal(self):
+        assert not answers_equal({"a": ((0.0, 1.0),)}, {"a": ((0.0, 1.1),)})

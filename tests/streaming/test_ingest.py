@@ -1,0 +1,169 @@
+"""Update feeds: converter equivalence, seeding, and edge-case handling."""
+
+import pytest
+
+from repro.streaming.ingest import DeadReckoningFeed, LocationFeed, StreamIngestor
+from repro.trajectories.trajectory import UncertainTrajectory
+from repro.trajectories.updates import (
+    LocationUpdate,
+    VelocityUpdate,
+    trajectory_from_dead_reckoning,
+    trajectory_from_updates,
+)
+
+STREAM = [
+    LocationUpdate(0.0, 0.0, 0.0),
+    LocationUpdate(1.0, 0.5, 2.0),
+    LocationUpdate(2.0, 1.5, 4.0),
+    LocationUpdate(2.5, 2.5, 6.0),
+]
+
+DR_STREAM = [
+    VelocityUpdate(0.0, 0.0, 0.0, 1.0, 0.0),
+    VelocityUpdate(2.2, 0.1, 2.0, 1.0, 0.5),
+    VelocityUpdate(4.0, 1.0, 4.0, 0.5, 0.5),
+]
+
+
+class TestLocationFeedConverterEquivalence:
+    def test_feed_matches_trajectory_from_updates(self):
+        feed = LocationFeed("v", max_speed=1.0, minimum_radius=1e-3)
+        feed.push_all(STREAM)
+        built = feed.trajectory()
+        reference = trajectory_from_updates("v", STREAM, 1.0, minimum_radius=1e-3)
+        assert built.radius == pytest.approx(reference.radius)
+        assert [
+            (s.x, s.y, s.t) for s in built.samples
+        ] == [(s.x, s.y, s.t) for s in reference.samples]
+
+    def test_incremental_pushes_match_one_shot_pushes(self):
+        one_shot = LocationFeed("v", max_speed=1.0)
+        one_shot.push_all(STREAM)
+        incremental = LocationFeed("v", max_speed=1.0)
+        for update in STREAM:
+            incremental.push(update)
+        assert incremental.radius == pytest.approx(one_shot.radius)
+        assert incremental.trajectory().samples == one_shot.trajectory().samples
+
+
+class TestLocationFeedEdgeCases:
+    def test_single_report_cannot_build(self):
+        feed = LocationFeed("v", max_speed=1.0)
+        feed.push(STREAM[0])
+        assert not feed.can_build()
+        with pytest.raises(ValueError, match="at least two"):
+            feed.trajectory()
+
+    def test_zero_delta_t_report_rejected(self):
+        feed = LocationFeed("v", max_speed=1.0)
+        feed.push(LocationUpdate(0.0, 0.0, 1.0))
+        with pytest.raises(ValueError, match="does not advance"):
+            feed.push(LocationUpdate(0.5, 0.0, 1.0))
+
+    def test_unreachable_jump_rejected(self):
+        feed = LocationFeed("v", max_speed=0.1)
+        feed.push(LocationUpdate(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError, match="not reachable"):
+            feed.push(LocationUpdate(100.0, 0.0, 1.0))
+
+    def test_tuple_reports_accepted(self):
+        feed = LocationFeed("v", max_speed=1.0)
+        feed.push((0.0, 0.0, 0.0))
+        feed.push((1.0, 0.0, 2.0))
+        assert feed.can_build()
+
+    def test_radius_floor_holds_for_dense_reports(self):
+        # Reports every 1 time unit under max_speed 0.6: ellipse bounds stay
+        # below the 0.3 floor, so the radius never grows.
+        feed = LocationFeed("v", max_speed=0.6, minimum_radius=0.3)
+        for index in range(6):
+            feed.push(LocationUpdate(0.2 * index, 0.0, float(index)))
+        assert feed.radius == pytest.approx(0.3)
+
+
+class TestLocationFeedSeeding:
+    def test_seeded_feed_keeps_history_and_radius(self):
+        seed = UncertainTrajectory(
+            "v", [(0.0, 0.0, 0.0), (1.0, 0.0, 2.0)], 0.4
+        )
+        feed = LocationFeed("v", max_speed=1.0, seed=seed)
+        feed.push(LocationUpdate(1.5, 0.0, 3.0))
+        built = feed.trajectory()
+        assert built.start_time == 0.0
+        assert built.end_time == 3.0
+        assert built.radius >= 0.4
+        assert [s.t for s in built.samples] == [0.0, 2.0, 3.0]
+
+    def test_seed_id_mismatch_rejected(self):
+        seed = UncertainTrajectory("other", [(0.0, 0.0, 0.0), (1.0, 0.0, 2.0)], 0.4)
+        with pytest.raises(ValueError, match="belongs to"):
+            LocationFeed("v", max_speed=1.0, seed=seed)
+
+
+class TestDeadReckoningFeed:
+    def test_feed_matches_converter(self):
+        feed = DeadReckoningFeed("v", d_max=0.5)
+        feed.push_all(DR_STREAM)
+        built = feed.trajectory(end_time=6.0)
+        reference = trajectory_from_dead_reckoning("v", DR_STREAM, 0.5, end_time=6.0)
+        assert built.radius == pytest.approx(reference.radius)
+        assert built.samples == reference.samples
+
+    def test_single_report_builds(self):
+        feed = DeadReckoningFeed("v", d_max=0.5)
+        feed.push(DR_STREAM[0])
+        assert feed.can_build()
+        assert feed.trajectory(end_time=2.0).end_time == 2.0
+
+    def test_seeded_feed_prepends_history(self):
+        seed = UncertainTrajectory("v", [(-2.0, 0.0, -4.0), (0.0, 0.0, 0.0)], 0.3)
+        feed = DeadReckoningFeed("v", d_max=0.5, seed=seed)
+        feed.push_all(DR_STREAM)
+        built = feed.trajectory(end_time=6.0)
+        assert built.start_time == -4.0
+        assert built.radius == pytest.approx(0.5)
+        assert built.position_at(-4.0).x == pytest.approx(-2.0)
+
+    def test_report_before_seed_end_rejected(self):
+        seed = UncertainTrajectory("v", [(0.0, 0.0, 0.0), (1.0, 0.0, 2.0)], 0.3)
+        feed = DeadReckoningFeed("v", d_max=0.5, seed=seed)
+        with pytest.raises(ValueError, match="precedes the seed"):
+            feed.push(VelocityUpdate(0.0, 0.0, 1.0, 1.0, 0.0))
+
+    def test_non_advancing_report_rejected(self):
+        feed = DeadReckoningFeed("v", d_max=0.5)
+        feed.push(DR_STREAM[0])
+        with pytest.raises(ValueError, match="does not advance"):
+            feed.push(VelocityUpdate(1.0, 0.0, 0.0, 1.0, 0.0))
+
+
+class TestStreamIngestor:
+    def test_feeds_are_keyed_and_unique(self):
+        ingestor = StreamIngestor()
+        ingestor.location_feed("a", max_speed=1.0)
+        ingestor.dead_reckoning_feed("b", d_max=0.5)
+        assert "a" in ingestor and "b" in ingestor
+        with pytest.raises(KeyError, match="already has a feed"):
+            ingestor.location_feed("a", max_speed=1.0)
+        with pytest.raises(KeyError, match="no feed registered"):
+            ingestor.feed("ghost")
+
+    def test_build_dirty_skips_unbuildable_and_clears_dirty(self):
+        ingestor = StreamIngestor()
+        ingestor.location_feed("a", max_speed=1.0)
+        ingestor.location_feed("b", max_speed=1.0)
+        ingestor.push("a", STREAM[0])
+        ingestor.push("a", STREAM[1])
+        ingestor.push("b", STREAM[0])  # single report: not buildable yet
+        assert ingestor.dirty_ids() == {"a", "b"}
+        built = ingestor.build_dirty()
+        assert set(built) == {"a"}
+        assert ingestor.dirty_ids() == {"b"}
+        assert ingestor.build_dirty() == {}  # "b" still unbuildable
+
+    def test_build_dirty_passes_dead_reckoning_horizon(self):
+        ingestor = StreamIngestor()
+        ingestor.dead_reckoning_feed("d", d_max=0.5)
+        ingestor.push("d", DR_STREAM[0])
+        built = ingestor.build_dirty(end_time=9.0)
+        assert built["d"].end_time == 9.0

@@ -1,0 +1,142 @@
+"""Mutation APIs of the MOD: remove/replace, per-object revisions, changelog."""
+
+import pytest
+
+from repro.trajectories.mod import ChangeRecord, MovingObjectsDatabase
+from repro.trajectories.trajectory import UncertainTrajectory
+
+
+def make_trajectory(object_id, points, radius=0.5):
+    return UncertainTrajectory(object_id, points, radius)
+
+
+@pytest.fixture
+def mod():
+    return MovingObjectsDatabase(
+        [
+            make_trajectory("a", [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]),
+            make_trajectory("b", [(5.0, 5.0, 0.0), (5.0, -5.0, 10.0)]),
+        ]
+    )
+
+
+class TestRemove:
+    def test_remove_returns_trajectory_and_forgets_it(self, mod):
+        removed = mod.remove("a")
+        assert removed.object_id == "a"
+        assert "a" not in mod
+        assert len(mod) == 1
+
+    def test_remove_unknown_id_raises(self, mod):
+        with pytest.raises(KeyError):
+            mod.remove("nope")
+
+    def test_remove_bumps_revision(self, mod):
+        before = mod.revision
+        mod.remove("a")
+        assert mod.revision == before + 1
+
+
+class TestReplaceTrajectory:
+    def test_replace_swaps_and_returns_previous(self, mod):
+        old = mod.get("a")
+        new = make_trajectory("a", [(0.0, 0.0, 0.0), (0.0, 10.0, 10.0)])
+        previous = mod.replace_trajectory(new)
+        assert previous is old
+        assert mod.get("a") is new
+        assert len(mod) == 2
+
+    def test_replace_unknown_id_raises(self, mod):
+        with pytest.raises(KeyError):
+            mod.replace_trajectory(
+                make_trajectory("ghost", [(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)])
+            )
+
+    def test_replace_rejects_crisp_trajectories(self, mod):
+        with pytest.raises(TypeError):
+            mod.replace_trajectory(mod.get("a").crisp())
+
+    def test_upsert_adds_then_replaces(self, mod):
+        fresh = make_trajectory("c", [(1.0, 1.0, 0.0), (2.0, 2.0, 10.0)])
+        assert mod.upsert(fresh) is None
+        assert "c" in mod
+        again = make_trajectory("c", [(1.0, 1.0, 0.0), (3.0, 3.0, 10.0)])
+        assert mod.upsert(again) is fresh
+
+
+class TestRevisionsAndChangelog:
+    def test_object_revision_tracks_latest_change(self, mod):
+        first = mod.object_revision("a")
+        mod.replace_trajectory(
+            make_trajectory("a", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)])
+        )
+        assert mod.object_revision("a") == mod.revision > first
+
+    def test_object_revision_unknown_raises(self, mod):
+        with pytest.raises(KeyError):
+            mod.object_revision("nope")
+
+    def test_changes_since_lists_mutations_in_order(self, mod):
+        base = mod.revision
+        mod.remove("b")
+        mod.add(make_trajectory("c", [(0.0, 0.0, 0.0), (1.0, 0.0, 10.0)]))
+        changes = mod.changes_since(base)
+        assert [record.kind for record in changes] == ["remove", "add"]
+        assert [record.object_id for record in changes] == ["b", "c"]
+        assert all(isinstance(record, ChangeRecord) for record in changes)
+
+    def test_changes_since_current_revision_is_empty(self, mod):
+        assert mod.changes_since(mod.revision) == []
+
+    def test_changes_since_future_or_foreign_revision_is_none(self, mod):
+        assert mod.changes_since(mod.revision + 5) is None
+        assert mod.changes_since(-1) is None
+
+    def test_changes_since_trimmed_history_is_none(self, mod):
+        from repro.trajectories import mod as mod_module
+
+        base = mod.revision
+        new = make_trajectory("a", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)])
+        for _ in range(mod_module._CHANGELOG_CAPACITY + 1):
+            new = mod.replace_trajectory(new)
+        assert mod.changes_since(base) is None
+        assert mod.changes_since(mod.revision - 1) is not None
+
+
+class TestDivergenceTime:
+    def test_pure_extension_diverges_at_old_end(self, mod):
+        base = mod.revision
+        old = mod.get("a")
+        extended = UncertainTrajectory(
+            "a",
+            list(old.samples) + [type(old.samples[0])(12.0, 0.0, 12.0)],
+            old.radius,
+        )
+        mod.replace_trajectory(extended)
+        (record,) = mod.changes_since(base)
+        assert record.divergence_time == pytest.approx(old.end_time)
+
+    def test_in_window_edit_diverges_at_last_shared_sample(self, mod):
+        base = mod.revision
+        mod.replace_trajectory(
+            make_trajectory("a", [(0.0, 0.0, 0.0), (99.0, 0.0, 10.0)])
+        )
+        (record,) = mod.changes_since(base)
+        assert record.divergence_time == pytest.approx(0.0)
+
+    def test_radius_change_is_a_global_divergence(self, mod):
+        base = mod.revision
+        old = mod.get("a")
+        mod.replace_trajectory(
+            UncertainTrajectory("a", old.samples, old.radius * 2.0)
+        )
+        (record,) = mod.changes_since(base)
+        assert record.divergence_time is None
+
+    def test_add_and_remove_are_global(self, mod):
+        base = mod.revision
+        mod.remove("b")
+        mod.add(make_trajectory("d", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)]))
+        removal, addition = mod.changes_since(base)
+        assert removal.divergence_time is None
+        assert addition.divergence_time is None

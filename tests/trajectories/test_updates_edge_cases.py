@@ -1,0 +1,131 @@
+"""Edge cases of the Section 2.1 update-stream converters."""
+
+import math
+
+import pytest
+
+from repro.trajectories.updates import (
+    LocationUpdate,
+    VelocityUpdate,
+    dead_reckoning_positions,
+    ellipse_uncertainty_bound,
+    trajectory_from_dead_reckoning,
+    trajectory_from_updates,
+)
+
+
+class TestSingleUpdateStreams:
+    def test_single_location_update_cannot_form_a_trajectory(self):
+        with pytest.raises(ValueError, match="at least two"):
+            trajectory_from_updates("v", [LocationUpdate(0.0, 0.0, 0.0)], 1.0)
+
+    def test_empty_location_stream_raises(self):
+        with pytest.raises(ValueError, match="at least two"):
+            trajectory_from_updates("v", [], 1.0)
+
+    def test_single_dead_reckoning_update_extrapolates(self):
+        trajectory = trajectory_from_dead_reckoning(
+            "v", [VelocityUpdate(1.0, 2.0, 0.0, 0.5, -0.5)], d_max=0.2, end_time=4.0
+        )
+        assert trajectory.start_time == 0.0
+        assert trajectory.end_time == 4.0
+        end = trajectory.position_at(4.0)
+        assert end.x == pytest.approx(1.0 + 0.5 * 4.0)
+        assert end.y == pytest.approx(2.0 - 0.5 * 4.0)
+        assert trajectory.radius == pytest.approx(0.2)
+
+    def test_empty_dead_reckoning_stream_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            trajectory_from_dead_reckoning("v", [], d_max=0.2)
+
+
+class TestZeroDeltaT:
+    def test_zero_gap_between_location_reports_raises(self):
+        updates = [
+            LocationUpdate(0.0, 0.0, 0.0),
+            LocationUpdate(1.0, 0.0, 5.0),
+            LocationUpdate(1.5, 0.0, 5.0),
+        ]
+        with pytest.raises(ValueError, match="time-ordered"):
+            trajectory_from_updates("v", updates, max_speed=1.0)
+
+    def test_ellipse_bound_rejects_zero_interval(self):
+        first = LocationUpdate(0.0, 0.0, 1.0)
+        second = LocationUpdate(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="time-ordered"):
+            ellipse_uncertainty_bound(first, second, max_speed=1.0, t=1.0)
+
+    def test_dead_reckoning_duplicate_time_keeps_reported_location(self):
+        # Two reports at the same time: the converter's deduplication keeps
+        # the corrected (reported) location rather than a zero-length leg.
+        updates = [
+            VelocityUpdate(0.0, 0.0, 0.0, 1.0, 0.0),
+            VelocityUpdate(2.0, 0.0, 2.0, 1.0, 0.0),
+        ]
+        trajectory = trajectory_from_dead_reckoning("v", updates, 0.5, end_time=3.0)
+        times = [sample.t for sample in trajectory.samples]
+        assert times == sorted(times)
+        assert len(times) == len(set(times)), "duplicate timestamps must collapse"
+
+
+class TestDeadReckoningWithinContract:
+    """A stream whose motion never violates ``D_max``: one report suffices."""
+
+    def test_compliant_stream_matches_extrapolation_everywhere(self):
+        # The object moves exactly as dead-reckoned, so later reports land
+        # on the extrapolated track and the polyline is a single straight
+        # motion with radius D_max.
+        updates = [
+            VelocityUpdate(0.0, 0.0, 0.0, 1.0, 2.0),
+            VelocityUpdate(1.0, 2.0, 1.0, 1.0, 2.0),
+            VelocityUpdate(3.0, 6.0, 3.0, 1.0, 2.0),
+        ]
+        trajectory = trajectory_from_dead_reckoning("v", updates, 0.4, end_time=5.0)
+        for t in [0.0, 0.5, 1.0, 2.0, 3.0, 4.5, 5.0]:
+            position = trajectory.position_at(t)
+            assert position.x == pytest.approx(t, abs=1e-9)
+            assert position.y == pytest.approx(2.0 * t, abs=1e-9)
+        assert trajectory.radius == pytest.approx(0.4)
+
+    def test_positions_resolve_against_latest_update(self):
+        updates = [
+            VelocityUpdate(0.0, 0.0, 0.0, 1.0, 0.0),
+            VelocityUpdate(5.0, 0.0, 2.0, 0.0, 1.0),
+        ]
+        samples = dead_reckoning_positions(updates, [1.0, 2.0, 3.0])
+        assert (samples[0].x, samples[0].y) == (1.0, 0.0)
+        assert (samples[1].x, samples[1].y) == (5.0, 0.0)
+        assert (samples[2].x, samples[2].y) == (5.0, 1.0)
+
+    def test_time_before_first_update_raises(self):
+        with pytest.raises(ValueError, match="precedes"):
+            dead_reckoning_positions(
+                [VelocityUpdate(0.0, 0.0, 1.0, 0.0, 0.0)], [0.0]
+            )
+
+
+class TestEllipseBoundProperties:
+    def test_bound_vanishes_at_the_reports(self):
+        first = LocationUpdate(0.0, 0.0, 0.0)
+        second = LocationUpdate(3.0, 4.0, 10.0)
+        assert ellipse_uncertainty_bound(first, second, 1.0, 0.0) == pytest.approx(0.0)
+        assert ellipse_uncertainty_bound(first, second, 1.0, 10.0) == pytest.approx(0.0)
+
+    def test_bound_capped_by_half_speed_budget(self):
+        first = LocationUpdate(0.0, 0.0, 0.0)
+        second = LocationUpdate(1.0, 0.0, 2.0)
+        max_speed = 2.0
+        for fraction in [0.1, 0.25, 0.5, 0.75, 0.9]:
+            t = 2.0 * fraction
+            bound = ellipse_uncertainty_bound(first, second, max_speed, t)
+            gap = math.hypot(1.0, 0.0)
+            assert bound <= (max_speed * 2.0 - gap) / 2.0 + 1e-9
+
+    def test_unreachable_reports_raise(self):
+        with pytest.raises(ValueError, match="not reachable"):
+            ellipse_uncertainty_bound(
+                LocationUpdate(0.0, 0.0, 0.0),
+                LocationUpdate(100.0, 0.0, 1.0),
+                max_speed=1.0,
+                t=0.5,
+            )
