@@ -5,7 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-streaming bench-streaming-smoke lint
+.PHONY: test bench-smoke bench bench-streaming bench-streaming-smoke \
+	bench-sharded bench-sharded-smoke bench-all bench-all-smoke \
+	check-regression lint
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +24,28 @@ bench-streaming-smoke:
 bench-streaming:
 	$(PYTHON) benchmarks/bench_streaming.py --json BENCH_streaming.json --min-speedup 3
 
+bench-sharded-smoke:
+	$(PYTHON) benchmarks/bench_sharded.py --quick --json BENCH_sharded.json
+
+bench-sharded:
+	$(PYTHON) benchmarks/bench_sharded.py --json BENCH_sharded.json
+
+# The unified runner: one schema-versioned BENCH_<name>.json per bench.
+bench-all:
+	$(PYTHON) benchmarks/run_all.py
+
+bench-all-smoke:
+	$(PYTHON) benchmarks/run_all.py --quick
+	$(PYTHON) benchmarks/check_regression.py --results-dir .
+
+check-regression:
+	$(PYTHON) benchmarks/check_regression.py --results-dir .
+
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples
-	$(PYTHON) -c "import repro; import repro.engine; import repro.streaming; print('import ok:', repro.__version__)"
+	$(PYTHON) -c "import repro; import repro.engine; import repro.streaming; import repro.parallel; print('import ok:', repro.__version__)"
+	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src benchmarks examples tests; \
+	else \
+		echo "ruff not installed; skipping ruff check"; \
+	fi

@@ -24,12 +24,16 @@ from __future__ import annotations
 
 import argparse
 import time
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.core.queries import QueryContext
 from repro.engine import QueryEngine
 from repro.trajectories.mod import MovingObjectsDatabase
 from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+from common import default_output_path, write_record
+
+BENCH_NAME = "batch_engine"
 
 #: Queries measured for the unfiltered baseline at each configuration; the
 #: baseline is per-query (no shared state), so a few samples suffice.
@@ -51,7 +55,7 @@ def pick_query_ids(mod: MovingObjectsDatabase, count: int) -> List[object]:
 
 def run_configuration(
     mod: MovingObjectsDatabase, num_queries: int, max_workers: int | None
-) -> None:
+) -> Dict[str, float]:
     lo, hi = mod.common_time_span()
     query_ids = pick_query_ids(mod, num_queries)
 
@@ -82,17 +86,48 @@ def run_configuration(
         f" (filter ratio {batch.mean_filter_ratio:5.1%},"
         f" band pruning of survivors {band_pruning:5.1%})"
     )
+    return {
+        "engine_ms_per_query": engine_per_query * 1000.0,
+        "unfiltered_ms_per_query": baseline_per_query * 1000.0,
+        "speedup": speedup,
+        "cached_us_per_query": refresh_per_query * 1e6,
+        "filter_ratio": batch.mean_filter_ratio,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    sizes: List[int] | None = None,
+    batches: List[int] | None = None,
+    workers: int | None = None,
+) -> Tuple[Dict, Dict[str, float]]:
+    """Run the sweep; returns ``(config, metrics)`` for the record schema.
+
+    Metric keys are flattened per configuration: ``n<size>_q<batch>_<metric>``.
+    """
+    sizes = sizes or ([100, 500] if quick else [100, 500, 2000])
+    batches = batches or ([1, 8] if quick else [1, 8, 32])
+    config = {"sizes": sizes, "batches": batches, "workers": workers}
+    metrics: Dict[str, float] = {}
+    for num_objects in sizes:
+        mod = build_mod(num_objects)
+        print(f"N={num_objects} objects:")
+        for num_queries in batches:
+            numbers = run_configuration(mod, num_queries, workers)
+            for key, value in numbers.items():
+                metrics[f"n{num_objects}_q{num_queries}_{key}"] = value
+    return config, metrics
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--sizes", type=int, nargs="+", default=[100, 500, 2000],
-        help="database sizes to sweep",
+        "--sizes", type=int, nargs="+", default=None,
+        help="database sizes to sweep (default 100 500 2000)",
     )
     parser.add_argument(
-        "--batches", type=int, nargs="+", default=[1, 8, 32],
-        help="concurrent query batch sizes to sweep",
+        "--batches", type=int, nargs="+", default=None,
+        help="concurrent query batch sizes to sweep (default 1 8 32)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -102,17 +137,21 @@ def main() -> None:
         "--quick", action="store_true",
         help="reduced grid (sizes 100/500, batches 1/8) for smoke tests",
     )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help=f"write the record to this JSON file (e.g. {default_output_path(BENCH_NAME)})",
+    )
     args = parser.parse_args()
-    sizes = [100, 500] if args.quick else args.sizes
-    batches = [1, 8] if args.quick else args.batches
 
     print("batched engine vs unfiltered per-query preparation")
     print(f"(random-waypoint workload; baseline sampled over {BASELINE_SAMPLES} queries)")
-    for num_objects in sizes:
-        mod = build_mod(num_objects)
-        print(f"N={num_objects} objects:")
-        for num_queries in batches:
-            run_configuration(mod, num_queries, args.workers)
+    config, metrics = run_bench(
+        quick=args.quick, sizes=args.sizes, batches=args.batches,
+        workers=args.workers,
+    )
+    if args.json:
+        write_record(args.json, BENCH_NAME, config, metrics)
+        print(f"  wrote {args.json}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,161 @@
+"""Benchmark: sharded parallel execution vs the single-process engine.
+
+Runs the :func:`repro.workloads.scenarios.sharded_fleet` metro workload
+through the :class:`repro.parallel.ShardedEngine` across a grid of shard
+counts and backends and compares against one monolithic
+:class:`repro.engine.QueryEngine`:
+
+* **cold** — first batch after construction (index builds, corridor
+  filtering, envelope construction over each shard's member set);
+* **warm** — the same batch again (context caches hot; the dashboard
+  refresh path);
+* **members** — mean shard-member count entering per-shard preparation
+  (the data reduction sharding buys relative to the full store);
+* **fallback ratio** — queries escaping their shard's safety check and
+  re-answered against the full store.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py
+    PYTHONPATH=src python benchmarks/bench_sharded.py --quick --json BENCH_sharded.json
+
+Sharded answers are exact by construction (the oracle tests assert equality
+with the single engine); this benchmark also verifies the answers match and
+fails loudly when they do not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Tuple
+
+from repro.engine import QueryEngine
+from repro.parallel import ShardedEngine
+from repro.workloads.scenarios import sharded_fleet
+
+from common import default_output_path, write_record
+
+BENCH_NAME = "sharded"
+
+
+def run_bench(
+    quick: bool = False,
+    shard_counts: List[int] | None = None,
+    backends: List[str] | None = None,
+    workers: int | None = None,
+) -> Tuple[Dict, Dict[str, float]]:
+    """Run the sweep; returns ``(config, metrics)`` for the record schema."""
+    if quick:
+        num_districts, per_district = 4, 12
+        shard_counts = shard_counts or [1, 4]
+        backends = backends or ["serial", "process"]
+    else:
+        num_districts, per_district = 9, 25
+        shard_counts = shard_counts or [1, 2, 4, 9]
+        backends = backends or ["serial", "thread", "process"]
+    mod, query_ids = sharded_fleet(
+        num_districts=num_districts, vehicles_per_district=per_district
+    )
+    lo, hi = mod.common_time_span()
+    config = {
+        "districts": num_districts,
+        "vehicles_per_district": per_district,
+        "objects": len(mod),
+        "queries": len(query_ids),
+        "shard_counts": shard_counts,
+        "backends": backends,
+        "workers": workers,
+    }
+    metrics: Dict[str, float] = {}
+
+    single = QueryEngine(mod)
+    started = time.perf_counter()
+    expected = {
+        query_id: single.answer(query_id, lo, hi) for query_id in query_ids
+    }
+    single_cold = time.perf_counter() - started
+    started = time.perf_counter()
+    for query_id in query_ids:
+        single.answer(query_id, lo, hi)
+    single_warm = time.perf_counter() - started
+    metrics["single_cold_ms_per_query"] = single_cold * 1000.0 / len(query_ids)
+    metrics["single_warm_ms_per_query"] = single_warm * 1000.0 / len(query_ids)
+    print(
+        f"  single engine            cold {metrics['single_cold_ms_per_query']:7.1f} ms/q"
+        f"   warm {metrics['single_warm_ms_per_query']:7.1f} ms/q"
+        f"   ({len(mod)} candidates)"
+    )
+
+    for backend in backends:
+        for shards in shard_counts:
+            with ShardedEngine(
+                mod, shards, backend=backend, max_workers=workers
+            ) as engine:
+                cold = engine.answer_batch(query_ids, lo, hi)
+                if cold.answers != expected:
+                    raise AssertionError(
+                        f"sharded answers diverged ({backend}, {shards} shards)"
+                    )
+                warm = engine.answer_batch(query_ids, lo, hi)
+                infos = engine.shard_info()
+                mean_members = sum(i.members for i in infos) / len(infos)
+                key = f"{backend}_s{shards}"
+                metrics[f"{key}_cold_ms_per_query"] = (
+                    cold.total_seconds * 1000.0 / len(query_ids)
+                )
+                metrics[f"{key}_warm_ms_per_query"] = (
+                    warm.total_seconds * 1000.0 / len(query_ids)
+                )
+                metrics[f"{key}_mean_members"] = mean_members
+                metrics[f"{key}_fallback_ratio"] = cold.fallback_ratio
+                print(
+                    f"  {backend:7s} x{shards:2d} shards    "
+                    f"cold {metrics[f'{key}_cold_ms_per_query']:7.1f} ms/q"
+                    f"   warm {metrics[f'{key}_warm_ms_per_query']:7.1f} ms/q"
+                    f"   members {mean_members:6.1f}"
+                    f"   fallback {cold.fallback_ratio:5.1%}"
+                )
+    return config, metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=None,
+        help="shard counts to sweep",
+    )
+    parser.add_argument(
+        "--backends", type=str, nargs="+", default=None,
+        choices=["serial", "thread", "process"],
+        help="backends to sweep",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool width per engine"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (4 districts, shards 1/4) for smoke tests",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help=f"write the record to this JSON file (e.g. {default_output_path(BENCH_NAME)})",
+    )
+    args = parser.parse_args()
+
+    print("sharded parallel execution vs single-process engine")
+    print("(sharded_fleet metro workload; answers verified equal)")
+    config, metrics = run_bench(
+        quick=args.quick,
+        shard_counts=args.shards,
+        backends=args.backends,
+        workers=args.workers,
+    )
+    if args.json:
+        write_record(args.json, BENCH_NAME, config, metrics)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,13 +24,16 @@ bar into the exit code.
 from __future__ import annotations
 
 import argparse
-import json
 import time
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.engine import QueryEngine
 from repro.streaming import ContinuousMonitor
 from repro.workloads.scenarios import streaming_fleet
+
+from common import default_output_path, write_record
+
+BENCH_NAME = "streaming"
 
 
 def rebuild_from_scratch(monitor: ContinuousMonitor) -> float:
@@ -94,14 +97,39 @@ def run(
     mean_incremental = sum(incremental) / len(incremental)
     mean_rebuild = sum(rebuild) / len(rebuild)
     return {
-        "objects": num_vehicles,
-        "standing_queries": num_queries,
-        "measured_batches": measured_batches,
         "incremental_ms": mean_incremental * 1000.0,
         "rebuild_ms": mean_rebuild * 1000.0,
         "speedup": mean_rebuild / mean_incremental if mean_incremental else float("inf"),
         "mean_affected_queries": sum(affected_counts) / len(affected_counts),
     }
+
+
+def run_bench(
+    quick: bool = False,
+    objects: int | None = None,
+    queries: int | None = None,
+    batches: int = 5,
+    sliding: float = 15.0,
+) -> Tuple[Dict, Dict[str, float]]:
+    """Run the comparison; returns ``(config, metrics)`` for the record schema."""
+    objects = objects if objects is not None else (120 if quick else 500)
+    queries = queries if queries is not None else (4 if quick else 8)
+    batches = 3 if quick and batches > 3 else batches
+    config = {
+        "objects": objects,
+        "standing_queries": queries,
+        "measured_batches": batches,
+        "sliding_minutes": sliding,
+    }
+    print(f"({objects} vehicles, {queries} standing queries, single-object batches)")
+    metrics = run(objects, queries, batches, sliding)
+    print(
+        f"  incremental {metrics['incremental_ms']:8.1f} ms/batch"
+        f"  rebuild {metrics['rebuild_ms']:8.1f} ms/batch"
+        f"  speedup {metrics['speedup']:5.1f}x"
+        f"  (affected {metrics['mean_affected_queries']:.1f}/{queries} queries/batch)"
+    )
+    return config, metrics
 
 
 def main() -> int:
@@ -129,24 +157,20 @@ def main() -> int:
         help="exit non-zero when the incremental speedup falls below this",
     )
     args = parser.parse_args()
-    objects = 120 if args.quick else args.objects
-    queries = 4 if args.quick else args.queries
 
     print("incremental streaming maintenance vs rebuild-from-scratch")
-    print(f"({objects} vehicles, {queries} standing queries, single-object batches)")
-    result = run(objects, queries, args.batches, args.sliding)
-    print(
-        f"  incremental {result['incremental_ms']:8.1f} ms/batch"
-        f"  rebuild {result['rebuild_ms']:8.1f} ms/batch"
-        f"  speedup {result['speedup']:5.1f}x"
-        f"  (affected {result['mean_affected_queries']:.1f}/{queries} queries/batch)"
+    config, metrics = run_bench(
+        quick=args.quick,
+        objects=None if args.quick else args.objects,
+        queries=None if args.quick else args.queries,
+        batches=args.batches,
+        sliding=args.sliding,
     )
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(result, handle, indent=2)
+        write_record(args.json, BENCH_NAME, config, metrics)
         print(f"  wrote {args.json}")
-    if args.min_speedup and result["speedup"] < args.min_speedup:
-        print(f"FAIL: speedup {result['speedup']:.2f}x below {args.min_speedup}x")
+    if args.min_speedup and metrics["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {metrics['speedup']:.2f}x below {args.min_speedup}x")
         return 1
     return 0
 

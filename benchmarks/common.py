@@ -1,0 +1,64 @@
+"""Shared benchmark-record schema and helpers.
+
+Every benchmark in this directory emits one JSON record file named
+``BENCH_<name>.json`` with the layout documented in ``benchmarks/README.md``:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "bench": "<name>",
+      "config": {"...": "knobs the run used"},
+      "metrics": {"<metric>": 1.23},
+      "environment": {"python": "3.11.7", "platform": "..."}
+    }
+
+``metrics`` values are flat numbers so the regression gate
+(``check_regression.py``) and trend tooling can consume them without
+per-bench knowledge; ``config`` holds whatever the bench needs to make the
+run reproducible.  Bump ``schema_version`` on any breaking layout change.
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import platform
+from typing import Dict
+
+SCHEMA_VERSION = 1
+
+
+def bench_record(bench: str, config: Dict, metrics: Dict[str, float]) -> Dict:
+    """Assemble a schema-versioned record for one benchmark run."""
+    for key, value in metrics.items():
+        if not isinstance(value, numbers.Real):
+            raise TypeError(
+                f"metric {key!r} must be a number, got {type(value).__name__}"
+            )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "config": dict(config),
+        "metrics": {key: float(value) for key, value in metrics.items()},
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+
+
+def write_record(
+    path: str, bench: str, config: Dict, metrics: Dict[str, float]
+) -> Dict:
+    """Write one benchmark record to ``path``; returns the record."""
+    record = bench_record(bench, config, metrics)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record
+
+
+def default_output_path(bench: str) -> str:
+    """The conventional artifact name for a bench record."""
+    return f"BENCH_{bench}.json"

@@ -22,6 +22,7 @@ from .core import (
     build_ipac_tree,
 )
 from .engine import BatchResult, PreparedQuery, QueryEngine
+from .parallel import ShardPlan, ShardedBatchResult, ShardedEngine
 from .streaming import (
     BatchReport,
     ContinuousMonitor,
@@ -62,6 +63,9 @@ __all__ = [
     "QueryContext",
     "QueryEngine",
     "RandomWaypointConfig",
+    "ShardPlan",
+    "ShardedBatchResult",
+    "ShardedEngine",
     "Trajectory",
     "TrajectorySample",
     "TruncatedGaussianPDF",

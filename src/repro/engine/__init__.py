@@ -7,6 +7,7 @@ thread pool), and memoizes them in an LRU cache — the architectural seam the
 scaling roadmap (sharding, async serving, distributed caching) builds on.
 """
 
+from .answers import VARIANTS, Answer, answer_of
 from .cache import CacheInfo, ContextCache, context_key
 from .engine import BatchResult, PreparedQuery, QueryEngine
 from .filtering import (
@@ -18,12 +19,15 @@ from .filtering import (
 )
 
 __all__ = [
+    "Answer",
     "BatchResult",
     "CacheInfo",
     "ContextCache",
     "PreparedQuery",
     "QueryEngine",
     "TrajectoryArrays",
+    "VARIANTS",
+    "answer_of",
     "conservative_corridor_radius",
     "context_key",
     "filter_candidates",

@@ -1,0 +1,46 @@
+"""The shared UQ3x answer shape served by every execution layer.
+
+An *answer* is the mapping ``neighbor id -> non-zero-probability intervals``
+for every member of a UQ31/32/33 answer set — the structure the streaming
+monitor diffs into deltas, the sharded engine merges across shards, and the
+oracle tests compare.  Centralizing the variant dispatch here keeps the
+batch, streaming, and parallel paths byte-compatible with each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.queries import QueryContext
+
+#: The supported UQ3x variants, in paper order.
+VARIANTS = ("sometime", "always", "fraction")
+
+Intervals = Tuple[Tuple[float, float], ...]
+
+#: A query's full answer: neighbor id -> relevance intervals.
+Answer = Dict[object, Intervals]
+
+
+def answer_of(
+    context: QueryContext, variant: str, fraction: float = 0.0
+) -> Answer:
+    """A query's answer shape from a prepared context.
+
+    The UQ3x member set of the requested variant, each member mapped to its
+    exact non-zero-probability intervals (the UQ11/UQ13 information).  The
+    live monitor, the sharded engine's per-shard workers, and the
+    from-scratch oracles all derive their answers through this one dispatch.
+    """
+    if variant == "sometime":
+        members = context.uq31_all_sometime()
+    elif variant == "always":
+        members = context.uq32_all_always()
+    elif variant == "fraction":
+        members = context.uq33_all_at_least(fraction)
+    else:
+        raise ValueError(f"unknown variant {variant!r} (expected {VARIANTS})")
+    return {
+        member: tuple(context.nonzero_probability_intervals(member))
+        for member in members
+    }

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.queries import QueryContext
 from ..trajectories.mod import MovingObjectsDatabase
+from .answers import Answer, answer_of
 from .cache import CacheInfo, ContextCache
 from .filtering import (
     TrajectoryArrays,
@@ -442,6 +443,24 @@ class QueryEngine:
         if use_index:
             self._cache.put(query_id, t_start, t_end, band_width, prepared.context)
         return prepared
+
+    def answer(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        variant: str = "sometime",
+        fraction: float = 0.0,
+        band_width: Optional[float] = None,
+    ) -> Answer:
+        """Prepare (or fetch) one query's context and extract its UQ3x answer.
+
+        The single entry point the streaming monitor, the sharded engine's
+        per-shard workers, and ad-hoc callers share, so every execution layer
+        produces the identical answer shape for identical inputs.
+        """
+        prepared = self.prepare(query_id, t_start, t_end, band_width=band_width)
+        return answer_of(prepared.context, variant, fraction)
 
     def prepare_batch(
         self,

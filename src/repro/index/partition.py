@@ -1,0 +1,169 @@
+"""Spatial partition extraction: object-id groups from STR tiling, trees, and grids.
+
+The sharded execution layer (:mod:`repro.parallel`) needs the *assignment*
+side of an index without the probing side: a way to split the stored object
+ids into ``k`` spatially coherent, balanced groups.  Three extractors are
+provided, all deterministic:
+
+* :func:`str_partition` — Sort-Tile-Recursive tiling of per-object bounding
+  boxes, the same packing discipline the bulk-loaded R-tree uses for its
+  leaves, applied at one-entry-per-object granularity;
+* :func:`partition_from_rtree` — walk an existing :class:`STRRTree`'s leaves
+  in packing order and group objects by the leaf holding their earliest box;
+* :func:`partition_from_grid` — walk an existing :class:`GridIndex`'s cells
+  in row-major order and group objects by their first occupied cell.
+
+Every extractor returns a list of disjoint id groups covering the input
+exactly once, with group sizes differing by at most one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: A per-object spatial footprint: ``(x_min, y_min, x_max, y_max)``.
+Bounds = Tuple[float, float, float, float]
+
+
+def _balanced_slices(ordered: Sequence[object], num_groups: int) -> List[List[object]]:
+    """Slice an ordered id sequence into ``num_groups`` near-equal runs.
+
+    Empty groups are never produced: with fewer ids than groups the result
+    has one group per id.
+    """
+    count = len(ordered)
+    groups = min(num_groups, count)
+    if groups == 0:
+        return []
+    base, extra = divmod(count, groups)
+    slices: List[List[object]] = []
+    position = 0
+    for group in range(groups):
+        size = base + (1 if group < extra else 0)
+        slices.append(list(ordered[position:position + size]))
+        position += size
+    return slices
+
+
+def str_order(bounds_by_id: Dict[object, Bounds], num_groups: int) -> List[object]:
+    """Object ids in Sort-Tile-Recursive order for a ``num_groups`` tiling.
+
+    Ids are sorted by bounding-box x-center, cut into ``ceil(sqrt(k))``
+    vertical strips, and each strip is sorted by y-center — the exact
+    discipline :meth:`repro.index.rtree.STRRTree._pack_leaves` applies to
+    segment boxes.  Consecutive runs of the returned order are therefore
+    spatially coherent tiles.
+    """
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    ids = list(bounds_by_id)
+    if not ids:
+        return []
+
+    def center(object_id: object) -> Tuple[float, float]:
+        x_min, y_min, x_max, y_max = bounds_by_id[object_id]
+        return ((x_min + x_max) / 2.0, (y_min + y_max) / 2.0)
+
+    # Ties broken by stringified id so the order is total and reproducible.
+    by_x = sorted(ids, key=lambda object_id: (center(object_id)[0], str(object_id)))
+    strip_count = max(1, math.ceil(math.sqrt(min(num_groups, len(ids)))))
+    per_strip = math.ceil(len(by_x) / strip_count)
+    ordered: List[object] = []
+    for strip_start in range(0, len(by_x), per_strip):
+        strip = by_x[strip_start:strip_start + per_strip]
+        strip.sort(key=lambda object_id: (center(object_id)[1], str(object_id)))
+        ordered.extend(strip)
+    return ordered
+
+
+def str_partition(
+    bounds_by_id: Dict[object, Bounds], num_groups: int
+) -> List[List[object]]:
+    """Balanced STR-tiled partition of object ids into at most ``num_groups``."""
+    return _balanced_slices(str_order(bounds_by_id, num_groups), num_groups)
+
+
+def grid_partition(
+    bounds_by_id: Dict[object, Bounds],
+    num_groups: int,
+    cells: int = 16,
+) -> List[List[object]]:
+    """Balanced partition from a uniform-grid ordering of box centers.
+
+    Object ids are bucketed by the grid cell of their bounding-box center and
+    concatenated in boustrophedon (serpentine) row order, so consecutive
+    cells — and hence consecutive groups — stay spatially adjacent.
+    """
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    if cells < 1:
+        raise ValueError("the grid needs at least one cell per axis")
+    ids = list(bounds_by_id)
+    if not ids:
+        return []
+    centers = {
+        object_id: (
+            (bounds[0] + bounds[2]) / 2.0,
+            (bounds[1] + bounds[3]) / 2.0,
+        )
+        for object_id, bounds in bounds_by_id.items()
+    }
+    x_min = min(x for x, _ in centers.values())
+    x_max = max(x for x, _ in centers.values())
+    y_min = min(y for _, y in centers.values())
+    y_max = max(y for _, y in centers.values())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def cell_of(object_id: object) -> Tuple[int, int]:
+        x, y = centers[object_id]
+        col = min(cells - 1, int((x - x_min) / x_span * cells))
+        row = min(cells - 1, int((y - y_min) / y_span * cells))
+        return (row, col)
+
+    def serpentine(object_id: object):
+        row, col = cell_of(object_id)
+        # Odd rows reverse their column order so the cell walk never jumps
+        # across the whole region between consecutive rows.
+        return (row, col if row % 2 == 0 else cells - 1 - col, str(object_id))
+
+    ordered = sorted(ids, key=serpentine)
+    return _balanced_slices(ordered, num_groups)
+
+
+def partition_from_rtree(tree, num_groups: int) -> List[List[object]]:
+    """Partition extracted from an existing STR R-tree's leaf order.
+
+    Each object is pinned to the first leaf (in left-to-right packing order)
+    holding one of its entries; objects are then ordered leaf by leaf and
+    sliced into balanced groups, so each group is a contiguous run of leaves.
+    """
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    ordered: List[object] = []
+    seen = set()
+    for leaf in tree.leaf_entries():
+        for entry in leaf:
+            if entry.object_id not in seen:
+                seen.add(entry.object_id)
+                ordered.append(entry.object_id)
+    return _balanced_slices(ordered, num_groups)
+
+
+def partition_from_grid(grid, num_groups: int) -> List[List[object]]:
+    """Partition extracted from an existing grid index's occupied cells.
+
+    Cells are walked in row-major order; each object is pinned to its first
+    occupied cell.
+    """
+    if num_groups < 1:
+        raise ValueError("need at least one group")
+    ordered: List[object] = []
+    seen = set()
+    for _, entries in grid.cell_entries():
+        for entry in entries:
+            if entry.object_id not in seen:
+                seen.add(entry.object_id)
+                ordered.append(entry.object_id)
+    return _balanced_slices(ordered, num_groups)

@@ -283,6 +283,33 @@ class STRRTree:
         return removed
 
     # ------------------------------------------------------------------
+    # Partition extraction.
+    # ------------------------------------------------------------------
+
+    def leaf_entries(self) -> List[List[IndexEntry]]:
+        """Per-leaf entry lists in left-to-right tree order.
+
+        For a freshly bulk-loaded tree this is the STR packing order (x-sorted
+        strips, y-sorted within each strip), so consecutive leaves are
+        spatially adjacent tiles — the property the shard partitioner
+        (:mod:`repro.index.partition`) exploits.  Mutated trees keep a valid
+        (if less tidy) order.
+        """
+        leaves: List[List[IndexEntry]] = []
+        if self._root is None:
+            return leaves
+
+        def collect(node: _Node) -> None:
+            if node.is_leaf:
+                leaves.append(list(node.entries))
+            else:
+                for child in node.children:
+                    collect(child)
+
+        collect(self._root)
+        return leaves
+
+    # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Sharded parallel query execution over spatially partitioned MODs.
+
+The :class:`ShardedEngine` splits the store into spatial shards (STR-tile,
+grid, or R-tree-leaf partitioning with boundary-corridor replication), runs
+per-shard :class:`~repro.engine.QueryEngine` instances under a process pool
+(threads or serial execution as fallback backends), and merges the per-shard
+answers into exact global answers — the partitioned execution layer the
+scaling roadmap's async-ingestion and multi-node steps build on.
+"""
+
+from .plan import (
+    PARTITION_METHODS,
+    Bounds,
+    ShardPlan,
+    build_plan,
+    expanded_bounds,
+    resolve_halo,
+)
+from .sharded import (
+    BACKENDS,
+    ShardInfo,
+    ShardedBatchResult,
+    ShardedEngine,
+    ShardedQueryAnswer,
+)
+from .worker import QuerySpec, ShardQueryOutcome, ShardTask, evaluate_shard
+
+__all__ = [
+    "BACKENDS",
+    "Bounds",
+    "PARTITION_METHODS",
+    "QuerySpec",
+    "ShardInfo",
+    "ShardPlan",
+    "ShardQueryOutcome",
+    "ShardTask",
+    "ShardedBatchResult",
+    "ShardedEngine",
+    "ShardedQueryAnswer",
+    "build_plan",
+    "evaluate_shard",
+    "expanded_bounds",
+    "resolve_halo",
+]

@@ -1,0 +1,195 @@
+"""Shard plans: spatial ownership partitions with boundary-corridor halos.
+
+A :class:`ShardPlan` splits the MOD's object ids into disjoint *ownership*
+groups — each query is answered by the shard owning its trajectory — and
+fixes the *halo* width: how far beyond a shard's owned region candidate
+trajectories are replicated into it.  The plan is pure data; the replication
+sets themselves are derived (and re-derived under updates) by the
+:class:`~repro.parallel.sharded.ShardedEngine`.
+
+Three partitioning methods are supported, all delegating to
+:mod:`repro.index.partition`:
+
+* ``"str"`` — Sort-Tile-Recursive tiling of per-object expanded bounding
+  boxes (the R-tree leaf-packing discipline at object granularity);
+* ``"grid"`` — serpentine walk of a uniform grid over the box centers;
+* ``"rtree"`` — extraction from an actually bulk-loaded STR R-tree's leaves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..index.partition import (
+    grid_partition,
+    partition_from_rtree,
+    str_partition,
+)
+from ..trajectories.mod import MovingObjectsDatabase
+from ..trajectories.trajectory import Trajectory, UncertainTrajectory
+
+#: A spatial rectangle ``(x_min, y_min, x_max, y_max)``.
+Bounds = Tuple[float, float, float, float]
+
+PARTITION_METHODS = ("str", "grid", "rtree")
+
+
+def expanded_bounds(trajectory: Trajectory) -> Bounds:
+    """A trajectory's spatial bounds grown by its uncertainty radius.
+
+    This is the footprint the index stores (segment boxes are expanded by
+    the radius), so membership tests against it are conservative for every
+    corridor probe the shard-local engine can issue.
+    """
+    x_min, y_min, x_max, y_max = trajectory.spatial_bounds()
+    radius = (
+        trajectory.radius if isinstance(trajectory, UncertainTrajectory) else 0.0
+    )
+    return (x_min - radius, y_min - radius, x_max + radius, y_max + radius)
+
+
+def bounds_union(first: Optional[Bounds], second: Bounds) -> Bounds:
+    """Smallest rectangle covering both (``first`` may be ``None``)."""
+    if first is None:
+        return second
+    return (
+        min(first[0], second[0]),
+        min(first[1], second[1]),
+        max(first[2], second[2]),
+        max(first[3], second[3]),
+    )
+
+
+def bounds_expand(bounds: Bounds, margin: float) -> Bounds:
+    """Rectangle grown by ``margin`` on every side."""
+    return (
+        bounds[0] - margin,
+        bounds[1] - margin,
+        bounds[2] + margin,
+        bounds[3] + margin,
+    )
+
+
+def bounds_intersect(first: Bounds, second: Bounds) -> bool:
+    """Closed-interval rectangle overlap."""
+    return (
+        first[0] <= second[2]
+        and second[0] <= first[2]
+        and first[1] <= second[3]
+        and second[1] <= first[3]
+    )
+
+
+def bounds_contain(outer: Bounds, inner: Bounds) -> bool:
+    """True when ``inner`` lies entirely inside ``outer``."""
+    return (
+        outer[0] <= inner[0]
+        and outer[1] <= inner[1]
+        and inner[2] <= outer[2]
+        and inner[3] <= outer[3]
+    )
+
+
+def bounds_center(bounds: Bounds) -> Tuple[float, float]:
+    """Center point of a rectangle."""
+    return ((bounds[0] + bounds[2]) / 2.0, (bounds[1] + bounds[3]) / 2.0)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A spatial ownership partition plus the replication halo width.
+
+    Attributes:
+        groups: disjoint owned-id groups, one per shard, covering every id
+            stored when the plan was built.
+        method: the partitioning method the groups came from.
+        halo: boundary-corridor replication width — every trajectory whose
+            expanded bounds come within ``halo`` of a shard's owned region is
+            replicated into that shard.  Wider halos mean fewer queries
+            escaping to the global fallback but more per-shard data.
+    """
+
+    groups: Tuple[Tuple[object, ...], ...]
+    method: str
+    halo: float
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.groups)
+
+    def owner_of(self) -> dict:
+        """``object id -> shard index`` over the plan's groups."""
+        return {
+            object_id: shard
+            for shard, group in enumerate(self.groups)
+            for object_id in group
+        }
+
+
+def resolve_halo(
+    halo: float | str, all_bounds: Iterable[Bounds], num_shards: int
+) -> float:
+    """Resolve ``"auto"`` to half a shard tile's side, validate numbers.
+
+    The auto width is ``span / (2 * sqrt(num_shards))`` where ``span`` is the
+    populated region's larger side: the halo of a shard then reaches about
+    halfway into each neighboring tile, which keeps locally-scoped corridors
+    (the common case after 4r-band-sized filtering) inside the shard while
+    bounding replication at a few neighbor tiles' worth of objects.
+    """
+    if halo == "auto":
+        rects = list(all_bounds)
+        if not rects:
+            return 0.0
+        x_span = max(r[2] for r in rects) - min(r[0] for r in rects)
+        y_span = max(r[3] for r in rects) - min(r[1] for r in rects)
+        span = max(x_span, y_span)
+        return span / (2.0 * math.sqrt(max(1, num_shards)))
+    width = float(halo)
+    if width < 0:
+        raise ValueError("the halo width must be non-negative")
+    return width
+
+
+def build_plan(
+    mod: MovingObjectsDatabase,
+    num_shards: int,
+    method: str = "str",
+    halo: float | str = "auto",
+) -> ShardPlan:
+    """Partition a MOD's objects into a shard plan.
+
+    Args:
+        mod: the (non-empty) store to partition.
+        num_shards: requested shard count; the plan holds fewer when the
+            store has fewer objects.
+        method: ``"str"``, ``"grid"``, or ``"rtree"`` (see module docs).
+        halo: replication width, or ``"auto"``.
+
+    Raises:
+        ValueError: on an empty store, an unknown method, or a negative halo.
+    """
+    if len(mod) == 0:
+        raise ValueError("cannot partition an empty database")
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    if method not in PARTITION_METHODS:
+        raise ValueError(
+            f"unknown partition method {method!r} (expected {PARTITION_METHODS})"
+        )
+    bounds_by_id = {
+        trajectory.object_id: expanded_bounds(trajectory) for trajectory in mod
+    }
+    if method == "str":
+        groups = str_partition(bounds_by_id, num_shards)
+    elif method == "grid":
+        groups = grid_partition(bounds_by_id, num_shards)
+    else:
+        groups = partition_from_rtree(mod.build_index("rtree"), num_shards)
+    return ShardPlan(
+        groups=tuple(tuple(group) for group in groups),
+        method=method,
+        halo=resolve_halo(halo, bounds_by_id.values(), num_shards),
+    )

@@ -1,0 +1,736 @@
+"""The sharded parallel engine: partitioned, exact, multi-backend serving.
+
+:class:`ShardedEngine` partitions the MOD into spatial shards (a
+:class:`~repro.parallel.plan.ShardPlan`), maintains one candidate-complete
+member set per shard (owned objects plus a boundary-corridor *halo* of
+replicated neighbors), evaluates each query on the shard owning its
+trajectory — under a ``ProcessPoolExecutor``, a thread pool, or serially —
+and merges the per-shard answers into exact global answers.
+
+Why sharded answers are exact
+-----------------------------
+For a query ``q`` with window ``[t0, t1]`` and band width ``W``, the shard
+computes the conservative corridor radius ``c = U_s + W`` where ``U_s`` is
+the smallest, over shard members fully covering the window, of the member's
+maximum distance to ``q`` (:func:`repro.engine.filtering.conservative_corridor_radius`).
+Because the shard's members are a subset of the store, ``U_s >= U_global``,
+so ``c`` is at least the single-engine corridor.  The shard's answer is
+trusted only when the *probe rectangle* (``q``'s window-clipped polyline
+expanded by ``c``) is contained in the shard's *coverage rectangle* (the
+shard's core region — the bounding box of its owned objects' footprint
+centers — expanded by the halo), because the membership rule guarantees
+every object whose radius-expanded bounds intersect the coverage is
+replicated into the shard.  Containment then implies every object absent
+from the shard keeps a distance greater than ``c >= U_s + W`` from ``q``
+throughout the window, so it can neither shape the lower envelope (which
+stays at or below ``U_s``) nor enter the ``W``-band — exactly the argument
+that makes single-engine corridor filtering safe.  Queries failing the check
+*escape* and are re-answered against the full store by a fallback engine, so
+every answer is exact regardless of shard count or halo width; the plan only
+decides how often the fast path applies.
+
+Update routing
+--------------
+:meth:`ShardedEngine.refresh` consumes the parent MOD's changelog and routes
+each change to the shards whose member sets it touches: the owning shard and
+any shard whose coverage the (old or new) trajectory footprint intersects.
+Thread/serial shards patch their engines incrementally through the existing
+changelog machinery; process shards bump a fingerprint so only their workers
+rebuild.  Batch and streaming paths thus share one partitioned execution
+layer: point the engine at the same MOD a
+:class:`~repro.streaming.ContinuousMonitor` ingests into and call
+``answer_batch`` after each ``apply``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import QueryEngine
+from ..engine.answers import VARIANTS, Answer
+from ..engine.filtering import TrajectoryArrays
+from ..trajectories.mod import MovingObjectsDatabase
+from .plan import (
+    Bounds,
+    ShardPlan,
+    bounds_center,
+    bounds_expand,
+    bounds_intersect,
+    bounds_union,
+    build_plan,
+    expanded_bounds,
+)
+from .worker import (
+    QuerySpec,
+    ShardQueryOutcome,
+    ShardTask,
+    evaluate_shard,
+    run_shard_task,
+)
+
+BACKENDS = ("process", "thread", "serial")
+
+#: Distinguishes engine instances within one parent process so worker-side
+#: caches never mix shards of different engines.
+_instance_counter = itertools.count(1)
+
+
+@dataclass
+class _ShardState:
+    """Parent-side state of one shard."""
+
+    shard: int
+    owned: set
+    #: Shard view of the parent store: owned + replicated trajectories.
+    mod: MovingObjectsDatabase
+    #: Parent object revision of each member, to diff membership cheaply.
+    member_revisions: Dict[object, int] = field(default_factory=dict)
+    region: Optional[Bounds] = None
+    coverage: Optional[Bounds] = None
+    complete: bool = False
+    #: Bumped whenever membership or member content changes; the process
+    #: backend's worker cache key.
+    fingerprint: int = 0
+    #: Thread/serial backends only: the shard's long-lived engine.
+    engine: Optional[QueryEngine] = None
+    #: Thread/serial backends only: memoized sample columns for corridor math.
+    arrays: Optional[TrajectoryArrays] = None
+
+
+@dataclass(frozen=True, slots=True)
+class ShardInfo:
+    """Introspection snapshot of one shard's current membership."""
+
+    shard: int
+    owned: int
+    replicated: int
+    region: Optional[Bounds]
+    coverage: Optional[Bounds]
+    complete: bool
+
+    @property
+    def members(self) -> int:
+        return self.owned + self.replicated
+
+
+@dataclass(frozen=True, slots=True)
+class ShardedQueryAnswer:
+    """One query's merged result.
+
+    Attributes:
+        query_id: the query trajectory id.
+        answer: the exact UQ3x answer (member -> non-zero intervals).
+        shard: index of the owning shard.
+        via_fallback: the query escaped its shard's safety check and was
+            answered by the full-store fallback engine.
+        candidate_count: candidates that entered envelope construction
+            (shard-local path only; 0 for fallback answers).
+        corridor: shard-locally computed corridor radius (``inf`` when the
+            shard was complete or had no fully-covering candidate).
+        seconds: evaluation wall-clock for this query.
+    """
+
+    query_id: object
+    answer: Answer
+    shard: int
+    via_fallback: bool
+    candidate_count: int
+    corridor: float
+    seconds: float
+
+
+@dataclass
+class ShardedBatchTelemetry:
+    """Per-shard timing of one batch (parent-observed, includes IPC)."""
+
+    shard: int
+    queries: int
+    seconds: float
+
+
+@dataclass
+class ShardedBatchResult:
+    """Outcome of one sharded batch evaluation."""
+
+    results: List[ShardedQueryAnswer]
+    total_seconds: float
+    shard_telemetry: List[ShardedBatchTelemetry]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def answers(self) -> Dict[object, Answer]:
+        """Merged answers keyed by query id."""
+        return {item.query_id: item.answer for item in self.results}
+
+    @property
+    def escaped_ids(self) -> Tuple[object, ...]:
+        """Queries that fell back to the full-store engine."""
+        return tuple(
+            item.query_id for item in self.results if item.via_fallback
+        )
+
+    @property
+    def fallback_ratio(self) -> float:
+        """Fraction of the batch answered by the fallback engine."""
+        if not self.results:
+            return 0.0
+        return len(self.escaped_ids) / len(self.results)
+
+
+class ShardedEngine:
+    """Partitioned, exact query serving over spatial shards.
+
+    Args:
+        mod: the (non-empty) moving objects database to serve.
+        num_shards: requested shard count (fewer when the store is smaller).
+        backend: ``"process"`` (default), ``"thread"``, or ``"serial"``.
+        method: partitioning method, ``"str"`` / ``"grid"`` / ``"rtree"``.
+        halo: boundary-replication width, or ``"auto"`` (half a shard tile).
+        index: per-shard index kind (``"rtree"`` or ``"grid"``), or ``None``
+            to disable shard-local candidate filtering.
+        max_workers: pool width; defaults to ``min(num_shards, cpu_count)``.
+        plan: a prebuilt :class:`ShardPlan` overriding ``num_shards`` /
+            ``method`` / ``halo``.
+
+    The engine can be used as a context manager; :meth:`close` shuts the
+    worker pool down.
+    """
+
+    def __init__(
+        self,
+        mod: MovingObjectsDatabase,
+        num_shards: int = 4,
+        *,
+        backend: str = "process",
+        method: str = "str",
+        halo: float | str = "auto",
+        index: Optional[str] = "rtree",
+        leaf_capacity: int = 16,
+        grid_cells: int = 32,
+        max_workers: Optional[int] = None,
+        cache_size: int = 256,
+        plan: Optional[ShardPlan] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r} (expected {BACKENDS})")
+        if index is not None and index not in ("rtree", "grid"):
+            raise ValueError(
+                f"unknown index kind {index!r} (expected 'rtree', 'grid', or None)"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.mod = mod
+        self.backend = backend
+        self._index_kind = index
+        self._leaf_capacity = leaf_capacity
+        self._grid_cells = grid_cells
+        self._cache_size = cache_size
+        self._max_workers = max_workers
+        self.plan = plan if plan is not None else build_plan(
+            mod, num_shards, method=method, halo=halo
+        )
+        self._token_base = (os.getpid(), next(_instance_counter))
+        self._fingerprints = itertools.count(1)
+        self._pool = None
+        #: shard -> fingerprint the worker pool is assumed to hold, so
+        #: repeated batches on an unchanged shard ship no trajectories.
+        self._worker_synced: Dict[int, int] = {}
+        self._fallback: Optional[QueryEngine] = None
+        self._fallback_uses = 0
+        self._bounds: Dict[object, Bounds] = {}
+        self._bounds_revision: Dict[object, int] = {}
+        self._band_widths: Dict[object, float] = {}
+        self._owner: Dict[object, int] = self.plan.owner_of()
+        self._states: List[_ShardState] = [
+            _ShardState(shard=shard, owned=set(group), mod=MovingObjectsDatabase())
+            for shard, group in enumerate(self.plan.groups)
+        ]
+        self._synced_revision: Optional[int] = None
+        self._sync()
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Actual shard count (may be below the requested one)."""
+        return len(self._states)
+
+    @property
+    def halo(self) -> float:
+        """The resolved boundary-replication width."""
+        return self.plan.halo
+
+    @property
+    def fallback_evaluations(self) -> int:
+        """Total queries answered by the full-store fallback engine so far."""
+        return self._fallback_uses
+
+    def shard_info(self) -> List[ShardInfo]:
+        """Current membership snapshot of every shard."""
+        self._sync()
+        return [
+            ShardInfo(
+                shard=state.shard,
+                owned=len(state.owned & set(state.member_revisions)),
+                replicated=len(state.member_revisions)
+                - len(state.owned & set(state.member_revisions)),
+                region=state.region,
+                coverage=state.coverage,
+                complete=state.complete,
+            )
+            for state in self._states
+        ]
+
+    def owner_of(self, object_id: object) -> int:
+        """Index of the shard owning an object's queries."""
+        self._sync()
+        if object_id not in self._owner:
+            raise KeyError(f"unknown object id {object_id!r}")
+        return self._owner[object_id]
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._worker_synced = {}
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Membership maintenance (changelog routing).
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> List[int]:
+        """Route parent-store changes to shards; returns changed shard ids.
+
+        Called implicitly by :meth:`answer_batch`; exposed for callers that
+        want to pay the routing cost eagerly (e.g. right after a streaming
+        ``apply``) or inspect which shards an update wave touched.
+        """
+        return self._sync()
+
+    def repartition(
+        self,
+        num_shards: Optional[int] = None,
+        method: Optional[str] = None,
+        halo: float | str | None = None,
+    ) -> ShardPlan:
+        """Rebuild the ownership plan from the store's current geometry.
+
+        Ownership is sticky under :meth:`refresh` — an object that drifted
+        across the region stays with (and stretches) its original shard.
+        After heavy drift, repartitioning restores tight shard regions.
+        """
+        self.plan = build_plan(
+            self.mod,
+            num_shards if num_shards is not None else max(1, self.num_shards),
+            method=method if method is not None else self.plan.method,
+            halo=halo if halo is not None else self.plan.halo,
+        )
+        self._owner = self.plan.owner_of()
+        self._states = [
+            _ShardState(shard=shard, owned=set(group), mod=MovingObjectsDatabase())
+            for shard, group in enumerate(self.plan.groups)
+        ]
+        self._synced_revision = None
+        self._sync()
+        return self.plan
+
+    def _refresh_bounds(self) -> None:
+        """Re-derive the expanded-bounds cache for changed objects only."""
+        current = set(self.mod.object_ids)
+        for object_id in list(self._bounds):
+            if object_id not in current:
+                del self._bounds[object_id]
+                del self._bounds_revision[object_id]
+        for object_id in self.mod.object_ids:
+            revision = self.mod.object_revision(object_id)
+            if self._bounds_revision.get(object_id) != revision:
+                self._bounds[object_id] = expanded_bounds(self.mod.get(object_id))
+                self._bounds_revision[object_id] = revision
+
+    def _center_point(self, object_id: object) -> Bounds:
+        """An object's footprint center as a degenerate rectangle."""
+        x, y = bounds_center(self._bounds[object_id])
+        return (x, y, x, y)
+
+    def _assign_shard(self, object_id: object) -> int:
+        """Owning shard for a newly added object: nearest region, then load."""
+        center = bounds_center(self._bounds[object_id])
+        best: Optional[Tuple[float, int, int]] = None
+        for state in self._states:
+            if state.region is None:
+                distance = float("inf")
+            else:
+                rx, ry = bounds_center(state.region)
+                distance = (rx - center[0]) ** 2 + (ry - center[1]) ** 2
+            key = (distance, len(state.owned), state.shard)
+            if best is None or key < best:
+                best = key
+        assert best is not None  # the plan guarantees at least one shard
+        return best[2]
+
+    def _sync(self) -> List[int]:
+        """Bring shard member sets up to date; returns changed shard ids."""
+        if self._synced_revision == self.mod.revision:
+            return []
+        self._refresh_bounds()
+        self._band_widths = {}
+        current_ids = self.mod.object_ids
+        current = set(current_ids)
+
+        # Ownership: drop removed objects, adopt new ones.
+        for object_id in list(self._owner):
+            if object_id not in current:
+                shard = self._owner.pop(object_id)
+                self._states[shard].owned.discard(object_id)
+        # Regions of surviving owned sets first, so adoption is geometric.
+        # A shard's region is the bounding box of its owned objects'
+        # footprint *centers*, not of their full bounds: one region-spanning
+        # trajectory must not blow the coverage (and hence the replication
+        # set) up to the whole map.  Queries on such outliers simply fail
+        # the per-query containment check and fall back — correctness never
+        # depends on the region containing its owners.
+        for state in self._states:
+            region: Optional[Bounds] = None
+            for object_id in state.owned:
+                if object_id in current:
+                    region = bounds_union(
+                        region, self._center_point(object_id)
+                    )
+            state.region = region
+        for object_id in current_ids:
+            if object_id not in self._owner:
+                shard = self._assign_shard(object_id)
+                self._owner[object_id] = shard
+                state = self._states[shard]
+                state.owned.add(object_id)
+                state.region = bounds_union(
+                    state.region, self._center_point(object_id)
+                )
+
+        changed: List[int] = []
+        for state in self._states:
+            state.coverage = (
+                None
+                if state.region is None
+                else bounds_expand(state.region, self.plan.halo)
+            )
+            membership = [
+                object_id
+                for object_id in current_ids
+                if object_id in state.owned
+                or (
+                    state.coverage is not None
+                    and bounds_intersect(self._bounds[object_id], state.coverage)
+                )
+            ]
+            member_set = set(membership)
+            touched = False
+            for object_id in list(state.member_revisions):
+                if object_id not in member_set:
+                    state.mod.remove(object_id)
+                    del state.member_revisions[object_id]
+                    if state.arrays is not None:
+                        state.arrays.invalidate(object_id)
+                    touched = True
+            for object_id in membership:
+                revision = self._bounds_revision[object_id]
+                if state.member_revisions.get(object_id) != revision:
+                    state.mod.upsert(self.mod.get(object_id))
+                    state.member_revisions[object_id] = revision
+                    if state.arrays is not None:
+                        state.arrays.invalidate(object_id)
+                    touched = True
+            state.complete = len(member_set) == len(current)
+            if touched:
+                state.fingerprint = next(self._fingerprints)
+                changed.append(state.shard)
+        self._synced_revision = self.mod.revision
+        return changed
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+
+    def _default_band_width(self, query_id: object) -> float:
+        """The full store's default 4r band width, memoized until a change."""
+        width = self._band_widths.get(query_id)
+        if width is None:
+            width = self.mod.default_band_width(query_id)
+            self._band_widths[query_id] = width
+        return width
+
+    def _shard_engine(self, state: _ShardState) -> QueryEngine:
+        """The shard's long-lived engine (thread/serial backends)."""
+        if state.engine is None:
+            state.engine = QueryEngine(
+                state.mod,
+                index=self._index_kind,
+                leaf_capacity=self._leaf_capacity,
+                grid_cells=self._grid_cells,
+                cache_size=self._cache_size,
+            )
+            state.arrays = TrajectoryArrays()
+        return state.engine
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers or min(
+                len(self._states), os.cpu_count() or 1
+            )
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self._max_workers or min(
+                len(self._states), os.cpu_count() or 1
+            )
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def _payload(
+        self,
+        state: _ShardState,
+        specs: Tuple[QuerySpec, ...],
+        include_trajectories: bool,
+    ) -> ShardTask:
+        return ShardTask(
+            token=(*self._token_base, state.shard),
+            fingerprint=state.fingerprint,
+            trajectories=tuple(state.mod) if include_trajectories else None,
+            index_kind=self._index_kind,
+            leaf_capacity=self._leaf_capacity,
+            grid_cells=self._grid_cells,
+            cache_size=self._cache_size,
+            queries=specs,
+            coverage=state.coverage,
+            complete=state.complete,
+        )
+
+    def _run_shards(
+        self, grouped: Dict[int, Tuple[QuerySpec, ...]]
+    ) -> Dict[int, Tuple[List[ShardQueryOutcome], float]]:
+        """Evaluate per-shard spec groups on the configured backend."""
+        ordered = sorted(grouped.items())
+        outputs: Dict[int, Tuple[List[ShardQueryOutcome], float]] = {}
+        if self.backend == "process":
+            pool = self._process_pool()
+            # Ship trajectories only for shards the pool is not known to
+            # hold at the current fingerprint; a worker that turns out to
+            # lack the state (fresh worker, evicted cache) answers None and
+            # is retried below with the full payload.
+            payloads = [
+                self._payload(
+                    self._states[shard],
+                    specs,
+                    self._worker_synced.get(shard)
+                    != self._states[shard].fingerprint,
+                )
+                for shard, specs in ordered
+            ]
+            started = {shard: time.perf_counter() for shard, _ in ordered}
+            results = list(pool.map(run_shard_task, payloads))
+            misses = [
+                position
+                for position, outcomes in enumerate(results)
+                if outcomes is None
+            ]
+            if misses:
+                retried = pool.map(
+                    run_shard_task,
+                    [
+                        self._payload(
+                            self._states[ordered[position][0]],
+                            ordered[position][1],
+                            True,
+                        )
+                        for position in misses
+                    ],
+                )
+                for position, outcomes in zip(misses, retried):
+                    results[position] = outcomes
+            for (shard, _), outcomes in zip(ordered, results):
+                self._worker_synced[shard] = self._states[shard].fingerprint
+                outputs[shard] = (outcomes, time.perf_counter() - started[shard])
+            return outputs
+
+        def run_local(item: Tuple[int, Tuple[QuerySpec, ...]]):
+            shard, specs = item
+            state = self._states[shard]
+            begun = time.perf_counter()
+            outcomes = evaluate_shard(
+                state.mod,
+                self._shard_engine(state),
+                specs,
+                state.coverage,
+                state.complete,
+                state.arrays,
+            )
+            return shard, outcomes, time.perf_counter() - begun
+
+        if self.backend == "thread" and len(ordered) > 1:
+            results = list(self._thread_pool().map(run_local, ordered))
+        else:
+            results = [run_local(item) for item in ordered]
+        for shard, outcomes, seconds in results:
+            outputs[shard] = (outcomes, seconds)
+        return outputs
+
+    def _fallback_engine(self) -> QueryEngine:
+        if self._fallback is None:
+            self._fallback = QueryEngine(
+                self.mod,
+                index=self._index_kind,
+                leaf_capacity=self._leaf_capacity,
+                grid_cells=self._grid_cells,
+                cache_size=self._cache_size,
+            )
+        return self._fallback
+
+    def answer_batch(
+        self,
+        query_ids: Sequence[object],
+        t_start: float,
+        t_end: float,
+        *,
+        variant: str = "sometime",
+        fraction: float = 0.0,
+        band_width: Optional[float] = None,
+    ) -> ShardedBatchResult:
+        """Answer a batch of UQ3x queries exactly, one shard per query.
+
+        Queries are routed to their owning shards, evaluated there (in
+        parallel across shards on the process/thread backends), and merged;
+        any query failing its shard's safety check is transparently
+        re-answered by the full-store fallback engine.  Answers are
+        byte-compatible with a single :class:`~repro.engine.QueryEngine`
+        serving the same store.
+
+        Args:
+            query_ids: ids of the query trajectories (duplicates allowed).
+            t_start: shared window start.
+            t_end: shared window end.
+            variant: ``"sometime"`` (UQ31), ``"always"`` (UQ32), or
+                ``"fraction"`` (UQ33).
+            fraction: minimum in-band fraction for ``"fraction"``.
+            band_width: shared band width; the *full store's* per-query
+                default (4r) when ``None``.
+        """
+        if t_end < t_start:
+            raise ValueError(f"empty query window [{t_start}, {t_end}]")
+        if variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r} (expected {VARIANTS})"
+            )
+        started = time.perf_counter()
+        self._sync()
+        unique_ids = list(dict.fromkeys(query_ids))
+        for query_id in unique_ids:
+            if query_id not in self.mod:
+                raise KeyError(f"unknown query id {query_id!r}")
+
+        grouped: Dict[int, List[QuerySpec]] = {}
+        for query_id in unique_ids:
+            width = (
+                band_width
+                if band_width is not None
+                else self._default_band_width(query_id)
+            )
+            grouped.setdefault(self._owner[query_id], []).append(
+                QuerySpec(
+                    query_id=query_id,
+                    t_start=t_start,
+                    t_end=t_end,
+                    band_width=width,
+                    variant=variant,
+                    fraction=fraction,
+                )
+            )
+        outputs = self._run_shards(
+            {shard: tuple(specs) for shard, specs in grouped.items()}
+        )
+
+        merged: Dict[object, ShardedQueryAnswer] = {}
+        telemetry: List[ShardedBatchTelemetry] = []
+        for shard, (outcomes, seconds) in sorted(outputs.items()):
+            telemetry.append(
+                ShardedBatchTelemetry(
+                    shard=shard, queries=len(outcomes), seconds=seconds
+                )
+            )
+            for spec, outcome in zip(grouped[shard], outcomes):
+                if outcome.escaped:
+                    begun = time.perf_counter()
+                    answer = self._fallback_engine().answer(
+                        spec.query_id,
+                        t_start,
+                        t_end,
+                        variant=variant,
+                        fraction=fraction,
+                        band_width=spec.band_width,
+                    )
+                    self._fallback_uses += 1
+                    merged[spec.query_id] = ShardedQueryAnswer(
+                        query_id=spec.query_id,
+                        answer=answer,
+                        shard=shard,
+                        via_fallback=True,
+                        candidate_count=0,
+                        corridor=outcome.corridor,
+                        seconds=outcome.seconds
+                        + (time.perf_counter() - begun),
+                    )
+                else:
+                    merged[spec.query_id] = ShardedQueryAnswer(
+                        query_id=spec.query_id,
+                        answer=outcome.answer,
+                        shard=shard,
+                        via_fallback=False,
+                        candidate_count=outcome.candidate_count,
+                        corridor=outcome.corridor,
+                        seconds=outcome.seconds,
+                    )
+
+        return ShardedBatchResult(
+            results=[merged[query_id] for query_id in query_ids],
+            total_seconds=time.perf_counter() - started,
+            shard_telemetry=telemetry,
+        )
+
+    def answer(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        variant: str = "sometime",
+        fraction: float = 0.0,
+        band_width: Optional[float] = None,
+    ) -> Answer:
+        """Single-query convenience wrapper over :meth:`answer_batch`."""
+        return self.answer_batch(
+            [query_id],
+            t_start,
+            t_end,
+            variant=variant,
+            fraction=fraction,
+            band_width=band_width,
+        ).results[0].answer

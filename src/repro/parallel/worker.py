@@ -1,0 +1,223 @@
+"""Shard-side query evaluation, shared by every execution backend.
+
+:func:`evaluate_shard` runs a list of query specs against one shard's
+engine, performing the per-query *safety check* that makes sharded answers
+provably exact (see :mod:`repro.parallel.sharded` for the full argument):
+a query's shard-local answer is trusted only when its corridor probe region
+is contained in the shard's coverage rectangle, i.e. when the shard provably
+holds every object the corridor filter could keep.  Queries failing the
+check are reported as *escaped* and re-answered by the caller against the
+full store.
+
+:func:`run_shard_task` is the :class:`~concurrent.futures.ProcessPoolExecutor`
+entry point: it rehydrates (and memoizes, per worker process) the shard's
+MOD and engine from a picklable :class:`ShardTask` payload, then delegates
+to :func:`evaluate_shard`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..engine import QueryEngine
+from ..engine.answers import Answer, answer_of
+from ..engine.filtering import TrajectoryArrays, conservative_corridor_radius
+from ..trajectories.mod import MovingObjectsDatabase
+from ..trajectories.trajectory import UncertainTrajectory
+from .plan import Bounds, bounds_contain
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One query to evaluate: id, window, resolved band width, UQ3x variant.
+
+    The band width is always resolved by the *parent* against the full store
+    (the MOD default is a maximum over every stored pdf, which a shard's
+    subset would underestimate), so shard-local evaluation uses the exact
+    width a single-engine run would.
+    """
+
+    query_id: object
+    t_start: float
+    t_end: float
+    band_width: float
+    variant: str = "sometime"
+    fraction: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ShardQueryOutcome:
+    """One query's shard-side result.
+
+    ``answer`` is ``None`` when the query escaped (failed the safety check)
+    and must be re-answered against the full store.
+    """
+
+    query_id: object
+    answer: Optional[Answer]
+    candidate_count: int
+    corridor: float
+    seconds: float
+
+    @property
+    def escaped(self) -> bool:
+        return self.answer is None
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable payload describing one shard's engine plus its queries.
+
+    Attributes:
+        token: stable identity of (engine instance, shard index) so worker
+            processes can cache the rebuilt shard engine across calls.
+        fingerprint: bumped by the parent whenever the shard's membership or
+            any member's trajectory changed; a worker holding a matching
+            fingerprint reuses its cached engine without rebuilding.
+        trajectories: the shard's member trajectories (owned + replicated),
+            or ``None`` for a payload-free probe — the dominant repeated-
+            batch cost is pickling an unchanged member set, so the parent
+            ships trajectories only when it cannot assume the pool already
+            holds this fingerprint.  A worker lacking the state answers a
+            payload-free task with ``None`` and the parent retries with the
+            full payload.
+        queries: the specs to evaluate.
+        coverage: the shard's coverage rectangle (owned region + halo);
+            ``None`` when the shard owns nothing.
+        complete: the shard holds *every* stored object, making each answer
+            trivially exact.
+    """
+
+    token: Tuple[int, ...]
+    fingerprint: int
+    trajectories: Optional[Tuple[UncertainTrajectory, ...]]
+    index_kind: Optional[str]
+    leaf_capacity: int
+    grid_cells: int
+    cache_size: int
+    queries: Tuple[QuerySpec, ...]
+    coverage: Optional[Bounds]
+    complete: bool
+
+
+def probe_bounds(
+    query, t_lo: float, t_hi: float, margin: float
+) -> Optional[Bounds]:
+    """The corridor probe's spatial footprint: window-clipped query ⊕ margin.
+
+    ``None`` when the window misses the query's time span entirely — no
+    finite rectangle bounds the probe then, so the caller must treat the
+    query as unsafe.
+    """
+    lo = max(t_lo, query.start_time)
+    hi = min(t_hi, query.end_time)
+    if hi < lo:
+        return None
+    x_min, y_min, x_max, y_max = query.clipped(lo, hi).spatial_bounds()
+    return (x_min - margin, y_min - margin, x_max + margin, y_max + margin)
+
+
+def evaluate_shard(
+    mod: MovingObjectsDatabase,
+    engine: QueryEngine,
+    queries: Tuple[QuerySpec, ...],
+    coverage: Optional[Bounds],
+    complete: bool,
+    arrays: Optional[TrajectoryArrays] = None,
+) -> List[ShardQueryOutcome]:
+    """Evaluate query specs against one shard, escaping unsafe ones.
+
+    A query is *safe* when the shard provably holds every object its
+    corridor filter could keep: either the shard is complete, or the probe
+    rectangle (query polyline over the window, expanded by the shard-locally
+    computed corridor radius) is contained in the shard's coverage
+    rectangle.  Safe queries produce exact answers; the rest escape.
+    """
+    if arrays is None:
+        arrays = TrajectoryArrays()
+    outcomes: List[ShardQueryOutcome] = []
+    for spec in queries:
+        started = time.perf_counter()
+        corridor = float("inf")
+        safe = complete
+        if not safe:
+            corridor = conservative_corridor_radius(
+                mod, spec.query_id, spec.t_start, spec.t_end,
+                spec.band_width, arrays,
+            )
+            if math.isfinite(corridor) and coverage is not None:
+                probe = probe_bounds(
+                    mod.get(spec.query_id), spec.t_start, spec.t_end, corridor
+                )
+                safe = probe is not None and bounds_contain(coverage, probe)
+        if not safe:
+            outcomes.append(
+                ShardQueryOutcome(
+                    query_id=spec.query_id,
+                    answer=None,
+                    candidate_count=0,
+                    corridor=corridor,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+            continue
+        prepared = engine.prepare(
+            spec.query_id, spec.t_start, spec.t_end, band_width=spec.band_width
+        )
+        outcomes.append(
+            ShardQueryOutcome(
+                query_id=spec.query_id,
+                answer=answer_of(prepared.context, spec.variant, spec.fraction),
+                candidate_count=prepared.candidate_count,
+                corridor=corridor,
+                seconds=time.perf_counter() - started,
+            )
+        )
+    return outcomes
+
+
+#: Per-worker-process cache of rebuilt shard engines, keyed by task token.
+#: Bounded so long-lived workers serving many engine instances do not hoard
+#: every shard MOD they have ever seen.
+_ENGINE_CACHE: "OrderedDict[Tuple[int, ...], Tuple[int, MovingObjectsDatabase, QueryEngine]]" = (
+    OrderedDict()
+)
+_ENGINE_CACHE_LIMIT = 16
+
+
+def run_shard_task(task: ShardTask) -> Optional[List[ShardQueryOutcome]]:
+    """Process-pool entry point: rehydrate (or reuse) the shard, evaluate.
+
+    The rebuilt MOD and engine are cached per worker process keyed by the
+    task token; a matching fingerprint means the shard's membership and
+    every member trajectory are unchanged since the cached build, so index
+    and context caches stay warm across calls.  A payload-free task
+    (``trajectories is None``) hitting a worker without the matching cached
+    state returns ``None``, telling the parent to resend with the payload.
+    """
+    cached = _ENGINE_CACHE.get(task.token)
+    if cached is not None and cached[0] == task.fingerprint:
+        _, mod, engine = cached
+        _ENGINE_CACHE.move_to_end(task.token)
+    elif task.trajectories is None:
+        return None
+    else:
+        mod = MovingObjectsDatabase(task.trajectories)
+        engine = QueryEngine(
+            mod,
+            index=task.index_kind,
+            leaf_capacity=task.leaf_capacity,
+            grid_cells=task.grid_cells,
+            cache_size=task.cache_size,
+        )
+        _ENGINE_CACHE[task.token] = (task.fingerprint, mod, engine)
+        _ENGINE_CACHE.move_to_end(task.token)
+        while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
+            _ENGINE_CACHE.popitem(last=False)
+    return evaluate_shard(
+        mod, engine, task.queries, task.coverage, task.complete
+    )

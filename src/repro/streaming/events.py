@@ -20,16 +20,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
+# The canonical Answer/Intervals shapes live with the engine's answer
+# dispatch so the batch, streaming, and sharded layers share one type.
+from ..engine.answers import Answer, Intervals
+
+__all__ = [
+    "Answer",
+    "AnswerDelta",
+    "IntervalChanged",
+    "Intervals",
+    "NeighborAppeared",
+    "NeighborDropped",
+    "answers_equal",
+    "diff_answers",
+    "replay_deltas",
+]
+
 #: Decimal places at which two interval lists count as equal.  Answers are
 #: recomputed deterministically, so differences below representation noise
 #: only arise from legitimately changed inputs; the tolerance keeps spurious
 #: ``IntervalChanged`` events from firing on re-derived identical answers.
 _INTERVAL_DECIMALS = 9
-
-Intervals = Tuple[Tuple[float, float], ...]
-
-#: A standing query's full answer: neighbor id → relevance intervals.
-Answer = Dict[object, Intervals]
 
 
 @dataclass(frozen=True, slots=True)

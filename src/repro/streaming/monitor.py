@@ -27,36 +27,20 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..core.queries import QueryContext
 from ..engine import QueryEngine
+from ..engine.answers import VARIANTS as _VARIANTS
+from ..engine.answers import answer_of
 from ..trajectories.mod import MovingObjectsDatabase
 from ..trajectories.trajectory import UncertainTrajectory
 from .events import Answer, AnswerDelta, diff_answers
 from .ingest import DeadReckoningFeed, LocationFeed, StreamIngestor
 
-_VARIANTS = ("sometime", "always", "fraction")
-
-
-def answer_of(
-    context: QueryContext, variant: str, fraction: float = 0.0
-) -> Answer:
-    """A standing query's answer shape from a prepared context.
-
-    The UQ3x member set of the requested variant, each member mapped to its
-    exact non-zero-probability intervals (the UQ11/UQ13 information).  Both
-    the live monitor and the from-scratch :func:`reference_answer` oracle
-    derive their answers through this one dispatch.
-    """
-    if variant == "sometime":
-        members = context.uq31_all_sometime()
-    elif variant == "always":
-        members = context.uq32_all_always()
-    elif variant == "fraction":
-        members = context.uq33_all_at_least(fraction)
-    else:
-        raise ValueError(f"unknown variant {variant!r} (expected {_VARIANTS})")
-    return {
-        member: tuple(context.nonzero_probability_intervals(member))
-        for member in members
-    }
+__all__ = [
+    "BatchReport",
+    "ContinuousMonitor",
+    "StandingQuery",
+    "answer_of",
+    "reference_answer",
+]
 
 
 @dataclass(frozen=True, slots=True)

@@ -391,3 +391,17 @@ class MovingObjectsDatabase:
         return MovingObjectsDatabase(
             trajectory.clipped(t_lo, t_hi) for trajectory in self._trajectories.values()
         )
+
+    def subset(self, object_ids: Iterable[object]) -> "MovingObjectsDatabase":
+        """A new MOD holding (references to) the given objects' trajectories.
+
+        This is the shard-view constructor of the parallel layer: the
+        returned store shares the immutable trajectory objects but has its
+        own revision counter and changelog, so per-shard engines track
+        shard-local staleness independently of the parent store.
+
+        Raises:
+            KeyError: when any id is unknown (a partition listing an id the
+                store no longer holds is a routing bug worth surfacing).
+        """
+        return MovingObjectsDatabase(self.get(object_id) for object_id in object_ids)

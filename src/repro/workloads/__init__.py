@@ -14,6 +14,7 @@ from .scenarios import (
     delivery_fleet,
     multi_query_fleet,
     ride_hailing_snapshot,
+    sharded_fleet,
     streaming_fleet,
 )
 
@@ -29,5 +30,6 @@ __all__ = [
     "generate_trajectories",
     "multi_query_fleet",
     "ride_hailing_snapshot",
+    "sharded_fleet",
     "streaming_fleet",
 ]

@@ -17,7 +17,10 @@ on recognizable situations rather than pure noise:
   :class:`~repro.engine.QueryEngine`;
 * :func:`streaming_fleet` — a fleet with historical motion plus *scripted
   future update batches*, the input shape of the streaming
-  :class:`~repro.streaming.ContinuousMonitor`.
+  :class:`~repro.streaming.ContinuousMonitor`;
+* :func:`sharded_fleet` — a metro area of spatially separated districts
+  (plus a little through traffic), the input shape of the partitioned
+  :class:`~repro.parallel.ShardedEngine`.
 """
 
 from __future__ import annotations
@@ -372,6 +375,94 @@ def streaming_fleet(
         max_speed=max_speed,
         uncertainty_radius=uncertainty_radius,
     )
+
+
+def sharded_fleet(
+    num_districts: int = 4,
+    vehicles_per_district: int = 30,
+    queries_per_district: int = 2,
+    through_vehicles: int = 4,
+    region_size_miles: float = 60.0,
+    district_size_miles: float = 12.0,
+    shift_minutes: float = 60.0,
+    waypoints_per_vehicle: int = 4,
+    uncertainty_radius: float = 0.2,
+    seed: int = 37,
+) -> Tuple[MovingObjectsDatabase, List[object]]:
+    """A metro area of distinct districts, the input shape of sharding.
+
+    ``num_districts`` compact districts are laid out on a square grid across
+    a much larger region; each district's vehicles random-waypoint *within*
+    their district only, so the fleet's spatial footprint decomposes into
+    well-separated clusters — the situation in which a spatial shard
+    partition keeps queries shard-local (small corridors, rare fallback).  A
+    few ``through_vehicles`` cross the whole region to keep the boundary
+    machinery honest.
+
+    Ids are ``"d<district>-veh-<k>"`` and ``"through-<k>"``; the monitored
+    query ids are spread evenly over the districts.
+
+    Returns:
+        ``(mod, query_ids)``.
+    """
+    if num_districts < 1 or vehicles_per_district < 2:
+        raise ValueError("need at least one district with two vehicles")
+    if not 1 <= queries_per_district <= vehicles_per_district:
+        raise ValueError("queries_per_district must fit in a district's fleet")
+    if district_size_miles <= 0 or region_size_miles < district_size_miles:
+        raise ValueError("districts must fit inside the region")
+    if waypoints_per_vehicle < 2:
+        raise ValueError("need at least two waypoints per vehicle")
+    rng = np.random.default_rng(seed)
+    pdf = UniformDiskPDF(uncertainty_radius)
+    grid = max(1, math.ceil(math.sqrt(num_districts)))
+    cell = region_size_miles / grid
+    leg_minutes = shift_minutes / (waypoints_per_vehicle - 1)
+
+    trajectories: List[UncertainTrajectory] = []
+    query_ids: List[object] = []
+    for district in range(num_districts):
+        row, col = divmod(district, grid)
+        # District anchored in its grid cell with margin so neighboring
+        # districts stay spatially separated.
+        x_lo = col * cell + (cell - district_size_miles) / 2.0
+        y_lo = row * cell + (cell - district_size_miles) / 2.0
+        for vehicle in range(vehicles_per_district):
+            waypoints = [
+                (
+                    x_lo + rng.uniform(0.0, district_size_miles),
+                    y_lo + rng.uniform(0.0, district_size_miles),
+                )
+                for _ in range(waypoints_per_vehicle)
+            ]
+            samples = [
+                TrajectorySample(x, y, index * leg_minutes)
+                for index, (x, y) in enumerate(waypoints)
+            ]
+            trajectories.append(
+                UncertainTrajectory(
+                    f"d{district}-veh-{vehicle}", samples, uncertainty_radius, pdf
+                )
+            )
+        stride = vehicles_per_district // queries_per_district
+        query_ids.extend(
+            f"d{district}-veh-{vehicle}"
+            for vehicle in range(0, stride * queries_per_district, stride)
+        )
+
+    for through in range(through_vehicles):
+        edge_in = rng.uniform(0.0, region_size_miles, 2)
+        edge_out = rng.uniform(0.0, region_size_miles, 2)
+        samples = [
+            TrajectorySample(float(edge_in[0]), float(edge_in[1]), 0.0),
+            TrajectorySample(float(edge_out[0]), float(edge_out[1]), shift_minutes),
+        ]
+        trajectories.append(
+            UncertainTrajectory(
+                f"through-{through}", samples, uncertainty_radius, pdf
+            )
+        )
+    return MovingObjectsDatabase(trajectories), query_ids
 
 
 def ride_hailing_snapshot(

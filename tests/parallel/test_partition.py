@@ -1,0 +1,120 @@
+"""Partition extraction: balanced, disjoint, exhaustive id groups."""
+
+import pytest
+
+from repro.index.partition import (
+    grid_partition,
+    partition_from_grid,
+    partition_from_rtree,
+    str_order,
+    str_partition,
+)
+from repro.parallel.plan import (
+    ShardPlan,
+    build_plan,
+    expanded_bounds,
+    resolve_halo,
+)
+from repro.workloads.scenarios import multi_query_fleet, sharded_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet_bounds():
+    mod, _ = multi_query_fleet(num_vehicles=40, num_queries=4)
+    return mod, {t.object_id: expanded_bounds(t) for t in mod}
+
+
+def assert_valid_partition(groups, all_ids, num_groups):
+    """Groups must be disjoint, exhaustive, non-empty, and balanced."""
+    flattened = [object_id for group in groups for object_id in group]
+    assert sorted(flattened, key=str) == sorted(all_ids, key=str)
+    assert len(flattened) == len(set(flattened))
+    assert len(groups) == min(num_groups, len(all_ids))
+    sizes = [len(group) for group in groups]
+    assert min(sizes) >= 1
+    assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("num_groups", [1, 3, 4, 7])
+def test_str_partition_is_valid(fleet_bounds, num_groups):
+    mod, bounds = fleet_bounds
+    groups = str_partition(bounds, num_groups)
+    assert_valid_partition(groups, mod.object_ids, num_groups)
+
+
+@pytest.mark.parametrize("num_groups", [1, 4, 9])
+def test_grid_partition_is_valid(fleet_bounds, num_groups):
+    mod, bounds = fleet_bounds
+    groups = grid_partition(bounds, num_groups)
+    assert_valid_partition(groups, mod.object_ids, num_groups)
+
+
+def test_partition_from_rtree_is_valid(fleet_bounds):
+    mod, _ = fleet_bounds
+    tree = mod.build_index("rtree")
+    groups = partition_from_rtree(tree, 4)
+    assert_valid_partition(groups, mod.object_ids, 4)
+
+
+def test_partition_from_grid_is_valid(fleet_bounds):
+    mod, _ = fleet_bounds
+    grid = mod.build_index("grid")
+    groups = partition_from_grid(grid, 4)
+    assert_valid_partition(groups, mod.object_ids, 4)
+
+
+def test_str_order_is_deterministic(fleet_bounds):
+    _, bounds = fleet_bounds
+    assert str_order(bounds, 4) == str_order(dict(reversed(bounds.items())), 4)
+
+
+def test_more_groups_than_ids_degrades_to_singletons():
+    bounds = {f"o{i}": (float(i), 0.0, float(i) + 1.0, 1.0) for i in range(3)}
+    groups = str_partition(bounds, 8)
+    assert len(groups) == 3
+    assert all(len(group) == 1 for group in groups)
+
+
+def test_str_partition_groups_are_spatially_coherent():
+    """Two well-separated clusters must not be interleaved across groups."""
+    bounds = {}
+    for i in range(8):
+        bounds[f"west-{i}"] = (0.0, float(i), 1.0, float(i) + 1.0)
+        bounds[f"east-{i}"] = (100.0, float(i), 101.0, float(i) + 1.0)
+    groups = str_partition(bounds, 2)
+    sides = [{str(object_id).split("-")[0] for object_id in g} for g in groups]
+    assert sides == [{"west"}, {"east"}] or sides == [{"east"}, {"west"}]
+
+
+def test_build_plan_methods_cover_the_store():
+    mod, _ = sharded_fleet(num_districts=4, vehicles_per_district=6)
+    for method in ("str", "grid", "rtree"):
+        plan = build_plan(mod, 4, method=method)
+        assert isinstance(plan, ShardPlan)
+        assert_valid_partition(
+            [list(group) for group in plan.groups], mod.object_ids, 4
+        )
+        assert plan.halo > 0
+        owner = plan.owner_of()
+        assert set(owner) == set(mod.object_ids)
+
+
+def test_build_plan_rejects_bad_inputs():
+    mod, _ = multi_query_fleet(num_vehicles=10, num_queries=2)
+    with pytest.raises(ValueError):
+        build_plan(mod, 0)
+    with pytest.raises(ValueError):
+        build_plan(mod, 4, method="voronoi")
+    with pytest.raises(ValueError):
+        build_plan(mod, 4, halo=-1.0)
+    from repro.trajectories.mod import MovingObjectsDatabase
+
+    with pytest.raises(ValueError):
+        build_plan(MovingObjectsDatabase(), 4)
+
+
+def test_resolve_halo_auto_scales_with_shard_count():
+    rects = [(0.0, 0.0, 10.0, 10.0)]
+    assert resolve_halo("auto", rects, 1) == pytest.approx(5.0)
+    assert resolve_halo("auto", rects, 4) == pytest.approx(2.5)
+    assert resolve_halo(1.5, rects, 4) == 1.5

@@ -1,0 +1,224 @@
+"""ShardedEngine mechanics: routing, refresh, membership, lifecycle."""
+
+import pytest
+
+from repro.engine import QueryEngine, answer_of
+from repro.parallel import ShardedEngine, build_plan
+from repro.trajectories.trajectory import TrajectorySample, UncertainTrajectory
+from repro.uncertainty.uniform import UniformDiskPDF
+from repro.workloads.scenarios import sharded_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return sharded_fleet(num_districts=4, vehicles_per_district=8)
+
+
+def fresh_engine(mod, **kwargs):
+    kwargs.setdefault("backend", "serial")
+    return ShardedEngine(mod, 4, **kwargs)
+
+
+def test_every_query_routed_to_its_owning_shard(fleet):
+    mod, query_ids = fleet
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        batch = engine.answer_batch(query_ids, lo, hi)
+        for item in batch:
+            assert item.shard == engine.owner_of(item.query_id)
+
+
+def test_duplicate_query_ids_preserved_in_order(fleet):
+    mod, query_ids = fleet
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        doubled = [query_ids[0], query_ids[1], query_ids[0]]
+        batch = engine.answer_batch(doubled, lo, hi)
+        assert [item.query_id for item in batch] == doubled
+        assert batch.results[0].answer == batch.results[2].answer
+
+
+def test_unknown_query_and_bad_arguments(fleet):
+    mod, query_ids = fleet
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        with pytest.raises(KeyError):
+            engine.answer_batch(["nope"], lo, hi)
+        with pytest.raises(ValueError):
+            engine.answer_batch(query_ids, hi, lo)
+        with pytest.raises(ValueError):
+            engine.answer_batch(query_ids, lo, hi, variant="never")
+    with pytest.raises(ValueError):
+        ShardedEngine(mod, 4, backend="gpu")
+    with pytest.raises(ValueError):
+        ShardedEngine(mod, 4, index="btree")
+
+
+def test_refresh_routes_changes_to_affected_shards_only(fleet):
+    mod, query_ids = fleet
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        engine.answer_batch(query_ids, lo, hi)
+        assert engine.refresh() == []  # no store change, no shard touched
+
+        moved_id = "d0-veh-1"
+        owner = engine.owner_of(moved_id)
+        old = mod.get(moved_id)
+        nudged = [
+            TrajectorySample(s.x + 0.25, s.y, s.t) for s in old.samples
+        ]
+        mod.replace_trajectory(
+            UncertainTrajectory(moved_id, nudged, old.radius, old.pdf)
+        )
+        changed = engine.refresh()
+        # The owning shard always sees its object's change; a small nudge
+        # must not ripple through every shard in a district world.
+        assert owner in changed
+        assert len(changed) < engine.num_shards
+
+
+def test_membership_follows_additions_and_removals(fleet):
+    mod, query_ids = sharded_fleet(num_districts=4, vehicles_per_district=8)
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        engine.answer_batch(query_ids, lo, hi)
+        before = sum(info.members for info in engine.shard_info())
+
+        newcomer = UncertainTrajectory(
+            "newcomer",
+            [TrajectorySample(1.0, 1.0, lo), TrajectorySample(2.0, 2.0, hi)],
+            0.2,
+            UniformDiskPDF(0.2),
+        )
+        mod.add(newcomer)
+        engine.refresh()
+        assert "newcomer" in mod
+        assert engine.owner_of("newcomer") in range(engine.num_shards)
+        assert sum(info.members for info in engine.shard_info()) > before
+
+        # The newcomer is queryable and exact.
+        single = QueryEngine(mod)
+        expected = answer_of(single.prepare("newcomer", lo, hi).context, "sometime")
+        assert engine.answer("newcomer", lo, hi) == expected
+
+        mod.remove("newcomer")
+        engine.refresh()
+        with pytest.raises(KeyError):
+            engine.owner_of("newcomer")
+
+
+def test_repartition_rebuilds_ownership(fleet):
+    mod, query_ids = fleet
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        first = engine.answer_batch(query_ids, lo, hi).answers
+        plan = engine.repartition(num_shards=2, method="grid")
+        assert plan.num_shards == 2
+        assert engine.num_shards == 2
+        assert engine.answer_batch(query_ids, lo, hi).answers == first
+
+
+def test_prebuilt_plan_is_honored(fleet):
+    mod, query_ids = fleet
+    plan = build_plan(mod, 3, method="grid", halo=5.0)
+    with ShardedEngine(mod, backend="serial", plan=plan) as engine:
+        assert engine.num_shards == 3
+        assert engine.halo == 5.0
+        lo, hi = mod.common_time_span()
+        single = QueryEngine(mod)
+        expected = {
+            q: answer_of(single.prepare(q, lo, hi).context, "sometime")
+            for q in query_ids
+        }
+        assert engine.answer_batch(query_ids, lo, hi).answers == expected
+
+
+def test_shard_info_accounts_everyone(fleet):
+    mod, _ = fleet
+    with fresh_engine(mod) as engine:
+        infos = engine.shard_info()
+        assert sum(info.owned for info in infos) == len(mod)
+        for info in infos:
+            assert info.members <= len(mod)
+            assert info.complete == (info.members == len(mod))
+
+
+def test_telemetry_counts_batch(fleet):
+    mod, query_ids = fleet
+    with fresh_engine(mod) as engine:
+        lo, hi = mod.common_time_span()
+        batch = engine.answer_batch(query_ids, lo, hi)
+        assert len(batch) == len(query_ids)
+        assert sum(t.queries for t in batch.shard_telemetry) == len(query_ids)
+        assert batch.total_seconds > 0
+        assert 0.0 <= batch.fallback_ratio <= 1.0
+
+
+def test_worker_payload_on_demand_protocol(fleet):
+    """Payload-free tasks miss on a cold cache, hit after one full send."""
+    from repro.parallel.worker import ShardTask, run_shard_task
+    from repro.parallel.plan import expanded_bounds
+
+    mod, query_ids = fleet
+    lo, hi = mod.common_time_span()
+    bounds = [expanded_bounds(t) for t in mod]
+    coverage = (
+        min(b[0] for b in bounds), min(b[1] for b in bounds),
+        max(b[2] for b in bounds), max(b[3] for b in bounds),
+    )
+    from repro.parallel.worker import QuerySpec
+
+    spec = QuerySpec(query_ids[0], lo, hi, mod.default_band_width(query_ids[0]))
+    common = dict(
+        token=("test-payload-protocol", 0),
+        fingerprint=7,
+        index_kind="rtree",
+        leaf_capacity=16,
+        grid_cells=32,
+        cache_size=64,
+        queries=(spec,),
+        coverage=coverage,
+        complete=True,
+    )
+    # Cold cache + no payload: the worker must ask for the payload.
+    assert run_shard_task(ShardTask(trajectories=None, **common)) is None
+    full = run_shard_task(ShardTask(trajectories=tuple(mod), **common))
+    assert full is not None and not full[0].escaped
+    # Same token+fingerprint: payload-free now succeeds from the cache.
+    probe = run_shard_task(ShardTask(trajectories=None, **common))
+    assert probe is not None and probe[0].answer == full[0].answer
+    # A bumped fingerprint invalidates the cache again.
+    stale = dict(common, fingerprint=8)
+    assert run_shard_task(ShardTask(trajectories=None, **stale)) is None
+
+
+def test_process_backend_warm_batches_after_mutation(fleet):
+    mod, query_ids = sharded_fleet(num_districts=4, vehicles_per_district=8)
+    lo, hi = mod.common_time_span()
+    with ShardedEngine(mod, 4, backend="process") as engine:
+        first = engine.answer_batch(query_ids, lo, hi).answers
+        assert engine.answer_batch(query_ids, lo, hi).answers == first
+        moved = mod.get(query_ids[0])
+        mod.replace_trajectory(
+            UncertainTrajectory(
+                moved.object_id,
+                [TrajectorySample(s.x, s.y + 0.4, s.t) for s in moved.samples],
+                moved.radius,
+                moved.pdf,
+            )
+        )
+        single = QueryEngine(mod)
+        expected = {
+            q: answer_of(single.prepare(q, lo, hi).context, "sometime")
+            for q in query_ids
+        }
+        assert engine.answer_batch(query_ids, lo, hi).answers == expected
+
+
+def test_close_is_idempotent(fleet):
+    mod, query_ids = fleet
+    engine = fresh_engine(mod, backend="process")
+    lo, hi = mod.common_time_span()
+    engine.answer_batch(query_ids[:2], lo, hi)
+    engine.close()
+    engine.close()

@@ -1,0 +1,133 @@
+"""Oracle: sharded answers must equal the single-process engine's exactly.
+
+The acceptance bar of the parallel layer: a :class:`ShardedEngine` with at
+least 4 shards on the process backend returns answers identical to a
+monolithic :class:`QueryEngine` on the ``multi_query_fleet`` and
+``streaming_fleet`` scenarios — including while the streaming scenario's
+update batches mutate the store underneath both engines.
+"""
+
+import pytest
+
+from repro.engine import QueryEngine, answer_of
+from repro.parallel import ShardedEngine
+from repro.streaming import ContinuousMonitor
+from repro.workloads.scenarios import (
+    multi_query_fleet,
+    sharded_fleet,
+    streaming_fleet,
+)
+
+
+def single_engine_answers(mod, query_ids, lo, hi, variant="sometime", fraction=0.0):
+    engine = QueryEngine(mod)
+    return {
+        query_id: answer_of(
+            engine.prepare(query_id, lo, hi).context, variant, fraction
+        )
+        for query_id in query_ids
+    }
+
+
+@pytest.mark.parametrize("variant,fraction", [
+    ("sometime", 0.0),
+    ("always", 0.0),
+    ("fraction", 0.3),
+])
+def test_process_backend_matches_single_engine_on_multi_query_fleet(
+    variant, fraction
+):
+    mod, query_ids = multi_query_fleet(num_vehicles=40, num_queries=6)
+    lo, hi = mod.common_time_span()
+    expected = single_engine_answers(mod, query_ids, lo, hi, variant, fraction)
+    with ShardedEngine(mod, 4, backend="process") as engine:
+        batch = engine.answer_batch(
+            query_ids, lo, hi, variant=variant, fraction=fraction
+        )
+    assert engine.num_shards == 4
+    assert batch.answers == expected
+
+
+def test_process_backend_matches_single_engine_on_streaming_fleet():
+    scenario = streaming_fleet(num_vehicles=24, num_queries=3, num_batches=2)
+    monitor = ContinuousMonitor(scenario.mod)
+    for object_id in scenario.mod.object_ids:
+        monitor.track(
+            object_id,
+            max_speed=scenario.max_speed,
+            minimum_radius=scenario.uncertainty_radius,
+        )
+    with ShardedEngine(scenario.mod, 4, backend="process") as engine:
+        for batch in scenario.batches:
+            for object_id, reports in batch.items():
+                monitor.ingest(object_id, reports)
+            monitor.apply()
+            lo, hi = scenario.mod.common_time_span()
+            expected = single_engine_answers(
+                scenario.mod, scenario.query_ids, lo, hi
+            )
+            result = engine.answer_batch(scenario.query_ids, lo, hi)
+            assert result.answers == expected
+
+
+def test_all_backends_agree_on_sharded_fleet():
+    mod, query_ids = sharded_fleet(num_districts=4, vehicles_per_district=8)
+    lo, hi = mod.common_time_span()
+    expected = single_engine_answers(mod, query_ids, lo, hi)
+    for backend in ("serial", "thread", "process"):
+        with ShardedEngine(mod, 4, backend=backend) as engine:
+            batch = engine.answer_batch(query_ids, lo, hi)
+            assert batch.answers == expected, backend
+
+
+def test_tiny_halo_still_exact_via_fallback():
+    """A uselessly small halo forces escapes, never wrong answers."""
+    mod, query_ids = sharded_fleet(num_districts=4, vehicles_per_district=8)
+    lo, hi = mod.common_time_span()
+    expected = single_engine_answers(mod, query_ids, lo, hi)
+    with ShardedEngine(mod, 4, backend="serial", halo=0.01) as engine:
+        batch = engine.answer_batch(query_ids, lo, hi)
+        assert batch.answers == expected
+        # With no replication margin essentially every query must escape.
+        assert engine.fallback_evaluations > 0
+
+
+def test_global_band_width_used_on_heterogeneous_radii():
+    """Shards must use the full store's 4r default, not a shard-local one.
+
+    Two spatially distant clusters with different pdf supports: the default
+    band width of a query in the small-radius cluster is dominated by the
+    *other* cluster's larger support, which a shard-local default would
+    miss.  Equality with the single engine proves the parent resolved it.
+    """
+    from repro.trajectories.mod import MovingObjectsDatabase
+    from repro.trajectories.trajectory import TrajectorySample, UncertainTrajectory
+    from repro.uncertainty.uniform import UniformDiskPDF
+
+    trajectories = []
+    for i in range(6):
+        trajectories.append(
+            UncertainTrajectory(
+                f"small-{i}",
+                [TrajectorySample(0.0, i * 1.0, 0.0),
+                 TrajectorySample(5.0, i * 1.0, 10.0)],
+                0.1,
+                UniformDiskPDF(0.1),
+            )
+        )
+    for i in range(6):
+        trajectories.append(
+            UncertainTrajectory(
+                f"big-{i}",
+                [TrajectorySample(100.0, i * 1.0, 0.0),
+                 TrajectorySample(105.0, i * 1.0, 10.0)],
+                2.0,
+                UniformDiskPDF(2.0),
+            )
+        )
+    mod = MovingObjectsDatabase(trajectories)
+    query_ids = ["small-0", "big-0"]
+    expected = single_engine_answers(mod, query_ids, 0.0, 10.0)
+    with ShardedEngine(mod, 2, backend="serial") as engine:
+        batch = engine.answer_batch(query_ids, 0.0, 10.0)
+        assert batch.answers == expected

@@ -1,0 +1,78 @@
+"""Property: sharded answers are invariant to shard count and halo width.
+
+For any random fleet, window, and UQ3x variant, the :class:`ShardedEngine`
+must return the same answers as the monolithic :class:`QueryEngine`
+regardless of how many shards the store is cut into and how wide the
+boundary-replication halo is — the shard plan is a performance knob, never a
+correctness knob.  Comparisons go through the streaming layer's
+representation-noise-tolerant :func:`answers_equal`.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import QueryEngine, answer_of
+from repro.parallel import ShardedEngine
+from repro.streaming import answers_equal
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.trajectories.trajectory import TrajectorySample, UncertainTrajectory
+from repro.uncertainty.uniform import UniformDiskPDF
+
+T_LO, T_HI = 0.0, 10.0
+SAMPLE_TIMES = (0.0, 4.0, 10.0)
+
+coordinate = st.floats(
+    min_value=0.0, max_value=40.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def fleets(draw, min_size=4, max_size=9):
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    radius = draw(st.sampled_from([0.1, 0.3]))
+    pdf = UniformDiskPDF(radius)
+    trajectories = []
+    for index in range(count):
+        samples = [
+            TrajectorySample(draw(coordinate), draw(coordinate), t)
+            for t in SAMPLE_TIMES
+        ]
+        trajectories.append(
+            UncertainTrajectory(f"o{index}", samples, radius, pdf)
+        )
+    return MovingObjectsDatabase(trajectories)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    mod=fleets(),
+    num_shards=st.integers(min_value=1, max_value=5),
+    halo=st.sampled_from([0.0, 3.0, "auto"]),
+    variant=st.sampled_from(["sometime", "always"]),
+)
+def test_answers_invariant_to_shard_count_and_halo(mod, num_shards, halo, variant):
+    query_id = "o0"
+    single = QueryEngine(mod)
+    expected = answer_of(
+        single.prepare(query_id, T_LO, T_HI).context, variant
+    )
+    with ShardedEngine(
+        mod, num_shards, backend="serial", halo=halo
+    ) as engine:
+        answer = engine.answer_batch(
+            [query_id], T_LO, T_HI, variant=variant
+        ).results[0].answer
+    assert answers_equal(answer, expected)
+
+
+@settings(max_examples=6, deadline=None)
+@given(mod=fleets(min_size=5, max_size=8), method=st.sampled_from(["str", "grid", "rtree"]))
+def test_answers_invariant_to_partition_method(mod, method):
+    query_ids = ["o0", "o1"]
+    single = QueryEngine(mod)
+    expected = {
+        q: answer_of(single.prepare(q, T_LO, T_HI).context, "sometime")
+        for q in query_ids
+    }
+    with ShardedEngine(mod, 3, backend="serial", method=method) as engine:
+        answers = engine.answer_batch(query_ids, T_LO, T_HI).answers
+    assert all(answers_equal(answers[q], expected[q]) for q in query_ids)
