@@ -5,12 +5,23 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench bench-streaming bench-streaming-smoke \
-	bench-sharded bench-sharded-smoke bench-all bench-all-smoke \
-	check-regression lint
+.PHONY: test coverage bench-smoke bench bench-streaming bench-streaming-smoke \
+	bench-sharded bench-sharded-smoke bench-columnar bench-columnar-smoke \
+	bench-all bench-all-smoke check-regression update-baselines-dry lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Coverage needs pytest-cov (in requirements-dev.txt); skip gracefully when
+# the local environment lacks it so `make test` stays dependency-light.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest -q --cov=src/repro --cov-report=term \
+			--cov-report=html --cov-fail-under=80; \
+	else \
+		echo "pytest-cov not installed; run: pip install pytest-cov"; \
+		exit 1; \
+	fi
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_batch_engine.py --quick
@@ -30,6 +41,12 @@ bench-sharded-smoke:
 bench-sharded:
 	$(PYTHON) benchmarks/bench_sharded.py --json BENCH_sharded.json
 
+bench-columnar-smoke:
+	$(PYTHON) benchmarks/bench_columnar.py --quick --json BENCH_columnar.json
+
+bench-columnar:
+	$(PYTHON) benchmarks/bench_columnar.py --json BENCH_columnar.json
+
 # The unified runner: one schema-versioned BENCH_<name>.json per bench.
 bench-all:
 	$(PYTHON) benchmarks/run_all.py
@@ -40,6 +57,9 @@ bench-all-smoke:
 
 check-regression:
 	$(PYTHON) benchmarks/check_regression.py --results-dir .
+
+update-baselines-dry:
+	$(PYTHON) benchmarks/update_baselines.py --dry-run --results-dir .
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples

@@ -1,0 +1,215 @@
+"""Benchmark: columnar bulk kernels vs the scalar filtering/box/band paths.
+
+Measures the three bulk kernels the columnar store enables against the
+retained scalar paths they replace, per database size:
+
+* ``corridor`` — :func:`repro.engine.filtering.corridor_probe_bulk` over a
+  query batch vs the scalar per-query loop (fresh
+  ``TrajectoryArrays(use_columnar=False)``, i.e. the pre-columnar filtering
+  path every engine construction used to pay, including its per-sample
+  extraction);
+* ``boxes`` — :func:`repro.trajectories.columnar.segment_boxes_bulk` +
+  entry materialization vs the per-trajectory
+  :func:`repro.index.boxes.segment_boxes` loop (the index bulk-load input);
+* ``band`` — :func:`repro.core.pruning.band_intervals_batch` over a
+  prepared context's candidates vs one scalar
+  :func:`~repro.core.pruning.band_intervals` call per candidate.
+
+Every comparison asserts result equality before reporting, so a speedup
+can never come from a divergent answer.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py
+    PYTHONPATH=src python benchmarks/bench_columnar.py --sizes 500 --queries 8
+
+``--quick`` trims the query batch but keeps the N=2000 size: the
+regression gate pins the corridor speedup at that size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.pruning import band_intervals, band_intervals_batch
+from repro.engine import QueryEngine
+from repro.engine.filtering import (
+    TrajectoryArrays,
+    conservative_corridor_radius,
+    corridor_probe_bulk,
+)
+from repro.index.boxes import segment_boxes
+from repro.trajectories.columnar import segment_boxes_bulk
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.workloads.random_waypoint import RandomWaypointConfig, generate_trajectories
+
+from common import default_output_path, write_record
+
+BENCH_NAME = "columnar"
+
+
+def build_mod(num_objects: int, seed: int = 7) -> MovingObjectsDatabase:
+    config = RandomWaypointConfig(num_objects=num_objects, seed=seed)
+    return MovingObjectsDatabase(generate_trajectories(config))
+
+
+def bench_corridor(
+    mod: MovingObjectsDatabase, num_queries: int
+) -> Dict[str, float]:
+    lo, hi = mod.common_time_span()
+    stride = max(1, len(mod) // num_queries)
+    query_ids = mod.object_ids[::stride][:num_queries]
+    widths = [mod.default_band_width(query_id) for query_id in query_ids]
+    store = mod.columnar()
+
+    started = time.perf_counter()
+    scalar_arrays = TrajectoryArrays(use_columnar=False)
+    scalar = np.array(
+        [
+            conservative_corridor_radius(mod, query_id, lo, hi, width, scalar_arrays)
+            for query_id, width in zip(query_ids, widths)
+        ]
+    )
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    bulk = corridor_probe_bulk(mod, query_ids, lo, hi, widths, store=store)
+    bulk_seconds = time.perf_counter() - started
+
+    if not np.array_equal(scalar, bulk):
+        raise AssertionError("corridor bulk kernel diverged from the scalar path")
+    return {
+        "corridor_scalar_ms": scalar_seconds * 1000.0,
+        "corridor_bulk_ms": bulk_seconds * 1000.0,
+        "corridor_speedup": scalar_seconds / bulk_seconds,
+    }
+
+
+def bench_boxes(mod: MovingObjectsDatabase) -> Dict[str, float]:
+    pack = mod.columnar().pack()
+    x_min, y_min, x_max, y_max = pack.spatial_bounds()
+    max_extent = max(x_max - x_min, y_max - y_min) / 32.0 or None
+
+    started = time.perf_counter()
+    scalar: List = []
+    for trajectory in mod:
+        scalar.extend(segment_boxes(trajectory, max_extent=max_extent))
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    bulk = segment_boxes_bulk(pack, max_extent=max_extent).entries()
+    bulk_seconds = time.perf_counter() - started
+
+    if [entry.box for entry in bulk] != [entry.box for entry in scalar]:
+        raise AssertionError("bulk segment boxes diverged from the scalar loop")
+    return {
+        "boxes_scalar_ms": scalar_seconds * 1000.0,
+        "boxes_bulk_ms": bulk_seconds * 1000.0,
+        "boxes_speedup": scalar_seconds / bulk_seconds,
+        "boxes_entries": float(len(bulk)),
+    }
+
+
+def bench_band(mod: MovingObjectsDatabase) -> Dict[str, float]:
+    lo, hi = mod.common_time_span()
+    query_id = mod.object_ids[0]
+    context = QueryEngine(mod).prepare(query_id, lo, hi).context
+    functions = list(context.functions.values())
+
+    started = time.perf_counter()
+    scalar = [
+        band_intervals(function, context.envelope, context.band_width, lo, hi)
+        for function in functions
+    ]
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = band_intervals_batch(
+        functions, context.envelope, context.band_width, lo, hi
+    )
+    batch_seconds = time.perf_counter() - started
+
+    if scalar != batched:
+        raise AssertionError("band batch kernel diverged from per-candidate calls")
+    return {
+        "band_scalar_ms": scalar_seconds * 1000.0,
+        "band_batch_ms": batch_seconds * 1000.0,
+        "band_speedup": scalar_seconds / batch_seconds,
+        "band_candidates": float(len(functions)),
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    sizes: List[int] | None = None,
+    queries: int | None = None,
+) -> Tuple[Dict, Dict[str, float]]:
+    """Run the kernel sweep; returns ``(config, metrics)`` for the record schema.
+
+    Metric keys are flattened per size: ``n<size>_<metric>``.  N=2000 stays
+    in the quick grid because the regression gate pins the corridor-kernel
+    speedup there.
+    """
+    sizes = sizes or ([2000] if quick else [500, 2000])
+    queries = queries or (8 if quick else 16)
+    config = {"sizes": sizes, "queries": queries, "quick": quick}
+    metrics: Dict[str, float] = {}
+    for num_objects in sizes:
+        mod = build_mod(num_objects)
+        started = time.perf_counter()
+        mod.columnar().pack()
+        pack_seconds = time.perf_counter() - started
+        numbers = {"pack_ms": pack_seconds * 1000.0}
+        numbers.update(bench_corridor(mod, queries))
+        numbers.update(bench_boxes(mod))
+        numbers.update(bench_band(mod))
+        print(
+            f"N={num_objects}: pack {numbers['pack_ms']:6.1f} ms | "
+            f"corridor {numbers['corridor_scalar_ms']:7.1f} -> "
+            f"{numbers['corridor_bulk_ms']:6.1f} ms "
+            f"({numbers['corridor_speedup']:4.2f}x) | "
+            f"boxes {numbers['boxes_scalar_ms']:7.1f} -> "
+            f"{numbers['boxes_bulk_ms']:6.1f} ms "
+            f"({numbers['boxes_speedup']:4.2f}x) | "
+            f"band {numbers['band_scalar_ms']:7.1f} -> "
+            f"{numbers['band_batch_ms']:6.1f} ms "
+            f"({numbers['band_speedup']:4.2f}x)"
+        )
+        for key, value in numbers.items():
+            metrics[f"n{num_objects}_{key}"] = value
+    return config, metrics
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=None,
+        help="database sizes to sweep (default 500 2000)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None,
+        help="corridor query batch size (default 16, quick 8)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (N=2000 only, 8 queries) for smoke tests",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help=f"write the record to this JSON file (e.g. {default_output_path(BENCH_NAME)})",
+    )
+    args = parser.parse_args()
+
+    print("columnar bulk kernels vs scalar paths (equality asserted per comparison)")
+    config, metrics = run_bench(
+        quick=args.quick, sizes=args.sizes, queries=args.queries
+    )
+    if args.json:
+        write_record(args.json, BENCH_NAME, config, metrics)
+        print(f"  wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,6 +34,10 @@ REGISTRY = {
         "bench_batch_engine",
         "batched engine preparation vs unfiltered per-query baseline",
     ),
+    "columnar": (
+        "bench_columnar",
+        "columnar bulk kernels vs scalar filtering/box/band paths",
+    ),
     "streaming": (
         "bench_streaming",
         "incremental streaming maintenance vs rebuild-from-scratch",

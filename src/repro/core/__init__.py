@@ -14,6 +14,7 @@ from .reverse import (
 from .pruning import (
     PruningStatistics,
     band_intervals,
+    band_intervals_batch,
     is_within_band_always,
     is_within_band_sometime,
     minimum_band_gap,
@@ -52,6 +53,7 @@ __all__ = [
     "ThresholdQueryResult",
     "annotate_tree",
     "band_intervals",
+    "band_intervals_batch",
     "build_ipac_tree",
     "build_ipac_tree_with_statistics",
     "compute_descriptor",

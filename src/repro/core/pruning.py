@@ -19,7 +19,10 @@ per-piece sample grid (endpoints, curve vertices, and a fixed number of
 interior points).  Band-interval extraction is the hot path of every batched
 predicate, so :func:`band_intervals` evaluates the whole sample grid with
 NumPy in one pass and refines only the bracketed sign changes with a
-vectorized bisection; the original per-piece Brent's-method implementation
+vectorized bisection; :func:`band_intervals_batch` extends the same scheme
+to *many* candidates against one envelope (one grid pass, one grouped
+bisection), which is what :class:`~repro.core.queries.QueryContext` runs
+per prepared query.  The original per-piece Brent's-method implementation
 is kept as :func:`band_intervals_scalar` and pins the vectorized output in
 the regression tests.
 """
@@ -27,7 +30,7 @@ the regression tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import brentq
@@ -38,6 +41,9 @@ from ..geometry.envelope.pieces import Envelope
 _TIME_TOLERANCE = 1e-9
 #: Interior sample points per elementary interval used to bracket band crossings.
 _SAMPLES_PER_INTERVAL = 12
+#: Absolute slack when testing whole-window band coverage (UQ12/UQ32); shared
+#: with the interval-cache predicates in :mod:`repro.core.queries`.
+FULL_WINDOW_SLACK = 1e-6
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,34 +99,111 @@ def band_intervals(
     Returns:
         Disjoint, time-ordered ``(start, end)`` intervals (possibly empty).
     """
+    return band_intervals_batch([function], envelope, band_width, t_lo, t_hi)[0]
+
+
+def band_intervals_batch(
+    functions: Sequence[DistanceFunction],
+    envelope: Envelope,
+    band_width: float,
+    t_lo: float,
+    t_hi: float,
+) -> List[List[Tuple[float, float]]]:
+    """Band intervals of *many* candidates against one envelope in one pass.
+
+    The hot loop of every UQ3x answer runs :func:`band_intervals` once per
+    candidate; the per-candidate row construction is cheap, but each call
+    pays its own sample-grid evaluation.  This kernel concatenates every
+    candidate's rows into one (rows × samples) grid, evaluates the gap
+    function and the no-crossing midpoint tests in a single NumPy pass, and
+    refines each candidate's bracketed sign changes with the same
+    per-candidate bisection the scalar call uses — so the returned interval
+    lists are bit-identical to calling :func:`band_intervals` per function.
+
+    Returns:
+        One interval list per function, aligned with the input order.
+    """
     if band_width < 0:
         raise ValueError("band width must be non-negative")
     if t_hi < t_lo:
         raise ValueError(f"empty window [{t_lo}, {t_hi}]")
+    functions = list(functions)
     if t_hi == t_lo:
-        gap = envelope.value(t_lo) + band_width - function.value(t_lo)
-        return [(t_lo, t_hi)] if gap >= -_TIME_TOLERANCE else []
+        results: List[List[Tuple[float, float]]] = []
+        for function in functions:
+            gap = envelope.value(t_lo) + band_width - function.value(t_lo)
+            results.append([(t_lo, t_hi)] if gap >= -_TIME_TOLERANCE else [])
+        return results
 
-    rows = _band_rows(function, envelope, t_lo, t_hi)
-    if not rows:
-        return []
+    all_rows: List[Tuple[float, float, Hyperbola, Hyperbola]] = []
+    row_slices: List[Tuple[int, int]] = []
+    for function in functions:
+        rows = _band_rows(function, envelope, t_lo, t_hi)
+        row_slices.append((len(all_rows), len(all_rows) + len(rows)))
+        all_rows.extend(rows)
+    if not all_rows:
+        return [[] for _ in functions]
 
-    lo = np.array([row[0] for row in rows])
-    hi = np.array([row[1] for row in rows])
-    env_coeffs = np.array([[row[2].a, row[2].b, row[2].c] for row in rows])
-    fun_coeffs = np.array([[row[3].a, row[3].b, row[3].c] for row in rows])
+    lo = np.array([row[0] for row in all_rows])
+    hi = np.array([row[1] for row in all_rows])
+    env_coeffs = np.array([[row[2].a, row[2].b, row[2].c] for row in all_rows])
+    fun_coeffs = np.array([[row[3].a, row[3].b, row[3].c] for row in all_rows])
+    group_of_row = np.empty(len(all_rows), dtype=np.int64)
+    for group, (start, end) in enumerate(row_slices):
+        group_of_row[start:end] = group
 
     times = _row_sample_grid(lo, hi, env_coeffs, fun_coeffs)
     values = _gap_grid(times, env_coeffs, fun_coeffs, band_width)
-    roots_by_row = _refine_bracketed_roots(
-        times, values, env_coeffs, fun_coeffs, band_width, lo, hi
-    )
-
-    inside_intervals: List[Tuple[float, float]] = []
     # Rows with no crossing are classified in one vectorized midpoint test.
-    midpoints = (lo + hi) / 2.0
-    midpoint_gaps = _gap_at(midpoints, env_coeffs, fun_coeffs, band_width)
-    for row_index in range(len(rows)):
+    midpoint_gaps = _gap_at((lo + hi) / 2.0, env_coeffs, fun_coeffs, band_width)
+    roots_by_row = _refine_bracketed_roots(
+        times,
+        values,
+        env_coeffs,
+        fun_coeffs,
+        band_width,
+        lo,
+        hi,
+        group_of_row=group_of_row,
+        group_count=len(functions),
+    )
+    # Bucket the refined roots per candidate, re-keyed to local row indices.
+    local_roots: List[dict] = [{} for _ in functions]
+    for row_index, row_roots in roots_by_row.items():
+        group = int(group_of_row[row_index])
+        local_roots[group][row_index - row_slices[group][0]] = row_roots
+
+    results = []
+    for group, (start, end) in enumerate(row_slices):
+        if start == end:
+            results.append([])
+            continue
+        results.append(
+            _classify_rows(
+                lo[start:end],
+                hi[start:end],
+                env_coeffs[start:end],
+                fun_coeffs[start:end],
+                band_width,
+                local_roots[group],
+                midpoint_gaps[start:end],
+            )
+        )
+    return results
+
+
+def _classify_rows(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    env_coeffs: np.ndarray,
+    fun_coeffs: np.ndarray,
+    band_width: float,
+    roots_by_row: dict,
+    midpoint_gaps: np.ndarray,
+) -> List[Tuple[float, float]]:
+    """Assemble one candidate's inside-band intervals from refined roots."""
+    inside_intervals: List[Tuple[float, float]] = []
+    for row_index in range(lo.size):
         crossings = roots_by_row.get(row_index)
         if not crossings:
             if midpoint_gaps[row_index] >= 0.0:
@@ -210,7 +293,7 @@ def is_within_band_always(
     """True when the function stays inside the band throughout the window (UQ12 core)."""
     intervals = band_intervals(function, envelope, band_width, t_lo, t_hi)
     covered = sum(end - start for start, end in intervals)
-    return covered >= (t_hi - t_lo) - 1e-6
+    return covered >= (t_hi - t_lo) - FULL_WINDOW_SLACK
 
 
 def time_within_band(
@@ -380,8 +463,17 @@ def _refine_bracketed_roots(
     band_width: float,
     lo: np.ndarray,
     hi: np.ndarray,
+    group_of_row: Optional[np.ndarray] = None,
+    group_count: int = 1,
 ) -> dict:
     """Vectorized bisection of every bracketed sign change of the gap grid.
+
+    With ``group_of_row`` the rows belong to several candidates refined in
+    one pass: each candidate keeps its *own* step count (derived from its
+    own widest bracket, exactly as a single-candidate call computes it) and
+    a bracket freezes once its candidate's budget is exhausted, so the
+    refined roots are bit-identical to per-candidate calls while every
+    bisection step evaluates all candidates' brackets in one batch.
 
     Returns:
         ``{row_index: sorted deduplicated roots strictly inside the row}``.
@@ -410,18 +502,32 @@ def _refine_bracketed_roots(
         g_a = values[rows_idx, cols].copy()
         env_b = env_coeffs[rows_idx]
         fun_b = fun_coeffs[rows_idx]
-        widest = float(np.max(t_b - t_a))
-        steps = min(
+        widths = t_b - t_a
+        if group_of_row is None:
+            groups = np.zeros(rows_idx.size, dtype=np.int64)
+        else:
+            groups = group_of_row[rows_idx]
+        widest = np.zeros(group_count)
+        np.maximum.at(widest, groups, widths)
+        per_group_steps = np.minimum(
             _BISECTION_STEPS,
-            max(1, int(np.ceil(np.log2(max(widest, 1e-12) / 1e-13)))),
+            np.maximum(
+                1,
+                np.ceil(np.log2(np.maximum(widest, 1e-12) / 1e-13)).astype(
+                    np.int64
+                ),
+            ),
         )
-        for _ in range(steps):
+        steps_per_bracket = per_group_steps[groups]
+        for iteration in range(int(steps_per_bracket.max())):
+            active = steps_per_bracket > iteration
             t_mid = 0.5 * (t_a + t_b)
             g_mid = _gap_at(t_mid, env_b, fun_b, band_width)
             go_left = g_a * g_mid <= 0.0
-            t_b = np.where(go_left, t_mid, t_b)
-            t_a = np.where(go_left, t_a, t_mid)
-            g_a = np.where(go_left, g_a, g_mid)
+            move_right = active & ~go_left
+            t_b = np.where(active & go_left, t_mid, t_b)
+            t_a = np.where(move_right, t_mid, t_a)
+            g_a = np.where(move_right, g_mid, g_a)
         refined = 0.5 * (t_a + t_b)
         for row_index, root in zip(rows_idx.tolist(), refined.tolist()):
             _record(row_index, float(root))

@@ -26,11 +26,10 @@ from ..geometry.envelope.pieces import Envelope
 from .answer import IPACTree
 from .ipacnn import build_ipac_tree
 from .pruning import (
+    FULL_WINDOW_SLACK,
     PruningStatistics,
-    band_intervals,
-    is_within_band_always,
+    band_intervals_batch,
     is_within_band_sometime,
-    prune_by_band,
     time_within_band,
 )
 
@@ -61,6 +60,8 @@ class QueryContext:
     _tree: Optional[IPACTree] = None
     _survivors: Optional[List[DistanceFunction]] = None
     _pruning_stats: Optional[PruningStatistics] = None
+    _intervals: Optional[Dict[object, List[Tuple[float, float]]]] = None
+    _intervals_complete: bool = False
 
     # ------------------------------------------------------------------
     # Construction.
@@ -152,15 +153,56 @@ class QueryContext:
             raise KeyError(f"unknown candidate {object_id!r}")
         return self.functions[object_id]
 
+    def _interval_map(self) -> Dict[object, List[Tuple[float, float]]]:
+        """Every candidate's inside-band intervals, batched and memoized.
+
+        One :func:`band_intervals_batch` pass serves band pruning, the
+        UQ1x predicates, and the per-member interval extraction of the
+        UQ3x answer shapes — bit-identical to, and instead of, one scalar
+        :func:`repro.core.pruning.band_intervals` call per candidate.
+        """
+        if not self._intervals_complete:
+            ordered = list(self.functions.values())
+            batched = band_intervals_batch(
+                ordered, self.envelope, self.band_width, self.t_start, self.t_end
+            )
+            self._intervals = {
+                function.object_id: intervals
+                for function, intervals in zip(ordered, batched)
+            }
+            self._intervals_complete = True
+        assert self._intervals is not None
+        return self._intervals
+
+    def _intervals_of(self, object_id: object) -> List[Tuple[float, float]]:
+        """Cached inside-band intervals of one (validated) candidate.
+
+        A one-off Category-1 predicate on a fresh context computes (and
+        caches) just that candidate's intervals; the whole-collection map
+        is only built when a UQ3x/pruning flow asks for it.
+        """
+        function = self.function_of(object_id)
+        if self._intervals_complete:
+            return self._intervals[object_id]
+        if self._intervals is None:
+            self._intervals = {}
+        if object_id not in self._intervals:
+            self._intervals[object_id] = band_intervals_batch(
+                [function], self.envelope, self.band_width, self.t_start, self.t_end
+            )[0]
+        return self._intervals[object_id]
+
     def survivors(self) -> List[DistanceFunction]:
         """Candidates that survive the 4r-band pruning (computed once)."""
         if self._survivors is None:
-            self._survivors, self._pruning_stats = prune_by_band(
-                list(self.functions.values()),
-                self.envelope,
-                self.band_width,
-                self.t_start,
-                self.t_end,
+            intervals = self._interval_map()
+            self._survivors = [
+                function
+                for function in self.functions.values()
+                if intervals[function.object_id]
+            ]
+            self._pruning_stats = PruningStatistics(
+                len(self.functions), len(self._survivors)
             )
         return self._survivors
 
@@ -211,35 +253,18 @@ class QueryContext:
 
     def uq11_sometime(self, object_id: object) -> bool:
         """UQ11(∃t): non-zero NN probability at some time during the window."""
-        return is_within_band_sometime(
-            self.function_of(object_id),
-            self.envelope,
-            self.band_width,
-            self.t_start,
-            self.t_end,
-        )
+        return bool(self._intervals_of(object_id))
 
     def uq12_always(self, object_id: object) -> bool:
         """UQ12(∀t): non-zero NN probability throughout the window."""
-        return is_within_band_always(
-            self.function_of(object_id),
-            self.envelope,
-            self.band_width,
-            self.t_start,
-            self.t_end,
-        )
+        covered = sum(end - start for start, end in self._intervals_of(object_id))
+        return covered >= self.duration - FULL_WINDOW_SLACK
 
     def uq13_fraction(self, object_id: object) -> float:
         """Fraction of the window with non-zero NN probability (UQ13 support)."""
         if self.duration <= 0:
             return 1.0 if self.uq11_sometime(object_id) else 0.0
-        covered = time_within_band(
-            self.function_of(object_id),
-            self.envelope,
-            self.band_width,
-            self.t_start,
-            self.t_end,
-        )
+        covered = sum(end - start for start, end in self._intervals_of(object_id))
         return min(1.0, covered / self.duration)
 
     def uq13_at_least(self, object_id: object, fraction: float) -> bool:
@@ -252,13 +277,7 @@ class QueryContext:
         self, object_id: object
     ) -> List[Tuple[float, float]]:
         """The exact sub-intervals with non-zero NN probability for one candidate."""
-        return band_intervals(
-            self.function_of(object_id),
-            self.envelope,
-            self.band_width,
-            self.t_start,
-            self.t_end,
-        )
+        return list(self._intervals_of(object_id))
 
     # ------------------------------------------------------------------
     # Category 2: single trajectory, rank-k.
@@ -311,12 +330,12 @@ class QueryContext:
 
     def uq32_all_always(self) -> List[object]:
         """UQ32: every trajectory with non-zero NN probability throughout the window."""
+        intervals = self._interval_map()
         return [
             function.object_id
             for function in self.survivors()
-            if is_within_band_always(
-                function, self.envelope, self.band_width, self.t_start, self.t_end
-            )
+            if sum(end - start for start, end in intervals[function.object_id])
+            >= self.duration - FULL_WINDOW_SLACK
         ]
 
     def uq33_all_at_least(self, fraction: float) -> List[object]:
@@ -325,10 +344,11 @@ class QueryContext:
             raise ValueError("fraction must be within [0, 1]")
         if self.duration <= 0:
             return self.uq31_all_sometime()
+        intervals = self._interval_map()
         matching = []
         for function in self.survivors():
-            covered = time_within_band(
-                function, self.envelope, self.band_width, self.t_start, self.t_end
+            covered = sum(
+                end - start for start, end in intervals[function.object_id]
             )
             if covered / self.duration >= fraction - _FULL_COVERAGE_SLACK:
                 matching.append(function.object_id)

@@ -13,6 +13,7 @@ from .engine import BatchResult, PreparedQuery, QueryEngine
 from .filtering import (
     TrajectoryArrays,
     conservative_corridor_radius,
+    corridor_probe_bulk,
     filter_candidates,
     max_pairwise_distance,
     trajectory_within_corridor,
@@ -29,6 +30,7 @@ __all__ = [
     "VARIANTS",
     "answer_of",
     "conservative_corridor_radius",
+    "corridor_probe_bulk",
     "context_key",
     "filter_candidates",
     "max_pairwise_distance",

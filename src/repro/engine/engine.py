@@ -34,6 +34,7 @@ from .filtering import (
     TrajectoryArrays,
     all_other_ids,
     conservative_corridor_radius,
+    corridor_probe_bulk,
     filter_candidates,
     trajectory_within_corridor,
 )
@@ -397,7 +398,7 @@ class QueryEngine:
         if self._index is None:
             return all_other_ids(self.mod, query_id)
         candidates, _ = filter_candidates(
-            self.mod, self._index, query_id, t_start, t_end, band_width, self._arrays
+            self.mod, self._index, query_id, t_start, t_end, band_width
         )
         return candidates
 
@@ -518,17 +519,6 @@ class QueryEngine:
             else:
                 pending.append(position)
 
-        def build(position: int) -> PreparedQuery:
-            query_id = query_ids[position]
-            return self._prepare_uncached(
-                query_id,
-                t_start,
-                t_end,
-                widths[query_id],
-                use_index,
-                time.perf_counter(),
-            )
-
         # Deduplicate concurrent builds of the same (query, band) pair: only
         # the first position builds, later duplicates reuse its context.
         first_build: Dict[object, int] = {}
@@ -541,6 +531,34 @@ class QueryEngine:
             else:
                 first_build[key] = position
                 builders.append(position)
+
+        # One bulk-kernel pass computes every pending corridor radius over
+        # the packed columns before the (possibly threaded) builds start.
+        corridors: Dict[int, float] = {}
+        if use_index and self._index is not None and t_end > t_start and builders:
+            radii = corridor_probe_bulk(
+                self.mod,
+                [query_ids[position] for position in builders],
+                t_start,
+                t_end,
+                [widths[query_ids[position]] for position in builders],
+            )
+            corridors = {
+                position: float(radius)
+                for position, radius in zip(builders, radii)
+            }
+
+        def build(position: int) -> PreparedQuery:
+            query_id = query_ids[position]
+            return self._prepare_uncached(
+                query_id,
+                t_start,
+                t_end,
+                widths[query_id],
+                use_index,
+                time.perf_counter(),
+                corridor=corridors.get(position),
+            )
 
         if self._max_workers and self._max_workers > 1 and len(builders) > 1:
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
@@ -586,16 +604,18 @@ class QueryEngine:
         band_width: float,
         use_index: bool,
         started: float,
+        corridor: Optional[float] = None,
     ) -> PreparedQuery:
-        corridor: Optional[float] = None
         candidate_ids: Optional[List[object]] = None
         # A zero-length window cannot be sliced into probe segments (and the
         # preparation it gates is trivial anyway), so it skips the filter.
         if use_index and self._index is not None and t_end > t_start:
             candidate_ids, corridor = filter_candidates(
                 self.mod, self._index, query_id, t_start, t_end, band_width,
-                self._arrays,
+                corridor=corridor,
             )
+        else:
+            corridor = None
         context = QueryContext.from_mod(
             self.mod,
             query_id,

@@ -22,7 +22,7 @@ envelope construction required.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,12 +36,20 @@ class TrajectoryArrays:
     trajectory at many times in one call; extracting those columns from the
     ``TrajectorySample`` tuples dominates when done per query, so the engine
     shares one cache across its whole batch workload.
+
+    Since the columnar storage layer landed, :meth:`flat` serves the MOD's
+    always-packed :class:`~repro.trajectories.columnar.ColumnarStore` arrays
+    (zero extraction, changelog-synced) by default; the original per-sample
+    flattening survives as :meth:`flat_scalar` and pins the columnar layout
+    in the oracle tests.  Pass ``use_columnar=False`` to keep the scalar
+    path (benchmark baselines, oracle comparisons).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, use_columnar: bool = True) -> None:
         self._columns: dict = {}
         self._flat: Optional[tuple] = None
         self._flat_revision: int = -1
+        self._use_columnar = use_columnar
 
     def columns(
         self, trajectory: Trajectory
@@ -79,6 +87,12 @@ class TrajectoryArrays:
             ``(ids, starts, lengths, times, xs, ys)`` where ``times[starts[i]
             : starts[i] + lengths[i]]`` are object ``ids[i]``'s sample times.
         """
+        if self._use_columnar:
+            return mod.columnar().flat()
+        return self.flat_scalar(mod)
+
+    def flat_scalar(self, mod: MovingObjectsDatabase) -> tuple:
+        """The original per-sample flattening (columnar-layout oracle)."""
         if self._flat is not None and self._flat_revision == mod.revision:
             return self._flat
         ids: List[object] = []
@@ -142,6 +156,11 @@ def _batched_window_max_distances(
     arrays: TrajectoryArrays,
 ) -> float:
     """Smallest over fully-covering candidates of the max distance to the query.
+
+    This is the *pinned scalar oracle* of :func:`corridor_probe_bulk`'s
+    per-query body — the two implementations must agree to the bit (the
+    oracle tests enforce it), so any change to a tolerance or a clamp here
+    must be mirrored there, and vice versa.
 
     One NumPy pass over the MOD's flattened sample columns: the pairwise
     maximum is attained at a merged breakpoint, so per candidate it is the
@@ -221,6 +240,111 @@ def conservative_corridor_radius(
     return tightest + band_width
 
 
+#: Fixed times evaluated per (times × samples) intermediate in the bulk
+#: corridor kernel; bounds peak memory for breakpoint-heavy queries.
+_FIXED_TIME_CHUNK = 32
+
+
+def corridor_probe_bulk(
+    mod: MovingObjectsDatabase,
+    query_ids: Sequence[object],
+    t_lo: float,
+    t_hi: float,
+    band_widths: Sequence[float],
+    store=None,
+) -> np.ndarray:
+    """Provably-safe corridor radii for many queries in one vectorized pass.
+
+    The bulk counterpart of :func:`conservative_corridor_radius`: for each
+    query it returns ``U + band_width`` where ``U`` is the smallest, over
+    candidates fully covering ``[t_lo, t_hi]``, of the candidate's maximum
+    distance to the query during the window (``inf`` when no candidate
+    covers the window — "do not filter").  Values are bit-identical to the
+    scalar kernel: the per-candidate maxima are evaluated over the same
+    breakpoint sets with the same elementwise operations, only batched —
+    the candidates' own breakpoints in one (objects × samples) reduction
+    and the query-side fixed times in one (times × objects) reduction
+    instead of a Python loop per fixed time.
+
+    Args:
+        mod: the moving objects database.
+        query_ids: ids of the query trajectories (must be stored).
+        t_lo: shared window start.
+        t_hi: shared window end.
+        band_widths: per-query band widths, aligned with ``query_ids``.
+        store: an optional pre-synced
+            :class:`~repro.trajectories.columnar.ColumnarStore`; defaults
+            to ``mod.columnar()``.
+    """
+    if len(band_widths) != len(query_ids):
+        raise ValueError("band_widths must align with query_ids")
+    if store is None:
+        store = mod.columnar()
+    ids, starts, lengths, all_t, all_x, all_y = store.flat()
+    radii = np.empty(len(query_ids))
+    if not ids:
+        radii.fill(np.inf)
+        return radii
+    ends = starts + lengths - 1
+    covers = (all_t[starts] <= t_lo + 1e-9) & (all_t[ends] >= t_hi - 1e-9)
+    in_window = (all_t >= t_lo - 1e-9) & (all_t <= t_hi + 1e-9)
+    interior = np.maximum(lengths - 1, 1)
+    for position, query_id in enumerate(query_ids):
+        eligible = covers.copy()
+        eligible[store.slot_of(query_id)] = False
+        if not np.any(eligible):
+            radii[position] = np.inf
+            continue
+        query_t, query_x, query_y = store.columns(query_id)
+
+        # (a) candidates' own in-window breakpoints vs the interpolated query.
+        query_x_at = np.interp(all_t, query_t, query_x)
+        query_y_at = np.interp(all_t, query_t, query_y)
+        squared = (all_x - query_x_at) ** 2 + (all_y - query_y_at) ** 2
+        squared = np.where(in_window, squared, -np.inf)
+        per_candidate = np.maximum.reduceat(squared, starts)
+
+        # (b) fixed times — window endpoints plus the query's in-window
+        # breakpoints — evaluated for every candidate at once.  Chunking
+        # the fixed-time axis bounds the (times × samples) intermediates'
+        # memory; the running np.maximum keeps the result identical.
+        fixed_all = np.array(
+            [t_lo, t_hi]
+            + [float(t) for t in query_t if t_lo + 1e-9 < t < t_hi - 1e-9]
+        )
+        for chunk_start in range(0, fixed_all.size, _FIXED_TIME_CHUNK):
+            fixed = fixed_all[chunk_start:chunk_start + _FIXED_TIME_CHUNK]
+            below = np.add.reduceat(
+                (all_t[None, :] < fixed[:, None]).astype(np.int64), starts, axis=1
+            )
+            segment = np.clip(below, 1, interior)
+            hi_idx = starts[None, :] + segment
+            lo_idx = hi_idx - 1
+            t0, t1 = all_t[lo_idx], all_t[hi_idx]
+            span = t1 - t0
+            fraction = np.where(
+                span > 0,
+                np.clip(
+                    (fixed[:, None] - t0) / np.where(span > 0, span, 1.0), 0.0, 1.0
+                ),
+                0.0,
+            )
+            cand_x = all_x[lo_idx] + fraction * (all_x[hi_idx] - all_x[lo_idx])
+            cand_y = all_y[lo_idx] + fraction * (all_y[hi_idx] - all_y[lo_idx])
+            query_fx = np.interp(fixed, query_t, query_x)
+            query_fy = np.interp(fixed, query_t, query_y)
+            fixed_sq = (cand_x - query_fx[:, None]) ** 2 + (
+                cand_y - query_fy[:, None]
+            ) ** 2
+            per_candidate = np.maximum(per_candidate, fixed_sq.max(axis=0))
+
+        per_candidate = np.where(eligible, per_candidate, np.inf)
+        radii[position] = float(np.sqrt(np.min(per_candidate))) + band_widths[
+            position
+        ]
+    return radii
+
+
 def trajectory_within_corridor(
     candidate: Trajectory,
     query: Trajectory,
@@ -271,9 +395,14 @@ def filter_candidates(
     t_lo: float,
     t_hi: float,
     band_width: float,
-    arrays: Optional[TrajectoryArrays] = None,
+    corridor: Optional[float] = None,
 ) -> Tuple[List[object], float]:
     """Index-filtered candidate ids for one query, with the probe radius used.
+
+    The probe radius comes from the columnar bulk kernel
+    (:func:`corridor_probe_bulk`) unless the caller already computed it —
+    the batched engine precomputes a whole batch's radii in one pass and
+    passes each one down here.
 
     Returns:
         ``(candidate_ids, corridor_radius)``; ids are string-sorted for
@@ -281,9 +410,10 @@ def filter_candidates(
         safe finite radius exists (no candidate covers the whole window), the
         filter degrades to "keep everything" with an infinite radius.
     """
-    corridor = conservative_corridor_radius(
-        mod, query_id, t_lo, t_hi, band_width, arrays
-    )
+    if corridor is None:
+        corridor = float(
+            corridor_probe_bulk(mod, [query_id], t_lo, t_hi, [band_width])[0]
+        )
     if not np.isfinite(corridor):
         return all_other_ids(mod, query_id), corridor
     candidates = mod.candidates_within_corridor(query_id, corridor, t_lo, t_hi, index)

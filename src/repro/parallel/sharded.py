@@ -251,12 +251,25 @@ class ShardedEngine:
         self._bounds_revision: Dict[object, int] = {}
         self._band_widths: Dict[object, float] = {}
         self._owner: Dict[object, int] = self.plan.owner_of()
-        self._states: List[_ShardState] = [
+        self._states: List[_ShardState] = self._fresh_states()
+        self._synced_revision: Optional[int] = None
+        self._sync()
+
+    def _fresh_states(self) -> List["_ShardState"]:
+        """Empty per-shard member stores, column-seeded from the parent.
+
+        Shard member stores hold references to the parent's trajectory
+        objects, so sharing columns lets every shard-side kernel borrow the
+        parent's packed arrays instead of re-reading sample tuples per
+        shard.
+        """
+        states = [
             _ShardState(shard=shard, owned=set(group), mod=MovingObjectsDatabase())
             for shard, group in enumerate(self.plan.groups)
         ]
-        self._synced_revision: Optional[int] = None
-        self._sync()
+        for state in states:
+            state.mod.share_columns_with(self.mod)
+        return states
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle.
@@ -345,10 +358,7 @@ class ShardedEngine:
             halo=halo if halo is not None else self.plan.halo,
         )
         self._owner = self.plan.owner_of()
-        self._states = [
-            _ShardState(shard=shard, owned=set(group), mod=MovingObjectsDatabase())
-            for shard, group in enumerate(self.plan.groups)
-        ]
+        self._states = self._fresh_states()
         self._synced_revision = None
         self._sync()
         return self.plan

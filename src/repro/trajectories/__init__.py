@@ -14,6 +14,7 @@ from .interpolation import (
     sampled_polyline,
     uniform_time_grid,
 )
+from .columnar import ColumnarPack, ColumnarStore, SegmentBoxArrays, segment_boxes_bulk
 from .mod import ChangeRecord, MovingObjectsDatabase
 from .trajectory import Trajectory, TrajectorySample, UncertainTrajectory
 from .updates import (
@@ -28,6 +29,10 @@ from .updates import (
 
 __all__ = [
     "ChangeRecord",
+    "ColumnarPack",
+    "ColumnarStore",
+    "SegmentBoxArrays",
+    "segment_boxes_bulk",
     "LoadReport",
     "LocationUpdate",
     "MovingObjectsDatabase",

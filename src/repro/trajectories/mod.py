@@ -82,6 +82,8 @@ class MovingObjectsDatabase:
         self._revision = 0
         self._object_revisions: Dict[object, int] = {}
         self._changelog: List[ChangeRecord] = []
+        self._columnar = None
+        self._columnar_parent: Optional["MovingObjectsDatabase"] = None
         if trajectories is not None:
             for trajectory in trajectories:
                 self.add(trajectory)
@@ -260,6 +262,44 @@ class MovingObjectsDatabase:
         return next(iter(radii))
 
     # ------------------------------------------------------------------
+    # Columnar storage.
+    # ------------------------------------------------------------------
+
+    def columnar(self):
+        """The store's packed column arrays, built lazily and changelog-synced.
+
+        The returned :class:`~repro.trajectories.columnar.ColumnarStore` is
+        cached on the MOD and re-synchronized (incrementally, via the
+        changelog) on every call, so callers always see the current
+        revision.  Stores created by :meth:`subset` — and any store a
+        caller linked with :meth:`share_columns_with` — seed their packing
+        from the parent's per-object columns instead of re-reading sample
+        tuples.
+        """
+        from .columnar import ColumnarStore
+
+        if self._columnar is None:
+            seed = None
+            if self._columnar_parent is not None:
+                # Borrow only a pack the parent already paid for; never
+                # force the parent to build one on a view's behalf.
+                seed = self._columnar_parent._columnar
+            self._columnar = ColumnarStore(self, seed=seed)
+        else:
+            self._columnar.sync()
+        return self._columnar
+
+    def share_columns_with(self, parent: "MovingObjectsDatabase") -> None:
+        """Seed this store's columnar packing from a parent store.
+
+        View stores (shard member sets, :meth:`subset` results) hold the
+        *same* trajectory objects as their parent; linking them lets
+        :meth:`columnar` reuse the parent's per-object column arrays by
+        identity — zero per-sample Python work, zero copies.
+        """
+        self._columnar_parent = parent
+
+    # ------------------------------------------------------------------
     # Index support.
     # ------------------------------------------------------------------
 
@@ -307,26 +347,36 @@ class MovingObjectsDatabase:
         """
         from ..index.grid import GridIndex
         from ..index.rtree import STRRTree
+        from .columnar import segment_boxes_bulk
 
         if not self._trajectories:
             raise ValueError("cannot index an empty database")
-        trajectories = list(self._trajectories.values())
+        pack = self.columnar().pack()
+        x_min, y_min, x_max, y_max = pack.spatial_bounds()
         if max_box_extent == "auto":
-            bounds = [t.spatial_bounds() for t in trajectories]
-            x_span = max(b[2] for b in bounds) - min(b[0] for b in bounds)
-            y_span = max(b[3] for b in bounds) - min(b[1] for b in bounds)
-            span = max(x_span, y_span)
+            span = max(x_max - x_min, y_max - y_min)
             max_box_extent = span / 32.0 if span > 0 else None
+        # One vectorized pass over the packed columns replaces the
+        # per-segment Python loop; the entry list is byte-identical.
+        entries = segment_boxes_bulk(pack, max_extent=max_box_extent).entries()
         if kind == "rtree":
-            return STRRTree.from_trajectories(
-                trajectories,
+            return STRRTree(
+                entries,
                 leaf_capacity=leaf_capacity,
                 max_box_extent=max_box_extent,
             )
         if kind == "grid":
-            return GridIndex.covering(
-                trajectories, cells=cells, margin=margin, max_box_extent=max_box_extent
+            index = GridIndex(
+                x_min - margin,
+                y_min - margin,
+                x_max + margin,
+                y_max + margin,
+                cells=cells,
+                max_box_extent=max_box_extent,
             )
+            for entry in entries:
+                index.insert_entry(entry)
+            return index
         raise ValueError(f"unknown index kind {kind!r} (expected 'rtree' or 'grid')")
 
     def candidates_within_corridor(
@@ -400,8 +450,15 @@ class MovingObjectsDatabase:
         own revision counter and changelog, so per-shard engines track
         shard-local staleness independently of the parent store.
 
+        The view's packed columns are zero-copy: its :meth:`columnar` store
+        borrows the parent's per-object arrays by trajectory identity, so
+        building shard-side kernels over a subset never re-reads sample
+        tuples.
+
         Raises:
             KeyError: when any id is unknown (a partition listing an id the
                 store no longer holds is a routing bug worth surfacing).
         """
-        return MovingObjectsDatabase(self.get(object_id) for object_id in object_ids)
+        view = MovingObjectsDatabase(self.get(object_id) for object_id in object_ids)
+        view.share_columns_with(self)
+        return view

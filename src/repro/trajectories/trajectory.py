@@ -49,10 +49,22 @@ class Trajectory:
             else:
                 x, y, t = sample
                 normalized.append(TrajectorySample(float(x), float(y), float(t)))
-        for previous, current in zip(normalized, normalized[1:]):
-            if current.t < previous.t:
+        # Time ordering is enforced with the same tolerance the rest of the
+        # class uses: a regression beyond the tolerance is an error, while a
+        # sub-tolerance one (float noise from clipping/resampling) is snapped
+        # to exactly the previous time.  The snap keeps the sample time
+        # column non-decreasing, which the vectorized interpolation over
+        # packed columns (np.interp) requires; equal-time samples remain
+        # representable as the zero-length legs ``segments()`` skips.
+        for position in range(1, len(normalized)):
+            previous, current = normalized[position - 1], normalized[position]
+            if current.t < previous.t - _TIME_TOLERANCE:
                 raise ValueError(
                     f"trajectory samples must be time-ordered: {previous.t} then {current.t}"
+                )
+            if current.t < previous.t:
+                normalized[position] = TrajectorySample(
+                    current.x, current.y, previous.t
                 )
         self.object_id = object_id
         self.samples: Tuple[TrajectorySample, ...] = tuple(normalized)

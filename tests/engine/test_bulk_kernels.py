@@ -1,0 +1,219 @@
+"""Oracle tests: the bulk kernels equal their scalar counterparts exactly.
+
+The columnar bulk kernels (``corridor_probe_bulk``, ``segment_boxes_bulk``,
+``band_intervals_batch``) are only allowed to *batch* work, never to change
+a value.  These tests pin them, result for result, against the retained
+scalar paths — on fresh stores, on every scenario shape, for both index
+backends, and after a stream of trajectory updates has been applied.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import band_intervals, band_intervals_batch
+from repro.core.queries import QueryContext
+from repro.engine import QueryEngine
+from repro.engine.filtering import (
+    TrajectoryArrays,
+    conservative_corridor_radius,
+    corridor_probe_bulk,
+    filter_candidates,
+)
+from repro.index.boxes import segment_boxes
+from repro.streaming import ContinuousMonitor
+from repro.trajectories.columnar import segment_boxes_bulk
+from repro.workloads.scenarios import multi_query_fleet, sharded_fleet, streaming_fleet
+
+
+def scalar_corridors(mod, query_ids, t_lo, t_hi, widths):
+    """The pre-columnar scalar filtering path, one query at a time."""
+    arrays = TrajectoryArrays(use_columnar=False)
+    return np.array(
+        [
+            conservative_corridor_radius(mod, query_id, t_lo, t_hi, width, arrays)
+            for query_id, width in zip(query_ids, widths)
+        ]
+    )
+
+
+def scalar_entries(mod, max_extent=None):
+    entries = []
+    for trajectory in mod:
+        entries.extend(segment_boxes(trajectory, max_extent=max_extent))
+    return entries
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return multi_query_fleet(num_vehicles=40, num_queries=6)
+
+
+class TestCorridorProbeBulk:
+    def test_matches_scalar_on_fleet(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        widths = [mod.default_band_width(query_id) for query_id in query_ids]
+        bulk = corridor_probe_bulk(mod, query_ids, lo, hi, widths)
+        assert np.array_equal(bulk, scalar_corridors(mod, query_ids, lo, hi, widths))
+
+    def test_matches_scalar_on_subwindows(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        span = hi - lo
+        for window in [(lo, lo + span / 3), (lo + span / 4, hi), (lo, hi)]:
+            widths = [mod.default_band_width(query_id) for query_id in query_ids]
+            bulk = corridor_probe_bulk(mod, query_ids, *window, widths)
+            assert np.array_equal(
+                bulk, scalar_corridors(mod, query_ids, *window, widths)
+            )
+
+    def test_infinite_when_no_candidate_covers_window(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        bulk = corridor_probe_bulk(mod, query_ids[:2], hi + 5, hi + 10, [1.0, 1.0])
+        assert np.all(np.isinf(bulk))
+
+    def test_matches_scalar_after_streaming_updates(self):
+        scenario = streaming_fleet(num_vehicles=16, num_queries=3, num_batches=2)
+        mod = scenario.mod
+        monitor = ContinuousMonitor(mod)
+        for object_id in mod.object_ids:
+            monitor.track(
+                object_id,
+                max_speed=scenario.max_speed,
+                minimum_radius=scenario.uncertainty_radius,
+            )
+        for batch in scenario.batches:
+            for object_id, reports in batch.items():
+                monitor.ingest(object_id, reports)
+            monitor.apply()
+            lo, hi = mod.common_time_span()
+            widths = [
+                mod.default_band_width(query_id) for query_id in scenario.query_ids
+            ]
+            bulk = corridor_probe_bulk(mod, scenario.query_ids, lo, hi, widths)
+            assert np.array_equal(
+                bulk, scalar_corridors(mod, scenario.query_ids, lo, hi, widths)
+            )
+
+    def test_misaligned_band_widths_rejected(self, fleet):
+        mod, query_ids = fleet
+        with pytest.raises(ValueError):
+            corridor_probe_bulk(mod, query_ids, 0.0, 1.0, [1.0])
+
+
+class TestSegmentBoxesBulkOnWorkloads:
+    @pytest.mark.parametrize("max_extent", [None, 2.0])
+    def test_matches_scalar_on_fleet(self, fleet, max_extent):
+        mod, _ = fleet
+        bulk = segment_boxes_bulk(
+            mod.columnar().pack(), max_extent=max_extent
+        ).entries()
+        scalar = scalar_entries(mod, max_extent=max_extent)
+        assert len(bulk) == len(scalar)
+        for left, right in zip(bulk, scalar):
+            assert left.object_id == right.object_id
+            assert left.box == right.box
+
+    def test_matches_scalar_after_streaming_updates(self):
+        scenario = streaming_fleet(num_vehicles=10, num_queries=2, num_batches=2)
+        mod = scenario.mod
+        monitor = ContinuousMonitor(mod)
+        for object_id in mod.object_ids:
+            monitor.track(
+                object_id,
+                max_speed=scenario.max_speed,
+                minimum_radius=scenario.uncertainty_radius,
+            )
+        for batch in scenario.batches:
+            for object_id, reports in batch.items():
+                monitor.ingest(object_id, reports)
+            monitor.apply()
+            bulk = segment_boxes_bulk(mod.columnar().pack()).entries()
+            scalar = scalar_entries(mod)
+            assert [entry.box for entry in bulk] == [entry.box for entry in scalar]
+
+
+class TestBandIntervalsBatch:
+    def test_matches_per_function_calls(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        context = QueryContext.from_mod(mod, query_ids[0], lo, hi)
+        functions = list(context.functions.values())
+        batched = band_intervals_batch(
+            functions, context.envelope, context.band_width, lo, hi
+        )
+        for function, intervals in zip(functions, batched):
+            assert intervals == band_intervals(
+                function, context.envelope, context.band_width, lo, hi
+            )
+
+    def test_zero_width_window(self, fleet):
+        mod, query_ids = fleet
+        lo, _ = mod.common_time_span()
+        context = QueryContext.from_mod(mod, query_ids[0], lo, lo)
+        functions = list(context.functions.values())
+        batched = band_intervals_batch(
+            functions, context.envelope, context.band_width, lo, lo
+        )
+        for function, intervals in zip(functions, batched):
+            assert intervals == band_intervals(
+                function, context.envelope, context.band_width, lo, lo
+            )
+
+    def test_empty_batch(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        context = QueryContext.from_mod(mod, query_ids[0], lo, hi)
+        assert band_intervals_batch([], context.envelope, 1.0, lo, hi) == []
+
+    def test_invalid_inputs_rejected(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        context = QueryContext.from_mod(mod, query_ids[0], lo, hi)
+        with pytest.raises(ValueError):
+            band_intervals_batch([], context.envelope, -1.0, lo, hi)
+        with pytest.raises(ValueError):
+            band_intervals_batch([], context.envelope, 1.0, hi, lo)
+
+
+class TestEngineUsesBulkKernels:
+    """The engine's bulk-kernel path must not change a single answer."""
+
+    @pytest.mark.parametrize("index", ["rtree", "grid"])
+    def test_filtered_candidates_match_scalar_corridor(self, fleet, index):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        engine = QueryEngine(mod, index=index)
+        arrays = TrajectoryArrays(use_columnar=False)
+        for query_id in query_ids:
+            width = mod.default_band_width(query_id)
+            corridor = conservative_corridor_radius(mod, query_id, lo, hi, width, arrays)
+            expected, _ = filter_candidates(
+                mod, engine.index, query_id, lo, hi, width, corridor=corridor
+            )
+            assert engine.candidate_ids(query_id, lo, hi) == expected
+
+    def test_batch_answers_match_per_query_prepares(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        batch_engine = QueryEngine(mod)
+        single_engine = QueryEngine(mod)
+        batch = batch_engine.prepare_batch(query_ids, lo, hi)
+        for prepared in batch:
+            single = single_engine.prepare(prepared.query_id, lo, hi)
+            assert prepared.context.uq31_all_sometime() == (
+                single.context.uq31_all_sometime()
+            )
+            assert prepared.corridor_radius == single.corridor_radius
+
+    def test_sharded_fleet_index_backends_agree(self):
+        mod, query_ids = sharded_fleet(num_districts=3, vehicles_per_district=6)
+        lo, hi = mod.common_time_span()
+        rtree_engine = QueryEngine(mod, index="rtree")
+        grid_engine = QueryEngine(mod, index="grid")
+        none_engine = QueryEngine(mod, index=None)
+        for query_id in query_ids:
+            expected = none_engine.answer(query_id, lo, hi)
+            assert rtree_engine.answer(query_id, lo, hi) == expected
+            assert grid_engine.answer(query_id, lo, hi) == expected

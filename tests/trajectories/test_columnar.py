@@ -1,0 +1,282 @@
+"""Tests for the columnar store: packing, changelog sync, views, bulk boxes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.trajectories.mod as mod_module
+from repro.engine.filtering import TrajectoryArrays
+from repro.index.boxes import segment_boxes
+from repro.trajectories.columnar import ColumnarStore, segment_boxes_bulk
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.trajectories.trajectory import UncertainTrajectory
+
+
+def make_trajectory(object_id, points, radius=0.5):
+    return UncertainTrajectory(object_id, points, radius)
+
+
+@pytest.fixture
+def mod():
+    return MovingObjectsDatabase(
+        [
+            make_trajectory("a", [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)]),
+            make_trajectory("b", [(5.0, 5.0, 0.0), (5.0, -5.0, 10.0)], radius=0.5),
+            make_trajectory("c", [(1.0, 2.0, 0.0), (3.0, 4.0, 5.0), (9.0, 9.0, 10.0)]),
+        ]
+    )
+
+
+def assert_packs_equal(left, right):
+    assert left.ids == right.ids
+    assert np.array_equal(left.starts, right.starts)
+    assert np.array_equal(left.lengths, right.lengths)
+    assert np.array_equal(left.ts, right.ts)
+    assert np.array_equal(left.xs, right.xs)
+    assert np.array_equal(left.ys, right.ys)
+    assert np.array_equal(left.radii, right.radii)
+
+
+class TestPacking:
+    def test_pack_matches_sample_tuples(self, mod):
+        pack = mod.columnar().pack()
+        assert list(pack.ids) == mod.object_ids
+        for slot, trajectory in enumerate(mod):
+            start = pack.starts[slot]
+            stop = start + pack.lengths[slot]
+            assert np.array_equal(
+                pack.ts[start:stop], [s.t for s in trajectory.samples]
+            )
+            assert np.array_equal(
+                pack.xs[start:stop], [s.x for s in trajectory.samples]
+            )
+            assert np.array_equal(
+                pack.ys[start:stop], [s.y for s in trajectory.samples]
+            )
+            assert pack.radii[slot] == trajectory.radius
+
+    def test_flat_matches_scalar_flattening(self, mod):
+        scalar = TrajectoryArrays(use_columnar=False).flat_scalar(mod)
+        columnar = mod.columnar().flat()
+        assert columnar[0] == scalar[0]
+        for left, right in zip(columnar[1:], scalar[1:]):
+            assert np.array_equal(left, right)
+
+    def test_flat_cached_until_mutation(self, mod):
+        store = mod.columnar()
+        first = store.flat()
+        assert store.flat() is first
+        mod.remove("b")
+        assert mod.columnar().flat() is not first
+
+    def test_store_is_cached_on_the_mod(self, mod):
+        assert mod.columnar() is mod.columnar()
+
+    def test_slot_and_columns_access(self, mod):
+        store = mod.columnar()
+        assert store.slot_of("b") == 1
+        ts, xs, ys = store.columns("c")
+        assert ts.tolist() == [0.0, 5.0, 10.0]
+        assert store.radius_of("b") == 0.5
+        with pytest.raises(KeyError):
+            store.columns("nope")
+
+    def test_positions_interpolate(self, mod):
+        store = mod.columnar()
+        xs, ys = store.positions("a", np.array([0.0, 5.0, 10.0]))
+        assert xs.tolist() == [0.0, 5.0, 10.0]
+        assert ys.tolist() == [0.0, 0.0, 0.0]
+
+    def test_empty_store_packs_empty_arrays(self):
+        store = MovingObjectsDatabase().columnar()
+        pack = store.pack()
+        assert pack.ids == ()
+        assert pack.sample_count == 0
+        with pytest.raises(ValueError):
+            pack.spatial_bounds()
+
+
+class TestChangelogSync:
+    def test_replace_patches_only_changed_columns(self, mod):
+        store = mod.columnar()
+        before_b = store.columns("b")
+        mod.replace_trajectory(
+            make_trajectory("a", [(0.0, 0.0, 0.0), (0.0, 9.0, 10.0)])
+        )
+        store.sync()
+        # Untouched objects keep their identical column arrays.
+        assert store.columns("b")[0] is before_b[0]
+        assert store.columns("a")[1].tolist() == [0.0, 0.0]
+        assert store.columns("a")[2].tolist() == [0.0, 9.0]
+
+    def test_sync_tracks_add_remove_order(self, mod):
+        store = mod.columnar()
+        mod.remove("a")
+        mod.add(make_trajectory("d", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)]))
+        mod.upsert(make_trajectory("b", [(5.0, 5.0, 0.0), (6.0, 6.0, 10.0)]))
+        store.sync()
+        assert list(store.ids) == mod.object_ids
+
+    def test_changelog_overflow_falls_back_to_full_resync(self, mod, monkeypatch):
+        monkeypatch.setattr(mod_module, "_CHANGELOG_CAPACITY", 2)
+        store = mod.columnar()
+        for step in range(6):
+            mod.upsert(
+                make_trajectory("a", [(0.0, 0.0, 0.0), (float(step), 1.0, 10.0)])
+            )
+            mod.upsert(
+                make_trajectory(f"extra-{step}", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)])
+            )
+        assert mod.changes_since(store.revision) is None
+        store.sync()
+        assert_packs_equal(
+            store.pack(), ColumnarStore(MovingObjectsDatabase(list(mod))).pack()
+        )
+
+    def test_foreign_revision_resyncs(self, mod):
+        store = mod.columnar()
+        assert store.sync() is False  # already current
+        mod.add(make_trajectory("z", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)]))
+        assert store.sync() is True
+
+
+class TestSeededViews:
+    def test_subset_columns_are_zero_copy(self, mod):
+        parent = mod.columnar()
+        view = mod.subset(["a", "c"])
+        store = view.columnar()
+        for object_id in ("a", "c"):
+            for left, right in zip(store.columns(object_id), parent.columns(object_id)):
+                assert left is right
+
+    def test_seed_survives_parent_updates(self, mod):
+        parent = mod.columnar()
+        view = mod.subset(["a", "b"])
+        view_store = view.columnar()
+        old_columns = view_store.columns("a")
+        # The parent moves on; the view still mirrors its own (old) objects.
+        mod.replace_trajectory(
+            make_trajectory("a", [(0.0, 0.0, 0.0), (0.0, 1.0, 10.0)])
+        )
+        parent.sync()
+        assert view.columnar().columns("a") is not parent.columns("a")
+        assert view.columnar().columns("a")[0] is old_columns[0]
+
+    def test_unseeded_subset_still_correct(self, mod):
+        view = mod.subset(["b"])
+        view._columnar_parent = None
+        store = view.columnar()
+        assert np.array_equal(store.columns("b")[0], [0.0, 10.0])
+
+
+class TestSegmentBoxesBulk:
+    @pytest.mark.parametrize("max_extent", [None, 0.8, 3.0])
+    def test_bulk_boxes_match_scalar_loop(self, mod, max_extent):
+        pack = mod.columnar().pack()
+        bulk = segment_boxes_bulk(pack, max_extent=max_extent).entries()
+        scalar = []
+        for trajectory in mod:
+            scalar.extend(segment_boxes(trajectory, max_extent=max_extent))
+        assert len(bulk) == len(scalar)
+        for left, right in zip(bulk, scalar):
+            assert left.object_id == right.object_id
+            assert left.box == right.box
+
+    def test_explicit_margin_matches_scalar(self, mod):
+        pack = mod.columnar().pack()
+        bulk = segment_boxes_bulk(pack, spatial_margin=1.25).entries()
+        scalar = []
+        for trajectory in mod:
+            scalar.extend(segment_boxes(trajectory, spatial_margin=1.25))
+        assert [entry.box for entry in bulk] == [entry.box for entry in scalar]
+
+    def test_zero_duration_legs_are_skipped(self):
+        mod = MovingObjectsDatabase(
+            [
+                make_trajectory(
+                    "dup", [(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (5.0, 1.0, 5.0), (5.0, 5.0, 10.0)]
+                )
+            ]
+        )
+        pack = mod.columnar().pack()
+        bulk = segment_boxes_bulk(pack).entries()
+        scalar = segment_boxes(mod.get("dup"))
+        assert [entry.box for entry in bulk] == [entry.box for entry in scalar]
+
+    def test_all_zero_duration_raises_like_segments(self):
+        mod = MovingObjectsDatabase(
+            [make_trajectory("flat", [(0.0, 0.0, 1.0), (1.0, 1.0, 1.0)])]
+        )
+        with pytest.raises(ValueError, match="positive duration"):
+            segment_boxes_bulk(mod.columnar().pack())
+
+    def test_invalid_max_extent_rejected(self, mod):
+        with pytest.raises(ValueError):
+            segment_boxes_bulk(mod.columnar().pack(), max_extent=0.0)
+
+
+# ----------------------------------------------------------------------
+# Property: any changelog-driven patch sequence equals a from-scratch pack.
+# ----------------------------------------------------------------------
+
+_COORDS = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def _trajectory(draw, object_id):
+    count = draw(st.integers(min_value=2, max_value=5))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    points = [(draw(_COORDS), draw(_COORDS), t) for t in times]
+    return make_trajectory(object_id, points, radius=draw(st.sampled_from([0.5, 1.0])))
+
+
+@st.composite
+def _operations(draw):
+    ids = [f"obj-{index}" for index in range(4)]
+    count = draw(st.integers(min_value=1, max_value=12))
+    operations = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(["upsert", "remove", "replace"]))
+        object_id = draw(st.sampled_from(ids))
+        if kind == "remove":
+            operations.append(("remove", object_id, None))
+        else:
+            operations.append((kind, object_id, draw(_trajectory(object_id))))
+    return operations
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=_operations())
+def test_patched_store_equals_from_scratch_pack(operations):
+    mod = MovingObjectsDatabase(
+        [
+            make_trajectory("obj-0", [(0.0, 0.0, 0.0), (1.0, 1.0, 10.0)]),
+            make_trajectory("obj-1", [(2.0, 2.0, 0.0), (3.0, 3.0, 10.0)]),
+        ]
+    )
+    store = mod.columnar()
+    for kind, object_id, trajectory in operations:
+        if kind == "remove":
+            if object_id in mod:
+                mod.remove(object_id)
+        elif kind == "replace":
+            if object_id in mod:
+                mod.replace_trajectory(trajectory)
+        else:
+            mod.upsert(trajectory)
+        # Sync mid-sequence on every step: each patch must be exact, not
+        # just the final state.
+        store.sync()
+        assert_packs_equal(
+            store.pack(), ColumnarStore(MovingObjectsDatabase(list(mod))).pack()
+        )

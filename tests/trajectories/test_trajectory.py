@@ -25,6 +25,31 @@ class TestTrajectoryConstruction:
         with pytest.raises(ValueError):
             Trajectory("x", [(0.0, 0.0, 5.0), (1.0, 1.0, 4.0)])
 
+    def test_rejects_regressions_just_beyond_tolerance(self):
+        with pytest.raises(ValueError, match="time-ordered"):
+            Trajectory("x", [(0.0, 0.0, 5.0), (1.0, 1.0, 5.0 - 1e-6)])
+
+    def test_sub_tolerance_regression_snaps_to_previous_time(self):
+        # Float noise from clipping/resampling may step back by less than
+        # the time tolerance; the constructor snaps such samples to the
+        # previous time so the packed time column stays non-decreasing.
+        trajectory = Trajectory(
+            "x", [(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (5.0, 1.0, 5.0 - 1e-12), (5.0, 5.0, 10.0)]
+        )
+        times = trajectory.sample_times()
+        assert times == sorted(times)
+        assert times[2] == 5.0
+        # The snapped sample keeps its location and becomes a zero-length leg.
+        assert trajectory.samples[2].y == 1.0
+        assert len(trajectory.segments()) == 2
+
+    def test_equal_time_samples_remain_allowed(self):
+        trajectory = Trajectory(
+            "x", [(0.0, 0.0, 0.0), (5.0, 0.0, 5.0), (5.0, 2.0, 5.0), (5.0, 5.0, 10.0)]
+        )
+        assert len(trajectory.segments()) == 2
+        assert trajectory.position_at(7.5).as_tuple() == pytest.approx((5.0, 3.5))
+
     def test_accepts_tuples_and_samples(self):
         trajectory = Trajectory(
             "x", [TrajectorySample(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]
