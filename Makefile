@@ -7,7 +7,9 @@ export PYTHONPATH := src
 
 .PHONY: test coverage bench-smoke bench bench-streaming bench-streaming-smoke \
 	bench-sharded bench-sharded-smoke bench-columnar bench-columnar-smoke \
-	bench-all bench-all-smoke check-regression update-baselines-dry lint
+	bench-service bench-service-smoke \
+	bench-all bench-all-smoke check-regression update-baselines-dry lint \
+	docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +49,12 @@ bench-columnar-smoke:
 bench-columnar:
 	$(PYTHON) benchmarks/bench_columnar.py --json BENCH_columnar.json
 
+bench-service-smoke:
+	$(PYTHON) benchmarks/bench_service.py --quick --json BENCH_service.json
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --json BENCH_service.json
+
 # The unified runner: one schema-versioned BENCH_<name>.json per bench.
 bench-all:
 	$(PYTHON) benchmarks/run_all.py
@@ -61,9 +69,20 @@ check-regression:
 update-baselines-dry:
 	$(PYTHON) benchmarks/update_baselines.py --dry-run --results-dir .
 
+# HTML API reference into docs/api/ — pdoc when installed (CI), a stdlib
+# fallback renderer otherwise, so the target builds cleanly everywhere.
+docs:
+	$(PYTHON) docs/build_api.py --out docs/api
+	$(PYTHON) docs/check_links.py
+
+clean:
+	rm -rf .pytest_cache .ruff_cache .hypothesis .benchmarks htmlcov docs/api \
+		.coverage BENCH_*.json
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples
-	$(PYTHON) -c "import repro; import repro.engine; import repro.streaming; import repro.parallel; print('import ok:', repro.__version__)"
+	$(PYTHON) -c "import repro; import repro.engine; import repro.streaming; import repro.parallel; import repro.service; print('import ok:', repro.__version__)"
 	@if $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src benchmarks examples tests; \
 	else \

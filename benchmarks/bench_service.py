@@ -1,0 +1,143 @@
+"""Benchmark: async service serving vs direct per-query engine calls.
+
+Replays the :func:`repro.workloads.replay.service_workload` dashboard
+traffic pattern through a :class:`repro.service.QueryService` (bounded
+queue, coalescing, TTL + revision result cache, warm engine pool) and
+compares against answering the identical request stream with direct,
+serial :meth:`repro.engine.QueryEngine.answer` calls on a warm engine:
+
+* **service_requests_per_second** — served throughput of the replay;
+* **service_p95_latency_ms** — tail latency under the bursty schedule;
+* **cache_hit_ratio** / **coalescing_factor** — how much of the speedup
+  comes from result caching vs batch coalescing;
+* **speedup_vs_direct** — service wall clock vs the serial baseline.
+
+Every service answer is verified equal to the direct engine answer before
+any timing is reported, so a speedup can never come from a divergent
+answer.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --json BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from typing import Dict, Tuple
+
+from repro.engine import QueryEngine
+from repro.service import QueryService
+from repro.workloads.replay import replay, service_workload
+
+from common import default_output_path, write_record
+
+BENCH_NAME = "service"
+
+
+def run_bench(quick: bool = False) -> Tuple[Dict, Dict[str, float]]:
+    """Run the replay; returns ``(config, metrics)`` for the record schema."""
+    if quick:
+        workload = service_workload(
+            num_vehicles=30, num_queries=6, ticks=12, requests_per_tick=6.0
+        )
+    else:
+        workload = service_workload(
+            num_vehicles=80, num_queries=16, ticks=40, requests_per_tick=12.0
+        )
+    config = {
+        "quick": quick,
+        "objects": len(workload.mod),
+        "query_ids": len(workload.query_ids),
+        "ticks": len(workload.ticks),
+        "requests": workload.request_count,
+        "unique_fingerprints": workload.unique_fingerprints,
+    }
+
+    # Direct baseline: the identical request stream, answered serially by
+    # one warm engine (the pre-service serving story).  Its answers are the
+    # oracle the service responses are checked against.
+    direct_engine = QueryEngine(workload.mod)
+    expected = {}
+    started = time.perf_counter()
+    for burst in workload.ticks:
+        for request in burst:
+            answer = direct_engine.answer(
+                request.query_id,
+                request.t_start,
+                request.t_end,
+                variant=request.variant,
+                fraction=request.fraction,
+                band_width=request.band_width,
+            )
+            expected[request.fingerprint] = answer
+    direct_seconds = time.perf_counter() - started
+
+    async def _serve():
+        async with QueryService(workload.mod) as service:
+            return await replay(service, workload, count_rejections=False)
+
+    report = asyncio.run(_serve())
+    if report.served != workload.request_count:
+        raise AssertionError(
+            f"served {report.served} of {workload.request_count} requests"
+        )
+    for response in report.responses:
+        if response.answer != expected[response.request.fingerprint]:
+            raise AssertionError(
+                f"service answer diverged for {response.request}"
+            )
+
+    metrics: Dict[str, float] = {
+        "direct_seconds": direct_seconds,
+        "direct_requests_per_second": workload.request_count / direct_seconds,
+        "service_seconds": report.wall_seconds,
+        "service_requests_per_second": report.requests_per_second,
+        "service_mean_latency_ms": (
+            sum(report.latency_seconds()) * 1000.0 / report.served
+        ),
+        "service_p95_latency_ms": report.latency_percentile(95) * 1000.0,
+        "cache_hit_ratio": report.cache_hit_ratio,
+        "coalescing_factor": report.coalescing_factor,
+        "speedup_vs_direct": direct_seconds / report.wall_seconds,
+    }
+    print(
+        f"  direct   {metrics['direct_requests_per_second']:8.1f} req/s"
+        f"   ({workload.request_count} requests serial)"
+    )
+    print(
+        f"  service  {metrics['service_requests_per_second']:8.1f} req/s"
+        f"   p95 {metrics['service_p95_latency_ms']:6.1f} ms"
+        f"   cache {metrics['cache_hit_ratio']:5.1%}"
+        f"   coalesce x{metrics['coalescing_factor']:.1f}"
+        f"   speedup {metrics['speedup_vs_direct']:.2f}x"
+    )
+    return config, metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced schedule (30 vehicles, 12 ticks) for smoke tests",
+    )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help=f"write the record to this JSON file (e.g. {default_output_path(BENCH_NAME)})",
+    )
+    args = parser.parse_args()
+
+    print("async service serving vs direct per-query engine calls")
+    print("(service_workload dashboard schedule; answers verified equal)")
+    config, metrics = run_bench(quick=args.quick)
+    if args.json:
+        write_record(args.json, BENCH_NAME, config, metrics)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

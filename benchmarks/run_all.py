@@ -42,6 +42,10 @@ REGISTRY = {
         "bench_streaming",
         "incremental streaming maintenance vs rebuild-from-scratch",
     ),
+    "service": (
+        "bench_service",
+        "async service serving vs direct per-query engine calls",
+    ),
     "sharded": (
         "bench_sharded",
         "sharded parallel execution vs single-process engine",

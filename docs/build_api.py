@@ -1,0 +1,204 @@
+"""Build the HTML API reference for the ``repro`` package.
+
+Prefers `pdoc <https://pdoc.dev>`_ (installed via ``requirements-dev.txt``;
+what CI publishes as the ``api-docs`` artifact).  When pdoc is unavailable
+— e.g. offline development containers — a small stdlib-only renderer emits
+a plain but complete HTML reference from the live docstrings instead, so
+``make docs`` builds cleanly everywhere.
+
+Usage::
+
+    python docs/build_api.py --out docs/api
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import importlib
+import inspect
+import os
+import pkgutil
+import sys
+from typing import List
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PACKAGE = "repro"
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: sans-serif; max-width: 60rem; margin: 2rem auto; padding: 0 1rem; line-height: 1.5; }}
+pre {{ background: #f6f6f6; padding: 0.8rem; overflow-x: auto; white-space: pre-wrap; }}
+code {{ background: #f6f6f6; }}
+h2 {{ border-bottom: 1px solid #ddd; padding-bottom: 0.2rem; margin-top: 2rem; }}
+.kind {{ color: #777; font-size: 0.85em; margin-left: 0.5em; }}
+nav a {{ margin-right: 1em; }}
+</style>
+</head>
+<body>
+<nav><a href="index.html">module index</a></nav>
+{body}
+</body>
+</html>
+"""
+
+
+def _ensure_importable() -> None:
+    src = os.path.join(ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def _iter_module_names() -> List[str]:
+    """Every importable module of the package, in sorted order."""
+    package = importlib.import_module(PACKAGE)
+    names = [PACKAGE]
+    for info in pkgutil.walk_packages(package.__path__, prefix=f"{PACKAGE}."):
+        names.append(info.name)
+    return sorted(names)
+
+
+def _doc_block(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    return f"<pre>{html.escape(doc)}</pre>" if doc else ""
+
+
+def _signature(obj) -> str:
+    try:
+        return html.escape(str(inspect.signature(obj)))
+    except (TypeError, ValueError):
+        return "(…)"
+
+
+def _public_members(module):
+    """(name, object) pairs a module's API page should document."""
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [name for name in vars(module) if not name.startswith("_")]
+    members = []
+    for name in names:
+        obj = getattr(module, name, None)
+        if obj is None or inspect.ismodule(obj):
+            continue
+        # Skip re-exports: document each object on its defining module only.
+        defined_in = getattr(obj, "__module__", module.__name__)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if defined_in != module.__name__:
+                continue
+        members.append((name, obj))
+    return members
+
+
+def _render_module(module_name: str) -> str:
+    module = importlib.import_module(module_name)
+    parts = [f"<h1><code>{html.escape(module_name)}</code></h1>"]
+    parts.append(_doc_block(module))
+    for name, obj in _public_members(module):
+        escaped = html.escape(name)
+        if inspect.isclass(obj):
+            parts.append(
+                f"<h2 id={escaped!r}><code>class {escaped}{_signature(obj)}"
+                f"</code><span class='kind'>class</span></h2>"
+            )
+            parts.append(_doc_block(obj))
+            for method_name, method in sorted(vars(obj).items()):
+                if method_name.startswith("_"):
+                    continue
+                if callable(method):
+                    parts.append(
+                        f"<h3><code>{escaped}.{html.escape(method_name)}"
+                        f"{_signature(method)}</code></h3>"
+                    )
+                    parts.append(_doc_block(method))
+                elif isinstance(method, property):
+                    parts.append(
+                        f"<h3><code>{escaped}.{html.escape(method_name)}"
+                        f"</code><span class='kind'>property</span></h3>"
+                    )
+                    parts.append(_doc_block(method))
+        elif inspect.isfunction(obj):
+            parts.append(
+                f"<h2 id={escaped!r}><code>{escaped}{_signature(obj)}"
+                f"</code><span class='kind'>function</span></h2>"
+            )
+            parts.append(_doc_block(obj))
+        else:
+            parts.append(
+                f"<h2 id={escaped!r}><code>{escaped}</code>"
+                f"<span class='kind'>{html.escape(type(obj).__name__)}</span></h2>"
+            )
+    return _PAGE_TEMPLATE.format(
+        title=html.escape(module_name), body="\n".join(parts)
+    )
+
+
+def build_fallback(out_dir: str) -> None:
+    """Stdlib-only renderer: one HTML page per module plus an index."""
+    os.makedirs(out_dir, exist_ok=True)
+    module_names = _iter_module_names()
+    entries = []
+    for module_name in module_names:
+        page = f"{module_name}.html"
+        with open(os.path.join(out_dir, page), "w") as handle:
+            handle.write(_render_module(module_name))
+        summary = (
+            inspect.getdoc(importlib.import_module(module_name)) or ""
+        ).splitlines()
+        first_line = html.escape(summary[0]) if summary else ""
+        entries.append(
+            f"<li><a href='{page}'><code>{html.escape(module_name)}</code></a>"
+            f" — {first_line}</li>"
+        )
+    body = (
+        "<h1>repro API reference</h1>"
+        "<p>Generated by the stdlib fallback renderer "
+        "(<code>docs/build_api.py</code>); install <code>pdoc</code> for the "
+        "full-featured reference.</p>"
+        f"<ul>{''.join(entries)}</ul>"
+    )
+    with open(os.path.join(out_dir, "index.html"), "w") as handle:
+        handle.write(_PAGE_TEMPLATE.format(title="repro API reference", body=body))
+    print(f"fallback API reference: {len(module_names)} modules -> {out_dir}")
+
+
+def build_pdoc(out_dir: str) -> None:
+    """Render with pdoc (modern pdoc >= 8 API)."""
+    from pathlib import Path
+
+    import pdoc
+
+    pdoc.pdoc(PACKAGE, output_directory=Path(out_dir))
+    print(f"pdoc API reference -> {out_dir}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=str, default=os.path.join("docs", "api"),
+        help="output directory for the HTML reference",
+    )
+    parser.add_argument(
+        "--fallback", action="store_true",
+        help="force the stdlib renderer even when pdoc is installed",
+    )
+    args = parser.parse_args()
+    _ensure_importable()
+    use_pdoc = not args.fallback
+    if use_pdoc:
+        try:
+            import pdoc  # noqa: F401
+        except ImportError:
+            use_pdoc = False
+    if use_pdoc:
+        build_pdoc(args.out)
+    else:
+        build_fallback(args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Verify intra-repo links in the markdown docs resolve.
+
+Scans ``README.md`` and every ``docs/*.md`` for markdown links and images,
+and fails when a *relative* target (anything that is not an absolute URL or
+a pure in-page anchor) does not exist on disk relative to the linking file.
+Run by ``make docs`` and by ``tests/test_docs.py``, so a renamed file or a
+typoed path breaks CI instead of readers.
+
+Usage::
+
+    python docs/check_links.py
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links/images: [text](target) — title suffixes allowed.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def document_paths() -> list:
+    """The markdown files whose links are checked."""
+    paths = [os.path.join(ROOT, "README.md")]
+    paths.extend(sorted(glob.glob(os.path.join(ROOT, "docs", "*.md"))))
+    paths.extend(sorted(glob.glob(os.path.join(ROOT, "benchmarks", "*.md"))))
+    return [path for path in paths if os.path.exists(path)]
+
+
+def broken_links(path: str) -> list:
+    """``(target, reason)`` pairs for every unresolvable link in one file."""
+    with open(path) as handle:
+        text = handle.read()
+    problems = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+        )
+        if not os.path.exists(resolved):
+            problems.append((target, f"missing {os.path.relpath(resolved, ROOT)}"))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    for path in document_paths():
+        for target, reason in broken_links(path):
+            print(
+                f"{os.path.relpath(path, ROOT)}: broken link {target!r} ({reason})",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"links ok across {len(document_paths())} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Shared example support: honor ``REPRO_SMOKE=1`` for small CI scenarios.
+
+The examples double as living documentation and as CI smoke tests
+(``tests/test_examples.py`` executes each one).  Setting ``REPRO_SMOKE=1``
+switches every example to a scaled-down scenario so the walkthroughs stay
+demonstrative at full size but finish in seconds under CI.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: True when the examples should run their scaled-down CI scenarios.
+SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+
+def scaled(full, smoke):
+    """``full`` normally, ``smoke`` when ``REPRO_SMOKE=1`` is set."""
+    return smoke if SMOKE else full

@@ -23,6 +23,7 @@ Run with::
 
 from __future__ import annotations
 
+from _support import scaled
 from repro import ContinuousProbabilisticNNQuery, QueryEngine
 from repro.core.thresholds import probability_timeline
 from repro.workloads.scenarios import delivery_fleet, multi_query_fleet
@@ -31,7 +32,10 @@ from repro.workloads.scenarios import delivery_fleet, multi_query_fleet
 def main() -> None:
     # A 12-van fleet with 4 stops each over a 2-hour shift; GPS uncertainty
     # of 0.3 miles around every reported position.
-    mod = delivery_fleet(num_vans=12, num_stops=4, shift_minutes=120.0, uncertainty_radius=0.3)
+    mod = delivery_fleet(
+        num_vans=scaled(12, 6), num_stops=4, shift_minutes=120.0,
+        uncertainty_radius=0.3,
+    )
     van_of_interest = "van-3"
     window = mod.common_time_span()
     print(f"fleet of {len(mod)} vans, shift {window[0]:.0f}-{window[1]:.0f} minutes")
@@ -88,7 +92,9 @@ def main() -> None:
     # in one pass; re-running the batch hits the context cache.
     # ------------------------------------------------------------------
     print("\n--- batched dispatch (QueryEngine) ---")
-    city_mod, monitored = multi_query_fleet(num_vehicles=60, num_queries=8)
+    city_mod, monitored = multi_query_fleet(
+        num_vehicles=scaled(60, 20), num_queries=scaled(8, 4)
+    )
     city_window = city_mod.common_time_span()
     engine = QueryEngine(city_mod)
     batch = engine.prepare_batch(monitored, city_window[0], city_window[1])

@@ -26,13 +26,18 @@ from repro.streaming import (
     reference_answer,
     replay_deltas,
 )
+from _support import scaled
 from repro.workloads.scenarios import streaming_fleet
 
 
 def main() -> None:
     # A 60-vehicle fleet with 30 minutes of history and five scripted
     # 3-minute update batches; the dispatcher watches 4 vehicles.
-    scenario = streaming_fleet(num_vehicles=60, num_queries=4, num_batches=5)
+    scenario = streaming_fleet(
+        num_vehicles=scaled(60, 12),
+        num_queries=4,
+        num_batches=scaled(5, 2),
+    )
     mod, query_ids = scenario.mod, scenario.query_ids
     span = mod.common_time_span()
     print(

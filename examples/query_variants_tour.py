@@ -13,6 +13,7 @@ Run with::
 
 from __future__ import annotations
 
+from _support import scaled
 from repro import ContinuousProbabilisticNNQuery
 from repro.workloads.scenarios import convoy_with_stragglers
 
@@ -22,7 +23,7 @@ def show(question: str, answer: object) -> None:
 
 
 def main() -> None:
-    mod = convoy_with_stragglers(convoy_size=5, straggler_count=6)
+    mod = convoy_with_stragglers(convoy_size=5, straggler_count=scaled(6, 3))
     query_vehicle = "convoy-2"  # the middle of the formation
     query = ContinuousProbabilisticNNQuery(mod, query_vehicle, 0.0, 60.0)
     target = "convoy-1"

@@ -12,6 +12,7 @@ Run with::
 
 from __future__ import annotations
 
+from _support import scaled
 from repro import ContinuousProbabilisticNNQuery, RandomWaypointConfig, generate_mod
 
 
@@ -19,7 +20,9 @@ def main() -> None:
     # 1. Build a Moving Objects Database with the paper's synthetic workload:
     #    a 40x40-mile region, speeds of 15-60 mph, one hour of motion, and an
     #    uncertainty radius of half a mile around every expected location.
-    config = RandomWaypointConfig(num_objects=60, uncertainty_radius=0.5, seed=11)
+    config = RandomWaypointConfig(
+        num_objects=scaled(60, 12), uncertainty_radius=0.5, seed=11
+    )
     mod = generate_mod(config)
     print(f"MOD holds {len(mod)} uncertain trajectories over {config.duration_minutes} minutes")
 

@@ -17,12 +17,16 @@ from __future__ import annotations
 from repro import ContinuousProbabilisticNNQuery, UncertainTrajectory
 from repro.index.rtree import STRRTree
 from repro.uncertainty.uniform import UniformDiskPDF
+from _support import scaled
 from repro.workloads.scenarios import ride_hailing_snapshot
 
 
 def main() -> None:
     horizon = 20.0
-    mod = ride_hailing_snapshot(num_drivers=25, horizon_minutes=horizon, uncertainty_radius=0.2)
+    mod = ride_hailing_snapshot(
+        num_drivers=scaled(25, 10), horizon_minutes=horizon,
+        uncertainty_radius=0.2,
+    )
 
     # The rider walks from a cafe to the pickup corner over the horizon.
     rider = UncertainTrajectory(

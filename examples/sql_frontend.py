@@ -15,6 +15,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+from _support import scaled
 from repro import RandomWaypointConfig, generate_mod
 from repro.core.reverse import reverse_nn_query
 from repro.query_language import execute_query, parse_query
@@ -24,7 +25,11 @@ from repro.trajectories.io import load_json, save_json
 def main() -> None:
     # Generate, persist, and reload a workload — the round trip a real
     # deployment would do between ingestion and query time.
-    mod = generate_mod(RandomWaypointConfig(num_objects=40, uncertainty_radius=0.5, seed=29))
+    mod = generate_mod(
+        RandomWaypointConfig(
+            num_objects=scaled(40, 16), uncertainty_radius=0.5, seed=29
+        )
+    )
     with tempfile.TemporaryDirectory() as scratch:
         path = Path(scratch) / "workload.json"
         save_json(mod, path)

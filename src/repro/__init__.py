@@ -10,7 +10,12 @@ The public API re-exports the pieces most users need:
 * the location pdfs and probability machinery (:mod:`repro.uncertainty`);
 * the envelope algorithms (:mod:`repro.geometry.envelope`);
 * the query façade, IPAC-NN trees and query variants (:mod:`repro.core`);
-* the synthetic workloads of the paper's evaluation (:mod:`repro.workloads`).
+* the serving stack — batched engine (:mod:`repro.engine`), sharded
+  parallel execution (:mod:`repro.parallel`), streaming monitor
+  (:mod:`repro.streaming`), and the async query service
+  (:mod:`repro.service`);
+* the synthetic workloads of the paper's evaluation and the service
+  traffic driver (:mod:`repro.workloads`).
 """
 
 from .core import (
@@ -23,6 +28,7 @@ from .core import (
 )
 from .engine import BatchResult, PreparedQuery, QueryEngine
 from .parallel import ShardPlan, ShardedBatchResult, ShardedEngine
+from .service import QueryRequest, QueryResponse, QueryService
 from .streaming import (
     BatchReport,
     ContinuousMonitor,
@@ -62,6 +68,9 @@ __all__ = [
     "ProbabilityDescriptor",
     "QueryContext",
     "QueryEngine",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
     "RandomWaypointConfig",
     "ShardPlan",
     "ShardedBatchResult",

@@ -117,6 +117,7 @@ class ShardPlan:
 
     @property
     def num_shards(self) -> int:
+        """Number of shards the plan partitions the store into."""
         return len(self.groups)
 
     def owner_of(self) -> dict:

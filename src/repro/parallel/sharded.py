@@ -115,6 +115,7 @@ class ShardInfo:
 
     @property
     def members(self) -> int:
+        """Total member trajectories the shard currently holds."""
         return self.owned + self.replicated
 
 

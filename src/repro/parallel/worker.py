@@ -65,6 +65,7 @@ class ShardQueryOutcome:
 
     @property
     def escaped(self) -> bool:
+        """The query failed the shard's safety check (needs the fallback)."""
         return self.answer is None
 
 

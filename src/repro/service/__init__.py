@@ -1,0 +1,41 @@
+"""The async query service layer: the front door of the serving stack.
+
+``repro.service`` fronts every execution layer built so far behind one
+awaitable API: typed :class:`QueryRequest`/:class:`QueryResponse` shapes, a
+bounded admission queue with backpressure, request coalescing into engine
+batches, a TTL + revision result cache, a warm :class:`EnginePool` that
+picks the single or sharded backend by store size, and an async
+subscription bridge over :class:`~repro.streaming.ContinuousMonitor` delta
+streams.  See ``docs/architecture.md`` for how the layers stack.
+"""
+
+from .cache import ResultCache, ResultCacheInfo
+from .pool import DEFAULT_SHARD_THRESHOLD, EnginePool, GroupResult
+from .requests import QueryRequest, QueryResponse
+from .service import (
+    ADMISSION_POLICIES,
+    QueryService,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceStats,
+)
+from .subscriptions import DeltaBridge, DeltaSubscription
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "DEFAULT_SHARD_THRESHOLD",
+    "DeltaBridge",
+    "DeltaSubscription",
+    "EnginePool",
+    "GroupResult",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ResultCache",
+    "ResultCacheInfo",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceStats",
+]

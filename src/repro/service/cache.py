@@ -1,0 +1,132 @@
+"""TTL + revision result cache of the :class:`~repro.service.QueryService`.
+
+The engine layer already memoizes *prepared contexts*; this cache sits one
+level higher and memoizes *final answers*, keyed on the request fingerprint
+and the MOD revision the answer was computed at.  Two staleness mechanisms
+compose:
+
+* **revision** — an entry is only served while the store is at the revision
+  it was computed at, so any add/remove/replace invalidates every affected
+  answer implicitly (no scanning, no subscriptions: the key just stops
+  matching);
+* **TTL** — an optional wall-clock bound for deployments that want answers
+  re-verified periodically even on a quiet store (and that keeps entries
+  from outliving their usefulness when revisions never change).
+
+Capacity is enforced LRU-style.  The clock is injectable so tests can
+advance time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..engine.answers import Answer
+from .requests import Fingerprint
+
+
+@dataclass(frozen=True, slots=True)
+class ResultCacheInfo:
+    """Counters of the result cache."""
+
+    hits: int
+    misses: int
+    expirations: int
+    invalidations: int
+    evictions: int
+    size: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """LRU result cache with TTL expiry and revision-keyed invalidation.
+
+    Args:
+        capacity: maximum number of cached answers (LRU eviction beyond).
+        ttl: seconds an entry stays servable, or ``None`` for no TTL.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        #: fingerprint -> (revision, expiry-or-None, answer); one live entry
+        #: per fingerprint, so a newer revision displaces the stale answer.
+        self._entries: "OrderedDict[Fingerprint, Tuple[int, Optional[float], Answer]]"
+        self._entries = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._expirations = 0
+        self._invalidations = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: Fingerprint, revision: int) -> Optional[Answer]:
+        """The cached answer for ``fingerprint`` at ``revision``, or ``None``.
+
+        A hit requires the entry's revision to match exactly and its TTL (if
+        any) to be unexpired; a revision mismatch drops the stale entry.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self._misses += 1
+            return None
+        cached_revision, expiry, answer = entry
+        if cached_revision != revision:
+            del self._entries[fingerprint]
+            self._invalidations += 1
+            self._misses += 1
+            return None
+        if expiry is not None and self._clock() >= expiry:
+            del self._entries[fingerprint]
+            self._expirations += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self._hits += 1
+        return answer
+
+    def put(self, fingerprint: Fingerprint, revision: int, answer: Answer) -> None:
+        """Store an answer computed at ``revision``; evicts LRU beyond capacity."""
+        expiry = None if self.ttl is None else self._clock() + self.ttl
+        if fingerprint in self._entries:
+            del self._entries[fingerprint]
+        self._entries[fingerprint] = (revision, expiry, answer)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def info(self) -> ResultCacheInfo:
+        """Current counters and size."""
+        return ResultCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            expirations=self._expirations,
+            invalidations=self._invalidations,
+            evictions=self._evictions,
+            size=len(self._entries),
+        )

@@ -1,0 +1,426 @@
+"""The asyncio query service fronting the batch, sharded, and streaming layers.
+
+:class:`QueryService` is the request/response front-end the scaling roadmap
+puts in front of the engines: callers ``await`` UQ31/32/33 requests while
+the service
+
+1. serves repeat requests from a TTL result cache keyed on (request
+   fingerprint, MOD revision) — any store mutation silently invalidates
+   every affected answer because the revision stops matching
+   (:mod:`repro.service.cache`);
+2. admits the rest through a *bounded* queue — when the queue is full the
+   service either backpressures the caller (``admission="wait"``) or fails
+   fast with :class:`ServiceOverloaded` (``admission="reject"``);
+3. *coalesces* queued requests that share a window/variant/band into one
+   engine batch, so a dashboard refresh of 50 standing queries costs one
+   :meth:`~repro.engine.QueryEngine.prepare_batch` pass instead of 50
+   serial preparations;
+4. routes each batch to a warm single or sharded engine picked by store
+   size (:mod:`repro.service.pool`), evaluating off the event loop on an
+   executor so the loop stays responsive;
+5. bridges :class:`~repro.streaming.ContinuousMonitor` delta streams to
+   async consumers (:meth:`QueryService.subscribe`), completing the
+   request/response + push story.
+
+Answers are exact: the oracle tests pin every service response
+byte-identical to a direct :meth:`repro.engine.QueryEngine.answer` call at
+the same store state, for both backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..trajectories.mod import MovingObjectsDatabase
+from .cache import ResultCache, ResultCacheInfo
+from .pool import EnginePool
+from .requests import QueryRequest, QueryResponse
+from .subscriptions import DeltaBridge, DeltaSubscription
+
+ADMISSION_POLICIES = ("wait", "reject")
+
+
+class ServiceError(RuntimeError):
+    """Base class of service-lifecycle and admission errors."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is not running (not started, or already stopped)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission queue is full and the policy is ``"reject"``."""
+
+
+@dataclass
+class ServiceStats:
+    """Serving counters, exposed by :meth:`QueryService.stats`."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    evaluated: int = 0
+    batches: int = 0
+    max_queue_depth: int = 0
+    backend_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coalescing_factor(self) -> float:
+        """Mean requests per engine batch (1.0 = no coalescing happened)."""
+        return self.evaluated / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for its engine batch."""
+
+    request: QueryRequest
+    future: "asyncio.Future[QueryResponse]"
+    submitted: float
+    enqueued: float
+
+
+class QueryService:
+    """Async UQ3x serving over one moving objects database.
+
+    Args:
+        mod: the store to serve; the same object a
+            :class:`~repro.streaming.ContinuousMonitor` may keep ingesting
+            into.
+        queue_limit: admission-queue capacity (the backpressure bound).
+        max_batch: most requests coalesced into one engine batch.
+        coalesce_delay: seconds the dispatcher lingers after the first
+            dequeued request to let concurrent submitters join its batch;
+            0 batches only what is already queued.
+        admission: ``"wait"`` (default) blocks submitters while the queue
+            is full; ``"reject"`` raises :class:`ServiceOverloaded` instead.
+        cache_capacity: result-cache entries kept (LRU beyond).
+        cache_ttl: result-cache TTL in seconds, ``None`` for revision-only
+            invalidation.
+        pool: a prebuilt :class:`EnginePool` (stays owned by the caller —
+            :meth:`stop` will not close it); built from ``pool_options``
+            over ``mod`` when ``None``.
+        executor: where engine batches run; the event loop's default
+            thread pool when ``None``.
+        **pool_options: forwarded to :class:`EnginePool` when building one
+            (``shard_threshold``, ``num_shards``, ``force_backend``, ...).
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`::
+
+        async with QueryService(mod) as service:
+            response = await service.query("van-3", lo, hi)
+    """
+
+    def __init__(
+        self,
+        mod: MovingObjectsDatabase,
+        *,
+        queue_limit: int = 256,
+        max_batch: int = 64,
+        coalesce_delay: float = 0.0,
+        admission: str = "wait",
+        cache_capacity: int = 4096,
+        cache_ttl: Optional[float] = None,
+        pool: Optional[EnginePool] = None,
+        executor: Optional[Executor] = None,
+        **pool_options,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if coalesce_delay < 0:
+            raise ValueError("coalesce_delay must be non-negative")
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r} "
+                f"(expected {ADMISSION_POLICIES})"
+            )
+        self.mod = mod
+        if pool is not None and pool_options:
+            raise ValueError("pass pool_options only when the pool is built here")
+        # A caller-provided pool stays the caller's to close (it may be
+        # shared across services); only a pool built here is shut down.
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else EnginePool(mod, **pool_options)
+        self._queue_limit = queue_limit
+        self._max_batch = max_batch
+        self._coalesce_delay = coalesce_delay
+        self._admission = admission
+        self.cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl)
+        self._executor = executor
+        self._stats = ServiceStats()
+        self._queue: Optional["asyncio.Queue[object]"] = None
+        self._dispatcher: Optional["asyncio.Task[None]"] = None
+        self._bridge: Optional[DeltaBridge] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closing = False
+        self._sentinel = object()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the service accepts requests."""
+        return self._dispatcher is not None and not self._closing
+
+    async def start(self) -> "QueryService":
+        """Start the dispatcher; idempotent while running."""
+        if self._dispatcher is not None:
+            if self._closing:
+                raise ServiceClosed("the service is stopping")
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self._queue_limit)
+        self._bridge = DeltaBridge(self._loop)
+        self._closing = False
+        self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Drain admitted requests, then shut the dispatcher down.
+
+        Requests already in the queue are still served; new :meth:`submit`
+        calls raise :class:`ServiceClosed` immediately.  Subscriptions are
+        closed, and the engine pool is shut down unless it was supplied by
+        the caller (a shared pool stays warm for its other users).
+        """
+        if self._dispatcher is None:
+            return
+        self._closing = True
+        await self._queue.put(self._sentinel)
+        await self._dispatcher
+        # A submitter that was backpressure-blocked on a full queue can slip
+        # its item in *behind* the sentinel; fail those instead of hanging.
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not self._sentinel and not item.future.done():
+                item.future.set_exception(
+                    ServiceClosed("the service stopped before serving this request")
+                )
+        self._dispatcher = None
+        self._queue = None
+        if self._bridge is not None:
+            self._bridge.close()
+            self._bridge = None
+        if self._owns_pool:
+            self.pool.close()
+        self._closing = False
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+
+    async def submit(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request: cache, else admit, coalesce, and evaluate.
+
+        Raises:
+            ServiceClosed: when the service is not running.
+            ServiceOverloaded: when the queue is full under ``"reject"``.
+            KeyError: when the query id is unknown (raised at evaluation).
+        """
+        if not self.running:
+            raise ServiceClosed("the service is not running")
+        started = time.perf_counter()
+        self._stats.submitted += 1
+        cached = self.cache.get(request.fingerprint, self.mod.revision)
+        if cached is not None:
+            self._stats.cache_hits += 1
+            return QueryResponse(
+                request=request,
+                answer=cached,
+                revision=self.mod.revision,
+                backend="cache",
+                batch_size=1,
+                queue_seconds=0.0,
+                service_seconds=time.perf_counter() - started,
+            )
+        future: "asyncio.Future[QueryResponse]" = self._loop.create_future()
+        pending = _Pending(
+            request=request,
+            future=future,
+            submitted=started,
+            enqueued=time.perf_counter(),
+        )
+        if self._admission == "reject":
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self._stats.rejected += 1
+                raise ServiceOverloaded(
+                    f"admission queue full ({self._queue_limit} pending)"
+                ) from None
+        else:
+            await self._queue.put(pending)
+        self._stats.max_queue_depth = max(
+            self._stats.max_queue_depth, self._queue.qsize()
+        )
+        return await future
+
+    async def query(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        *,
+        variant: str = "sometime",
+        fraction: float = 0.0,
+        band_width: Optional[float] = None,
+    ) -> QueryResponse:
+        """Convenience wrapper building and submitting one :class:`QueryRequest`."""
+        return await self.submit(
+            QueryRequest(
+                query_id=query_id,
+                t_start=t_start,
+                t_end=t_end,
+                variant=variant,
+                fraction=fraction,
+                band_width=band_width,
+            )
+        )
+
+    async def submit_all(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResponse]:
+        """Submit concurrently and gather; order matches ``requests``.
+
+        Concurrent submission is what makes coalescing effective: every
+        request sharing a window lands in the queue before the dispatcher
+        drains it, so they ride one engine batch.
+        """
+        return list(
+            await asyncio.gather(*(self.submit(request) for request in requests))
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming subscriptions.
+    # ------------------------------------------------------------------
+
+    def attach_monitor(self, monitor) -> None:
+        """Forward a :class:`ContinuousMonitor`'s deltas to subscribers.
+
+        The monitor keeps being driven synchronously (``ingest`` /
+        ``apply``) by its owner — from any thread; the service only listens.
+        """
+        if not self.running:
+            raise ServiceClosed("start the service before attaching monitors")
+        self._bridge.attach(monitor)
+
+    def subscribe(
+        self, query_key: Optional[object] = None, buffer: int = 256
+    ) -> DeltaSubscription:
+        """An async-iterable subscription to attached monitors' deltas.
+
+        Args:
+            query_key: restrict to one standing query's events.
+            buffer: bounded per-subscription buffer; the oldest delta is
+                dropped (and counted) when a slow consumer falls behind.
+        """
+        if not self.running:
+            raise ServiceClosed("start the service before subscribing")
+        return self._bridge.subscribe(query_key=query_key, buffer=buffer)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Serving counters (live object; snapshot if you need isolation)."""
+        return self._stats
+
+    def cache_info(self) -> ResultCacheInfo:
+        """Result-cache counters."""
+        return self.cache.info()
+
+    # ------------------------------------------------------------------
+    # Dispatcher internals.
+    # ------------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is self._sentinel:
+                return
+            if self._coalesce_delay > 0:
+                await asyncio.sleep(self._coalesce_delay)
+            batch: List[_Pending] = [item]
+            stop = False
+            while len(batch) < self._max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is self._sentinel:
+                    stop = True
+                    break
+                batch.append(extra)
+            await self._serve_batch(batch)
+            if stop:
+                return
+
+    async def _serve_batch(self, batch: List[_Pending]) -> None:
+        """Group one drained batch by coalescing key and evaluate each group."""
+        groups: Dict[object, List[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.request.group_key, []).append(pending)
+        for members in groups.values():
+            await self._serve_group(members)
+
+    async def _serve_group(self, members: List[_Pending]) -> None:
+        request = members[0].request
+        query_ids = list(
+            dict.fromkeys(pending.request.query_id for pending in members)
+        )
+        revision = self.mod.revision
+        dequeued = time.perf_counter()
+        try:
+            result = await self._loop.run_in_executor(
+                self._executor,
+                lambda: self.pool.answer_group(
+                    query_ids,
+                    request.t_start,
+                    request.t_end,
+                    variant=request.variant,
+                    fraction=request.fraction,
+                    band_width=request.band_width,
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - forwarded to awaiters
+            for pending in members:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+            return
+        self._stats.batches += 1
+        self._stats.evaluated += len(members)
+        self._stats.backend_counts[result.backend] = (
+            self._stats.backend_counts.get(result.backend, 0) + len(members)
+        )
+        finished = time.perf_counter()
+        for pending in members:
+            answer = result.answers[pending.request.query_id]
+            self.cache.put(pending.request.fingerprint, revision, answer)
+            if pending.future.done():
+                continue
+            pending.future.set_result(
+                QueryResponse(
+                    request=pending.request,
+                    answer=answer,
+                    revision=revision,
+                    backend=result.backend,
+                    batch_size=len(members),
+                    queue_seconds=dequeued - pending.enqueued,
+                    service_seconds=finished - pending.submitted,
+                )
+            )

@@ -82,6 +82,7 @@ class LocationFeed:
 
     @property
     def sample_count(self) -> int:
+        """Reports (plus seed samples) the feed currently holds."""
         return len(self._samples)
 
     def push(self, report: LocationReport) -> None:
@@ -111,6 +112,7 @@ class LocationFeed:
         self.dirty = True
 
     def push_all(self, reports) -> None:
+        """Append several reports in order (see :meth:`push`)."""
         for report in reports:
             self.push(report)
 
@@ -185,10 +187,12 @@ class DeadReckoningFeed:
         self.dirty = True
 
     def push_all(self, updates) -> None:
+        """Append several dead-reckoning updates in order (see :meth:`push`)."""
         for update in updates:
             self.push(update)
 
     def can_build(self) -> bool:
+        """True once at least one update can seed an extrapolation."""
         return bool(self._updates)
 
     def trajectory(self, end_time: Optional[float] = None) -> UncertainTrajectory:

@@ -75,7 +75,24 @@ def _divergence_time(
 
 
 class MovingObjectsDatabase:
-    """In-memory MOD holding uncertain trajectories keyed by object id."""
+    """In-memory MOD holding uncertain trajectories keyed by object id.
+
+    Beyond plain storage, the MOD provides the three mechanisms every
+    serving layer above it is built on:
+
+    * **revisions + changelog** — every mutation bumps :attr:`revision` and
+      appends a :class:`ChangeRecord`; derived structures (engine indexes
+      and caches, shard member sets, columnar packs, the service's result
+      cache) detect staleness by revision and resynchronize incrementally
+      via :meth:`changes_since`;
+    * **columnar views** — :meth:`columnar` maintains a packed
+      structure-of-arrays mirror the bulk NumPy kernels run over, shared
+      zero-copy with :meth:`subset` views and shard member stores;
+    * **query support** — :meth:`distance_functions`,
+      :meth:`default_band_width`, and :meth:`build_index` produce the
+      inputs of :class:`~repro.core.queries.QueryContext` construction and
+      index-assisted candidate filtering.
+    """
 
     def __init__(self, trajectories: Optional[Iterable[UncertainTrajectory]] = None):
         self._trajectories: Dict[object, UncertainTrajectory] = {}

@@ -1,0 +1,1 @@
+"""Test package marker so relative imports of the shared conftest resolve."""

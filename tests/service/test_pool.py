@@ -1,0 +1,69 @@
+"""Backend selection and exactness of the warm engine pool."""
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.service import EnginePool
+from repro.workloads.scenarios import multi_query_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return multi_query_fleet(num_vehicles=24, num_queries=4)
+
+
+class TestBackendSelection:
+    def test_small_store_routes_to_single(self, fleet):
+        mod, _ = fleet
+        with EnginePool(mod, shard_threshold=1000) as pool:
+            assert pool.backend_kind() == "single"
+
+    def test_large_store_routes_to_sharded(self, fleet):
+        mod, _ = fleet
+        with EnginePool(mod, shard_threshold=10) as pool:
+            assert pool.backend_kind() == "sharded"
+
+    def test_force_backend_overrides_size(self, fleet):
+        mod, _ = fleet
+        with EnginePool(mod, shard_threshold=10, force_backend="single") as pool:
+            assert pool.backend_kind() == "single"
+
+    def test_engines_stay_warm_across_groups(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        with EnginePool(mod) as pool:
+            pool.answer_group(query_ids, lo, hi)
+            engine = pool.single_engine()
+            pool.answer_group(query_ids, lo, hi)
+            assert pool.single_engine() is engine
+            assert engine.cache_info().hits > 0
+
+    def test_invalid_options_rejected(self, fleet):
+        mod, _ = fleet
+        with pytest.raises(ValueError, match="shard_threshold"):
+            EnginePool(mod, shard_threshold=0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            EnginePool(mod, force_backend="gpu")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("backend", ["single", "sharded"])
+    @pytest.mark.parametrize(
+        "variant,fraction", [("sometime", 0.0), ("always", 0.0), ("fraction", 0.4)]
+    )
+    def test_answers_match_direct_engine(self, fleet, backend, variant, fraction):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        direct = QueryEngine(mod)
+        expected = {
+            query_id: direct.answer(
+                query_id, lo, hi, variant=variant, fraction=fraction
+            )
+            for query_id in query_ids
+        }
+        with EnginePool(mod, force_backend=backend, num_shards=3) as pool:
+            result = pool.answer_group(
+                query_ids, lo, hi, variant=variant, fraction=fraction
+            )
+        assert result.backend == backend
+        assert result.answers == expected

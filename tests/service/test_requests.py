@@ -1,0 +1,60 @@
+"""Validation and identity semantics of the typed request shapes."""
+
+import pytest
+
+from repro.service import QueryRequest
+
+
+class TestQueryRequestValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="empty query window"):
+            QueryRequest("q", 10.0, 5.0)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            QueryRequest("q", 0.0, 10.0, variant="often")
+
+    def test_fraction_requires_fraction_variant(self):
+        with pytest.raises(ValueError, match="only meaningful"):
+            QueryRequest("q", 0.0, 10.0, variant="sometime", fraction=0.5)
+
+    def test_fraction_range_enforced(self):
+        with pytest.raises(ValueError, match="fraction"):
+            QueryRequest("q", 0.0, 10.0, variant="fraction", fraction=1.5)
+
+    def test_nonpositive_band_width_rejected(self):
+        with pytest.raises(ValueError, match="band_width"):
+            QueryRequest("q", 0.0, 10.0, band_width=0.0)
+
+    def test_zero_length_window_allowed(self):
+        request = QueryRequest("q", 5.0, 5.0)
+        assert request.t_start == request.t_end == 5.0
+
+
+class TestIdentity:
+    def test_fingerprint_distinguishes_semantics(self):
+        base = QueryRequest("q", 0.0, 10.0)
+        assert base.fingerprint == QueryRequest("q", 0.0, 10.0).fingerprint
+        different = [
+            QueryRequest("p", 0.0, 10.0),
+            QueryRequest("q", 1.0, 10.0),
+            QueryRequest("q", 0.0, 9.0),
+            QueryRequest("q", 0.0, 10.0, variant="always"),
+            QueryRequest("q", 0.0, 10.0, variant="fraction", fraction=0.5),
+            QueryRequest("q", 0.0, 10.0, band_width=2.0),
+        ]
+        for request in different:
+            assert request.fingerprint != base.fingerprint
+
+    def test_group_key_ignores_query_id(self):
+        assert (
+            QueryRequest("a", 0.0, 10.0).group_key
+            == QueryRequest("b", 0.0, 10.0).group_key
+        )
+        assert (
+            QueryRequest("a", 0.0, 10.0).group_key
+            != QueryRequest("a", 0.0, 10.0, variant="always").group_key
+        )
+
+    def test_requests_are_hashable(self):
+        assert len({QueryRequest("q", 0.0, 10.0), QueryRequest("q", 0.0, 10.0)}) == 1

@@ -1,0 +1,50 @@
+"""Every example script must run green on a small scenario.
+
+The examples are the documented entry points (`README.md` and `docs/` link
+into them), so CI executes each one as a subprocess with ``REPRO_SMOKE=1``
+— the scaled-down scenario switch in ``examples/_support.py`` — to keep
+them from silently rotting as the API evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+EXAMPLES = sorted(
+    name
+    for name in os.listdir(EXAMPLES_DIR)
+    if name.endswith(".py") and not name.startswith("_")
+)
+
+
+def test_every_example_is_covered():
+    """A new example file is automatically picked up by the runner below."""
+    assert EXAMPLES, "examples/ must contain example scripts"
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_green(example):
+    environment = dict(os.environ)
+    environment["REPRO_SMOKE"] = "1"
+    environment["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), environment.get("PYTHONPATH")])
+    )
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=environment,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{example} failed\n--- stdout ---\n{completed.stdout[-2000:]}"
+        f"\n--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{example} printed nothing"
