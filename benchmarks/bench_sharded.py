@@ -6,13 +6,22 @@ counts and backends and compares against one monolithic
 :class:`repro.engine.QueryEngine`:
 
 * **cold** — first batch after construction (index builds, corridor
-  filtering, envelope construction over each shard's member set);
-* **warm** — the same batch again (context caches hot; the dashboard
-  refresh path);
+  filtering, envelope construction over each shard's member set; for the
+  process backend also pool spin-up, the shared-memory column export, and
+  every worker's zero-copy attach+rebuild);
+* **warm** — the same batch again (parent answer cache hot; the dashboard
+  refresh path), plus ``{key}_warm_over_single`` — the warm sharded cost
+  as a multiple of the warm single engine, which CI pins for the process
+  backend;
+* **warm uncached** (process backend) — the same batch with the parent
+  answer cache cleared, so workers actually re-serve from their cached
+  shard engines over shared-memory views;
 * **members** — mean shard-member count entering per-shard preparation
   (the data reduction sharding buys relative to the full store);
 * **fallback ratio** — queries escaping their shard's safety check and
-  re-answered against the full store.
+  re-answered against the full store;
+* **worker rebuilds** (process backend) — worker-side shard-engine
+  rebuilds observed across the run's batches; steady state adds zero.
 
 Run with::
 
@@ -107,15 +116,43 @@ def run_bench(
                 metrics[f"{key}_warm_ms_per_query"] = (
                     warm.total_seconds * 1000.0 / len(query_ids)
                 )
+                metrics[f"{key}_warm_over_single"] = (
+                    metrics[f"{key}_warm_ms_per_query"]
+                    / metrics["single_warm_ms_per_query"]
+                )
                 metrics[f"{key}_mean_members"] = mean_members
                 metrics[f"{key}_fallback_ratio"] = cold.fallback_ratio
-                print(
+                line = (
                     f"  {backend:7s} x{shards:2d} shards    "
                     f"cold {metrics[f'{key}_cold_ms_per_query']:7.1f} ms/q"
-                    f"   warm {metrics[f'{key}_warm_ms_per_query']:7.1f} ms/q"
+                    f"   warm {metrics[f'{key}_warm_ms_per_query']:7.2f} ms/q"
+                    f"   ({metrics[f'{key}_warm_over_single']:.2f}x single)"
                     f"   members {mean_members:6.1f}"
                     f"   fallback {cold.fallback_ratio:5.1%}"
                 )
+                if backend == "process":
+                    # Third pass with the parent answer cache cleared: the
+                    # cost of actually re-serving from worker-cached shard
+                    # engines over shared-memory views.
+                    engine.clear_answer_cache()
+                    uncached = engine.answer_batch(query_ids, lo, hi)
+                    if uncached.answers != expected:
+                        raise AssertionError(
+                            f"uncached sharded answers diverged "
+                            f"({backend}, {shards} shards)"
+                        )
+                    metrics[f"{key}_warm_uncached_ms_per_query"] = (
+                        uncached.total_seconds * 1000.0 / len(query_ids)
+                    )
+                    metrics[f"{key}_worker_rebuilds"] = float(
+                        engine.worker_rebuilds
+                    )
+                    line += (
+                        f"   uncached "
+                        f"{metrics[f'{key}_warm_uncached_ms_per_query']:7.1f}"
+                        f" ms/q   rebuilds {engine.worker_rebuilds}"
+                    )
+                print(line)
     return config, metrics
 
 

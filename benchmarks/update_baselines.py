@@ -10,7 +10,9 @@ factor so ordinary machine jitter does not trip the gate:
 * ``direction: "higher"`` → new baseline = measured ÷ headroom
 
 Gate structure (metrics, directions, per-gate tolerances, notes) is
-preserved — only the numbers move.  Always inspect the diff first::
+preserved — only the numbers move.  Gates carrying ``"pin": true`` hold
+fixed *policy* thresholds (e.g. the warm sharded/single ratio ceiling) and
+are never rewritten from measurements.  Always inspect the diff first::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
     python benchmarks/update_baselines.py --dry-run
@@ -64,6 +66,9 @@ def refresh_baseline(
     for gate in baseline.get("gates", []):
         metric = gate["metric"]
         old = float(gate["baseline"])
+        if gate.get("pin"):
+            rows.append((bench, metric, old, old, "pinned"))
+            continue
         if metric not in metrics:
             rows.append((bench, metric, old, None, "metric missing from record"))
             continue

@@ -18,22 +18,32 @@ from .plan import (
 )
 from .sharded import (
     BACKENDS,
+    MP_START_METHODS,
     ShardInfo,
     ShardedBatchResult,
     ShardedEngine,
     ShardedQueryAnswer,
 )
-from .worker import QuerySpec, ShardQueryOutcome, ShardTask, evaluate_shard
+from .worker import (
+    QuerySpec,
+    ShardQueryOutcome,
+    ShardTask,
+    ShardTaskResult,
+    evaluate_shard,
+    run_shard_task,
+)
 
 __all__ = [
     "BACKENDS",
     "Bounds",
+    "MP_START_METHODS",
     "PARTITION_METHODS",
     "QuerySpec",
     "ShardInfo",
     "ShardPlan",
     "ShardQueryOutcome",
     "ShardTask",
+    "ShardTaskResult",
     "ShardedBatchResult",
     "ShardedEngine",
     "ShardedQueryAnswer",
@@ -41,4 +51,5 @@ __all__ = [
     "evaluate_shard",
     "expanded_bounds",
     "resolve_halo",
+    "run_shard_task",
 ]

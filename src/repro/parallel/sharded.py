@@ -29,6 +29,26 @@ that makes single-engine corridor filtering safe.  Queries failing the check
 every answer is exact regardless of shard count or halo width; the plan only
 decides how often the fast path applies.
 
+Zero-copy process execution
+---------------------------
+The process backend ships **no trajectories**.  The parent exports the
+store's packed columns once into shared-memory editions
+(:class:`~repro.trajectories.shared.SharedColumnarStore`); each
+:class:`~repro.parallel.worker.ShardTask` carries only the export's
+descriptor (segment names + revision), the shard's member ids, and the
+query specs.  Workers attach by name, build zero-copy NumPy views over the
+parent's pages, and cache the resulting shard engine keyed by the task
+token + fingerprint.  Mutations route as deltas: the parent re-packs only
+the changed objects into a small *patch* edition and bumps the affected
+shards' fingerprints; workers re-attach lazily on their next task for a
+bumped shard.  Segment ownership is strictly parent-side — :meth:`close`
+(or engine garbage collection) unlinks every segment, so no ``/dev/shm``
+entries survive a run.
+
+Repeated identical batches additionally hit a parent-side answer cache
+(cleared on any store mutation or repartition), mirroring the single
+engine's context cache so a warm dashboard refresh costs no IPC at all.
+
 Update routing
 --------------
 :meth:`ShardedEngine.refresh` consumes the parent MOD's changelog and routes
@@ -36,10 +56,10 @@ each change to the shards whose member sets it touches: the owning shard and
 any shard whose coverage the (old or new) trajectory footprint intersects.
 Thread/serial shards patch their engines incrementally through the existing
 changelog machinery; process shards bump a fingerprint so only their workers
-rebuild.  Batch and streaming paths thus share one partitioned execution
-layer: point the engine at the same MOD a
-:class:`~repro.streaming.ContinuousMonitor` ingests into and call
-``answer_batch`` after each ``apply``.
+rebuild — from the shared export, never from a pickled payload.  Batch and
+streaming paths thus share one partitioned execution layer: point the
+engine at the same MOD a :class:`~repro.streaming.ContinuousMonitor`
+ingests into and call ``answer_batch`` after each ``apply``.
 """
 
 from __future__ import annotations
@@ -47,14 +67,17 @@ from __future__ import annotations
 import itertools
 import os
 import time
+import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine import QueryEngine
 from ..engine.answers import VARIANTS, Answer
-from ..engine.filtering import TrajectoryArrays
 from ..trajectories.mod import MovingObjectsDatabase
+from ..trajectories.shared import SharedColumnarStore, SharedPackDescriptor
 from .plan import (
     Bounds,
     ShardPlan,
@@ -75,9 +98,27 @@ from .worker import (
 
 BACKENDS = ("process", "thread", "serial")
 
+#: Start methods accepted for the process backend.  ``spawn`` is the
+#: default: it is the only method safe regardless of the parent's threads
+#: (the service layer runs engines next to an asyncio loop and thread
+#: pools, where ``fork`` inherits locks in undefined states).
+MP_START_METHODS = ("spawn", "forkserver", "fork")
+
 #: Distinguishes engine instances within one parent process so worker-side
 #: caches never mix shards of different engines.
 _instance_counter = itertools.count(1)
+
+
+def _release_resources(resources: Dict[str, object]) -> None:
+    """Shut down the pool and unlink shared segments (GC / close hook)."""
+    pool = resources.get("pool")
+    if pool is not None:
+        resources["pool"] = None
+        pool.shutdown()
+    shared = resources.get("shared")
+    if shared is not None:
+        resources["shared"] = None
+        shared.close()
 
 
 @dataclass
@@ -98,8 +139,6 @@ class _ShardState:
     fingerprint: int = 0
     #: Thread/serial backends only: the shard's long-lived engine.
     engine: Optional[QueryEngine] = None
-    #: Thread/serial backends only: memoized sample columns for corridor math.
-    arrays: Optional[TrajectoryArrays] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -133,7 +172,8 @@ class ShardedQueryAnswer:
             (shard-local path only; 0 for fallback answers).
         corridor: shard-locally computed corridor radius (``inf`` when the
             shard was complete or had no fully-covering candidate).
-        seconds: evaluation wall-clock for this query.
+        seconds: evaluation wall-clock for this query (the original
+            evaluation's, when served from the answer cache).
     """
 
     query_id: object
@@ -161,6 +201,11 @@ class ShardedBatchResult:
     results: List[ShardedQueryAnswer]
     total_seconds: float
     shard_telemetry: List[ShardedBatchTelemetry]
+    #: Queries served straight from the parent's answer cache.
+    cache_hits: int = 0
+    #: Worker-side shard-engine rebuilds this batch (process backend);
+    #: 0 at steady state — every task reused a cached engine.
+    worker_rebuilds: int = 0
 
     def __iter__(self):
         return iter(self.results)
@@ -200,11 +245,19 @@ class ShardedEngine:
         index: per-shard index kind (``"rtree"`` or ``"grid"``), or ``None``
             to disable shard-local candidate filtering.
         max_workers: pool width; defaults to ``min(num_shards, cpu_count)``.
+        mp_start_method: multiprocessing start method for the process
+            backend (``"spawn"`` by default — never the platform default,
+            which forks on Linux and is unsafe next to live threads).
+        answer_cache_size: capacity of the parent-side answer cache
+            (0 disables it); the cache is invalidated by any store change.
         plan: a prebuilt :class:`ShardPlan` overriding ``num_shards`` /
             ``method`` / ``halo``.
 
-    The engine can be used as a context manager; :meth:`close` shuts the
-    worker pool down.
+    The engine can be used as a context manager; :meth:`close` is
+    idempotent and shuts the worker pool down *and* unlinks the
+    shared-memory export.  A ``weakref.finalize`` hook does the same at
+    garbage collection or interpreter shutdown, so neither pool processes
+    nor ``/dev/shm`` segments can leak past the engine's lifetime.
     """
 
     def __init__(
@@ -220,6 +273,8 @@ class ShardedEngine:
         grid_cells: int = 32,
         max_workers: Optional[int] = None,
         cache_size: int = 256,
+        mp_start_method: Optional[str] = None,
+        answer_cache_size: int = 4096,
         plan: Optional[ShardPlan] = None,
     ):
         if backend not in BACKENDS:
@@ -230,6 +285,13 @@ class ShardedEngine:
             )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if mp_start_method is not None and mp_start_method not in MP_START_METHODS:
+            raise ValueError(
+                f"unknown start method {mp_start_method!r} "
+                f"(expected {MP_START_METHODS})"
+            )
+        if answer_cache_size < 0:
+            raise ValueError("answer_cache_size must be non-negative")
         self.mod = mod
         self.backend = backend
         self._index_kind = index
@@ -237,15 +299,24 @@ class ShardedEngine:
         self._grid_cells = grid_cells
         self._cache_size = cache_size
         self._max_workers = max_workers
+        self._mp_start_method = mp_start_method or "spawn"
         self.plan = plan if plan is not None else build_plan(
             mod, num_shards, method=method, halo=halo
         )
         self._token_base = (os.getpid(), next(_instance_counter))
         self._fingerprints = itertools.count(1)
-        self._pool = None
-        #: shard -> fingerprint the worker pool is assumed to hold, so
-        #: repeated batches on an unchanged shard ship no trajectories.
-        self._worker_synced: Dict[int, int] = {}
+        #: Pool + shared export, released by close() or the GC finalizer.
+        #: Kept in one mutable dict so the finalizer never references self.
+        self._resources: Dict[str, object] = {"pool": None, "shared": None}
+        self._finalizer = weakref.finalize(
+            self, _release_resources, self._resources
+        )
+        self._answer_cache: "OrderedDict[tuple, ShardedQueryAnswer]" = (
+            OrderedDict()
+        )
+        self._answer_cache_size = answer_cache_size
+        self._answer_cache_hit_count = 0
+        self._worker_rebuild_count = 0
         self._fallback: Optional[QueryEngine] = None
         self._fallback_uses = 0
         self._bounds: Dict[object, Bounds] = {}
@@ -291,6 +362,27 @@ class ShardedEngine:
         """Total queries answered by the full-store fallback engine so far."""
         return self._fallback_uses
 
+    @property
+    def answer_cache_hits(self) -> int:
+        """Total queries served from the parent-side answer cache so far."""
+        return self._answer_cache_hit_count
+
+    @property
+    def worker_rebuilds(self) -> int:
+        """Total worker-side shard-engine rebuilds observed so far."""
+        return self._worker_rebuild_count
+
+    def clear_answer_cache(self) -> None:
+        """Drop every cached answer (benchmarking the uncached path)."""
+        self._answer_cache.clear()
+
+    def shared_segments(self) -> Tuple[str, ...]:
+        """Names of the live shared-memory segments (process backend)."""
+        shared = self._resources.get("shared")
+        if shared is None:
+            return ()
+        return shared.segment_names()
+
     def shard_info(self) -> List[ShardInfo]:
         """Current membership snapshot of every shard."""
         self._sync()
@@ -314,12 +406,31 @@ class ShardedEngine:
             raise KeyError(f"unknown object id {object_id!r}")
         return self._owner[object_id]
 
+    def warm_up(self) -> None:
+        """Pay the one-time serving costs now instead of on the first batch.
+
+        Syncs shard membership, then — for the process backend — spins up
+        the worker pool and publishes the shared-memory column export; the
+        thread/serial backends build every shard's engine (index included)
+        instead.  Idempotent, and cheap when already warm.
+        """
+        self._sync()
+        if self.backend == "process":
+            self._process_pool()
+            self._shared_descriptor()
+        else:
+            for state in self._states:
+                self._shard_engine(state)
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        self._worker_synced = {}
+        """Release the worker pool and the shared-memory export (idempotent).
+
+        The engine stays usable afterwards — the next batch lazily rebuilds
+        whatever it needs — but nothing OS-visible (pool processes,
+        ``/dev/shm`` segments) survives the call.
+        """
+        _release_resources(self._resources)
+        self._answer_cache.clear()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -361,6 +472,7 @@ class ShardedEngine:
         self._owner = self.plan.owner_of()
         self._states = self._fresh_states()
         self._synced_revision = None
+        self._answer_cache.clear()
         self._sync()
         return self.plan
 
@@ -402,6 +514,9 @@ class ShardedEngine:
         """Bring shard member sets up to date; returns changed shard ids."""
         if self._synced_revision == self.mod.revision:
             return []
+        # Any store change invalidates every cached answer wholesale; the
+        # cache only ever serves batches between mutations.
+        self._answer_cache.clear()
         self._refresh_bounds()
         self._band_widths = {}
         current_ids = self.mod.object_ids
@@ -459,16 +574,12 @@ class ShardedEngine:
                 if object_id not in member_set:
                     state.mod.remove(object_id)
                     del state.member_revisions[object_id]
-                    if state.arrays is not None:
-                        state.arrays.invalidate(object_id)
                     touched = True
             for object_id in membership:
                 revision = self._bounds_revision[object_id]
                 if state.member_revisions.get(object_id) != revision:
                     state.mod.upsert(self.mod.get(object_id))
                     state.member_revisions[object_id] = revision
-                    if state.arrays is not None:
-                        state.arrays.invalidate(object_id)
                     touched = True
             state.complete = len(member_set) == len(current)
             if touched:
@@ -499,35 +610,54 @@ class ShardedEngine:
                 grid_cells=self._grid_cells,
                 cache_size=self._cache_size,
             )
-            state.arrays = TrajectoryArrays()
         return state.engine
 
     def _process_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
+        pool = self._resources.get("pool")
+        if pool is None:
             workers = self._max_workers or min(
                 len(self._states), os.cpu_count() or 1
             )
-            self._pool = ProcessPoolExecutor(max_workers=workers)
-        return self._pool
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context(self._mp_start_method),
+            )
+            self._resources["pool"] = pool
+        return pool
 
     def _thread_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
+        pool = self._resources.get("pool")
+        if pool is None:
             workers = self._max_workers or min(
                 len(self._states), os.cpu_count() or 1
             )
-            self._pool = ThreadPoolExecutor(max_workers=workers)
-        return self._pool
+            pool = ThreadPoolExecutor(max_workers=workers)
+            self._resources["pool"] = pool
+        return pool
+
+    def _shared_descriptor(self) -> SharedPackDescriptor:
+        """The current shared column export, built/synced on demand."""
+        shared = self._resources.get("shared")
+        if shared is None:
+            shared = SharedColumnarStore(self.mod)
+            self._resources["shared"] = shared
+        else:
+            shared.sync()
+        return shared.descriptor()
 
     def _payload(
         self,
         state: _ShardState,
         specs: Tuple[QuerySpec, ...],
-        include_trajectories: bool,
+        descriptor: SharedPackDescriptor,
     ) -> ShardTask:
         return ShardTask(
             token=(*self._token_base, state.shard),
             fingerprint=state.fingerprint,
-            trajectories=tuple(state.mod) if include_trajectories else None,
+            store=descriptor,
+            member_ids=tuple(
+                trajectory.object_id for trajectory in state.mod
+            ),
             index_kind=self._index_kind,
             leaf_capacity=self._leaf_capacity,
             grid_cells=self._grid_cells,
@@ -535,54 +665,34 @@ class ShardedEngine:
             queries=specs,
             coverage=state.coverage,
             complete=state.complete,
+            cache_slots=len(self._states),
         )
 
     def _run_shards(
         self, grouped: Dict[int, Tuple[QuerySpec, ...]]
-    ) -> Dict[int, Tuple[List[ShardQueryOutcome], float]]:
-        """Evaluate per-shard spec groups on the configured backend."""
+    ) -> Tuple[Dict[int, Tuple[List[ShardQueryOutcome], float]], int]:
+        """Evaluate per-shard spec groups; returns (outputs, rebuilds)."""
         ordered = sorted(grouped.items())
         outputs: Dict[int, Tuple[List[ShardQueryOutcome], float]] = {}
         if self.backend == "process":
             pool = self._process_pool()
-            # Ship trajectories only for shards the pool is not known to
-            # hold at the current fingerprint; a worker that turns out to
-            # lack the state (fresh worker, evicted cache) answers None and
-            # is retried below with the full payload.
+            descriptor = self._shared_descriptor()
             payloads = [
-                self._payload(
-                    self._states[shard],
-                    specs,
-                    self._worker_synced.get(shard)
-                    != self._states[shard].fingerprint,
-                )
+                self._payload(self._states[shard], specs, descriptor)
                 for shard, specs in ordered
             ]
             started = {shard: time.perf_counter() for shard, _ in ordered}
             results = list(pool.map(run_shard_task, payloads))
-            misses = [
-                position
-                for position, outcomes in enumerate(results)
-                if outcomes is None
-            ]
-            if misses:
-                retried = pool.map(
-                    run_shard_task,
-                    [
-                        self._payload(
-                            self._states[ordered[position][0]],
-                            ordered[position][1],
-                            True,
-                        )
-                        for position in misses
-                    ],
+            rebuilds = 0
+            for (shard, _), result in zip(ordered, results):
+                if result.rebuilt:
+                    rebuilds += 1
+                outputs[shard] = (
+                    list(result.outcomes),
+                    time.perf_counter() - started[shard],
                 )
-                for position, outcomes in zip(misses, retried):
-                    results[position] = outcomes
-            for (shard, _), outcomes in zip(ordered, results):
-                self._worker_synced[shard] = self._states[shard].fingerprint
-                outputs[shard] = (outcomes, time.perf_counter() - started[shard])
-            return outputs
+            self._worker_rebuild_count += rebuilds
+            return outputs, rebuilds
 
         def run_local(item: Tuple[int, Tuple[QuerySpec, ...]]):
             shard, specs = item
@@ -594,7 +704,6 @@ class ShardedEngine:
                 specs,
                 state.coverage,
                 state.complete,
-                state.arrays,
             )
             return shard, outcomes, time.perf_counter() - begun
 
@@ -604,7 +713,7 @@ class ShardedEngine:
             results = [run_local(item) for item in ordered]
         for shard, outcomes, seconds in results:
             outputs[shard] = (outcomes, seconds)
-        return outputs
+        return outputs, 0
 
     def _fallback_engine(self) -> QueryEngine:
         if self._fallback is None:
@@ -616,6 +725,24 @@ class ShardedEngine:
                 cache_size=self._cache_size,
             )
         return self._fallback
+
+    def _cache_key(
+        self,
+        query_id: object,
+        t_start: float,
+        t_end: float,
+        width: float,
+        variant: str,
+        fraction: float,
+    ) -> tuple:
+        return (query_id, t_start, t_end, width, variant, fraction)
+
+    def _cache_store(self, key: tuple, item: ShardedQueryAnswer) -> None:
+        if self._answer_cache_size == 0:
+            return
+        self._answer_cache[key] = item
+        while len(self._answer_cache) > self._answer_cache_size:
+            self._answer_cache.popitem(last=False)
 
     def answer_batch(
         self,
@@ -632,7 +759,9 @@ class ShardedEngine:
         Queries are routed to their owning shards, evaluated there (in
         parallel across shards on the process/thread backends), and merged;
         any query failing its shard's safety check is transparently
-        re-answered by the full-store fallback engine.  Answers are
+        re-answered by the full-store fallback engine.  Queries identical
+        to one already answered since the last store change are served from
+        the parent-side answer cache without touching a shard.  Answers are
         byte-compatible with a single :class:`~repro.engine.QueryEngine`
         serving the same store.
 
@@ -659,6 +788,8 @@ class ShardedEngine:
             if query_id not in self.mod:
                 raise KeyError(f"unknown query id {query_id!r}")
 
+        merged: Dict[object, ShardedQueryAnswer] = {}
+        batch_hits = 0
         grouped: Dict[int, List[QuerySpec]] = {}
         for query_id in unique_ids:
             width = (
@@ -666,6 +797,16 @@ class ShardedEngine:
                 if band_width is not None
                 else self._default_band_width(query_id)
             )
+            key = self._cache_key(
+                query_id, t_start, t_end, width, variant, fraction
+            )
+            cached = self._answer_cache.get(key)
+            if cached is not None:
+                self._answer_cache.move_to_end(key)
+                self._answer_cache_hit_count += 1
+                batch_hits += 1
+                merged[query_id] = cached
+                continue
             grouped.setdefault(self._owner[query_id], []).append(
                 QuerySpec(
                     query_id=query_id,
@@ -676,11 +817,14 @@ class ShardedEngine:
                     fraction=fraction,
                 )
             )
-        outputs = self._run_shards(
-            {shard: tuple(specs) for shard, specs in grouped.items()}
+        outputs, rebuilds = (
+            self._run_shards(
+                {shard: tuple(specs) for shard, specs in grouped.items()}
+            )
+            if grouped
+            else ({}, 0)
         )
 
-        merged: Dict[object, ShardedQueryAnswer] = {}
         telemetry: List[ShardedBatchTelemetry] = []
         for shard, (outcomes, seconds) in sorted(outputs.items()):
             telemetry.append(
@@ -700,7 +844,7 @@ class ShardedEngine:
                         band_width=spec.band_width,
                     )
                     self._fallback_uses += 1
-                    merged[spec.query_id] = ShardedQueryAnswer(
+                    item = ShardedQueryAnswer(
                         query_id=spec.query_id,
                         answer=answer,
                         shard=shard,
@@ -711,7 +855,7 @@ class ShardedEngine:
                         + (time.perf_counter() - begun),
                     )
                 else:
-                    merged[spec.query_id] = ShardedQueryAnswer(
+                    item = ShardedQueryAnswer(
                         query_id=spec.query_id,
                         answer=outcome.answer,
                         shard=shard,
@@ -720,11 +864,25 @@ class ShardedEngine:
                         corridor=outcome.corridor,
                         seconds=outcome.seconds,
                     )
+                merged[spec.query_id] = item
+                self._cache_store(
+                    self._cache_key(
+                        spec.query_id,
+                        t_start,
+                        t_end,
+                        spec.band_width,
+                        variant,
+                        fraction,
+                    ),
+                    item,
+                )
 
         return ShardedBatchResult(
             results=[merged[query_id] for query_id in query_ids],
             total_seconds=time.perf_counter() - started,
             shard_telemetry=telemetry,
+            cache_hits=batch_hits,
+            worker_rebuilds=rebuilds,
         )
 
     def answer(

@@ -7,12 +7,18 @@ a query's shard-local answer is trusted only when its corridor probe region
 is contained in the shard's coverage rectangle, i.e. when the shard provably
 holds every object the corridor filter could keep.  Queries failing the
 check are reported as *escaped* and re-answered by the caller against the
-full store.
+full store.  Corridor radii are computed with the batched
+:func:`~repro.engine.filtering.corridor_probe_bulk` kernel (bit-identical
+to the scalar one) directly over the shard store's packed columns — which,
+under the process backend, are zero-copy views into the parent's
+shared-memory segments.
 
 :func:`run_shard_task` is the :class:`~concurrent.futures.ProcessPoolExecutor`
-entry point: it rehydrates (and memoizes, per worker process) the shard's
-MOD and engine from a picklable :class:`ShardTask` payload, then delegates
-to :func:`evaluate_shard`.
+entry point: a :class:`ShardTask` no longer carries trajectories at all —
+it names a :class:`~repro.trajectories.shared.SharedPackDescriptor` plus the
+shard's member ids, and the worker attaches the shared segments, rebuilds
+lightweight trajectory shells over zero-copy column views, and memoizes the
+resulting engine per ``(engine instance, shard)`` token.
 """
 
 from __future__ import annotations
@@ -21,13 +27,13 @@ import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..engine import QueryEngine
 from ..engine.answers import Answer, answer_of
-from ..engine.filtering import TrajectoryArrays, conservative_corridor_radius
+from ..engine.filtering import corridor_probe_bulk
 from ..trajectories.mod import MovingObjectsDatabase
-from ..trajectories.trajectory import UncertainTrajectory
+from ..trajectories.shared import AttachedPack, SharedPackDescriptor, attach_pack
 from .plan import Bounds, bounds_contain
 
 
@@ -73,19 +79,24 @@ class ShardQueryOutcome:
 class ShardTask:
     """Picklable payload describing one shard's engine plus its queries.
 
+    The payload is always tiny: instead of member trajectories it carries
+    the parent's :class:`SharedPackDescriptor` (segment names + revision)
+    and the shard's member ids, so a worker reconstructs the member store
+    from zero-copy shared-memory views whenever its cache misses.
+
     Attributes:
         token: stable identity of (engine instance, shard index) so worker
-            processes can cache the rebuilt shard engine across calls.
+            processes can cache the rebuilt shard engine across calls; the
+            leading elements identify the engine, the last the shard.
         fingerprint: bumped by the parent whenever the shard's membership or
             any member's trajectory changed; a worker holding a matching
-            fingerprint reuses its cached engine without rebuilding.
-        trajectories: the shard's member trajectories (owned + replicated),
-            or ``None`` for a payload-free probe — the dominant repeated-
-            batch cost is pickling an unchanged member set, so the parent
-            ships trajectories only when it cannot assume the pool already
-            holds this fingerprint.  A worker lacking the state answers a
-            payload-free task with ``None`` and the parent retries with the
-            full payload.
+            fingerprint reuses its cached engine without re-attaching.
+        store: descriptor of the parent's shared column export.
+        member_ids: the shard's members (owned + replicated), in the
+            parent-side member-store insertion order — answers are only
+            byte-identical when the rebuilt store preserves it.
+        cache_slots: the parent's shard count; sizes the worker's per-engine
+            cache so one engine's shards never evict each other.
         queries: the specs to evaluate.
         coverage: the shard's coverage rectangle (owned region + halo);
             ``None`` when the shard owns nothing.
@@ -95,7 +106,8 @@ class ShardTask:
 
     token: Tuple[int, ...]
     fingerprint: int
-    trajectories: Optional[Tuple[UncertainTrajectory, ...]]
+    store: SharedPackDescriptor
+    member_ids: Tuple[object, ...]
     index_kind: Optional[str]
     leaf_capacity: int
     grid_cells: int
@@ -103,6 +115,26 @@ class ShardTask:
     queries: Tuple[QuerySpec, ...]
     coverage: Optional[Bounds]
     complete: bool
+    cache_slots: int = 16
+
+
+@dataclass(frozen=True, slots=True)
+class ShardTaskResult:
+    """One task's outcomes plus worker-cache telemetry.
+
+    Attributes:
+        outcomes: per-spec results, in spec order.
+        rebuilt: the worker's cache missed (cold worker or bumped
+            fingerprint) and the shard engine was rebuilt from the shared
+            segments — a steady-state batch over unchanged shards reports
+            ``False`` everywhere.
+        revision: the shared-export revision the serving engine was built
+            from (the parent's revision handshake for tests/telemetry).
+    """
+
+    outcomes: Tuple[ShardQueryOutcome, ...]
+    rebuilt: bool
+    revision: int
 
 
 def probe_bounds(
@@ -128,7 +160,6 @@ def evaluate_shard(
     queries: Tuple[QuerySpec, ...],
     coverage: Optional[Bounds],
     complete: bool,
-    arrays: Optional[TrajectoryArrays] = None,
 ) -> List[ShardQueryOutcome]:
     """Evaluate query specs against one shard, escaping unsafe ones.
 
@@ -137,24 +168,40 @@ def evaluate_shard(
     rectangle (query polyline over the window, expanded by the shard-locally
     computed corridor radius) is contained in the shard's coverage
     rectangle.  Safe queries produce exact answers; the rest escape.
+
+    Corridor radii for incomplete shards are computed in one
+    :func:`corridor_probe_bulk` call per distinct window (bit-identical to
+    the scalar kernel), straight off the member store's packed columns.
     """
-    if arrays is None:
-        arrays = TrajectoryArrays()
-    outcomes: List[ShardQueryOutcome] = []
-    for spec in queries:
-        started = time.perf_counter()
-        corridor = float("inf")
-        safe = complete
-        if not safe:
-            corridor = conservative_corridor_radius(
-                mod, spec.query_id, spec.t_start, spec.t_end,
-                spec.band_width, arrays,
+    corridors: Dict[int, float] = {}
+    bulk_share: Dict[int, float] = {}
+    if not complete and queries:
+        windows: Dict[Tuple[float, float], List[int]] = {}
+        for position, spec in enumerate(queries):
+            windows.setdefault((spec.t_start, spec.t_end), []).append(position)
+        for (t_lo, t_hi), positions in windows.items():
+            begun = time.perf_counter()
+            radii = corridor_probe_bulk(
+                mod,
+                [queries[position].query_id for position in positions],
+                t_lo,
+                t_hi,
+                [queries[position].band_width for position in positions],
             )
-            if math.isfinite(corridor) and coverage is not None:
-                probe = probe_bounds(
-                    mod.get(spec.query_id), spec.t_start, spec.t_end, corridor
-                )
-                safe = probe is not None and bounds_contain(coverage, probe)
+            share = (time.perf_counter() - begun) / len(positions)
+            for position, radius in zip(positions, radii):
+                corridors[position] = float(radius)
+                bulk_share[position] = share
+    outcomes: List[ShardQueryOutcome] = []
+    for position, spec in enumerate(queries):
+        started = time.perf_counter()
+        corridor = corridors.get(position, float("inf"))
+        safe = complete
+        if not safe and math.isfinite(corridor) and coverage is not None:
+            probe = probe_bounds(
+                mod.get(spec.query_id), spec.t_start, spec.t_end, corridor
+            )
+            safe = probe is not None and bounds_contain(coverage, probe)
         if not safe:
             outcomes.append(
                 ShardQueryOutcome(
@@ -162,7 +209,8 @@ def evaluate_shard(
                     answer=None,
                     candidate_count=0,
                     corridor=corridor,
-                    seconds=time.perf_counter() - started,
+                    seconds=bulk_share.get(position, 0.0)
+                    + (time.perf_counter() - started),
                 )
             )
             continue
@@ -175,50 +223,91 @@ def evaluate_shard(
                 answer=answer_of(prepared.context, spec.variant, spec.fraction),
                 candidate_count=prepared.candidate_count,
                 corridor=corridor,
-                seconds=time.perf_counter() - started,
+                seconds=bulk_share.get(position, 0.0)
+                + (time.perf_counter() - started),
             )
         )
     return outcomes
 
 
-#: Per-worker-process cache of rebuilt shard engines, keyed by task token.
-#: Bounded so long-lived workers serving many engine instances do not hoard
-#: every shard MOD they have ever seen.
-_ENGINE_CACHE: "OrderedDict[Tuple[int, ...], Tuple[int, MovingObjectsDatabase, QueryEngine]]" = (
+@dataclass
+class _CachedShard:
+    """One worker-cached shard engine and everything keeping it valid."""
+
+    fingerprint: int
+    mod: MovingObjectsDatabase
+    engine: QueryEngine
+    #: Held so the engine's zero-copy column views outlive any attachment-
+    #: cache eviction; the segments' pages stay mapped through this pack.
+    pack: AttachedPack
+
+
+#: Per-worker-process cache of rebuilt shard engines, grouped by engine
+#: instance (the token minus its trailing shard index).  Within a group the
+#: cache is sized to that engine's shard count — one engine's shards can
+#: never evict each other, which is the bug the old flat 16-token cache had
+#: (21 shards on one worker meant every probe missed and the parent re-sent
+#: full payloads forever).  Across groups, whole engines are evicted LRU so
+#: long-lived workers serving many engine instances do not hoard every
+#: shard store they have ever seen.
+_ENGINE_CACHE: "OrderedDict[Tuple[int, ...], OrderedDict[Tuple[int, ...], _CachedShard]]" = (
     OrderedDict()
 )
+#: Floor for the per-engine slot count (``cache_slots`` raises it).
 _ENGINE_CACHE_LIMIT = 16
+#: Distinct engine instances one worker keeps warm.
+_ENGINE_GROUP_LIMIT = 4
 
 
-def run_shard_task(task: ShardTask) -> Optional[List[ShardQueryOutcome]]:
-    """Process-pool entry point: rehydrate (or reuse) the shard, evaluate.
+def run_shard_task(task: ShardTask) -> ShardTaskResult:
+    """Process-pool entry point: attach (or reuse) the shard, evaluate.
 
     The rebuilt MOD and engine are cached per worker process keyed by the
     task token; a matching fingerprint means the shard's membership and
     every member trajectory are unchanged since the cached build, so index
-    and context caches stay warm across calls.  A payload-free task
-    (``trajectories is None``) hitting a worker without the matching cached
-    state returns ``None``, telling the parent to resend with the payload.
+    and context caches stay warm across calls.  On a miss the worker
+    attaches the task's shared-memory descriptor and rebuilds the member
+    store from zero-copy column views — there is no payload-retry protocol
+    to fall back to, because the descriptor is always self-sufficient.
     """
-    cached = _ENGINE_CACHE.get(task.token)
-    if cached is not None and cached[0] == task.fingerprint:
-        _, mod, engine = cached
-        _ENGINE_CACHE.move_to_end(task.token)
-    elif task.trajectories is None:
-        return None
-    else:
-        mod = MovingObjectsDatabase(task.trajectories)
-        engine = QueryEngine(
-            mod,
-            index=task.index_kind,
-            leaf_capacity=task.leaf_capacity,
-            grid_cells=task.grid_cells,
-            cache_size=task.cache_size,
+    group_key = task.token[:-1]
+    group = _ENGINE_CACHE.get(group_key)
+    if group is None:
+        group = _ENGINE_CACHE[group_key] = OrderedDict()
+    _ENGINE_CACHE.move_to_end(group_key)
+    while len(_ENGINE_CACHE) > _ENGINE_GROUP_LIMIT:
+        _ENGINE_CACHE.popitem(last=False)
+
+    cached = group.get(task.token)
+    rebuilt = False
+    if cached is None or cached.fingerprint != task.fingerprint:
+        pack = attach_pack(task.store)
+        mod = pack.member_database(task.member_ids)
+        cached = _CachedShard(
+            fingerprint=task.fingerprint,
+            mod=mod,
+            engine=QueryEngine(
+                mod,
+                index=task.index_kind,
+                leaf_capacity=task.leaf_capacity,
+                grid_cells=task.grid_cells,
+                cache_size=task.cache_size,
+            ),
+            pack=pack,
         )
-        _ENGINE_CACHE[task.token] = (task.fingerprint, mod, engine)
-        _ENGINE_CACHE.move_to_end(task.token)
-        while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
-            _ENGINE_CACHE.popitem(last=False)
-    return evaluate_shard(
-        mod, engine, task.queries, task.coverage, task.complete
+        group[task.token] = cached
+        rebuilt = True
+    group.move_to_end(task.token)
+    limit = max(task.cache_slots, _ENGINE_CACHE_LIMIT)
+    while len(group) > limit:
+        group.popitem(last=False)
+    return ShardTaskResult(
+        outcomes=tuple(
+            evaluate_shard(
+                cached.mod, cached.engine, task.queries, task.coverage,
+                task.complete,
+            )
+        ),
+        rebuilt=rebuilt,
+        revision=cached.pack.revision,
     )

@@ -48,6 +48,9 @@ class EnginePool:
         cache_size: context-cache capacity of each engine.
         force_backend: pin every batch to ``"single"`` or ``"sharded"``
             regardless of store size (``None`` sizes dynamically).
+        mp_start_method: multiprocessing start method handed through to the
+            sharded engine's process pool (``None`` keeps the engine's
+            spawn-safe default; irrelevant for thread/serial backends).
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class EnginePool:
         max_workers: Optional[int] = None,
         cache_size: int = 1024,
         force_backend: Optional[str] = None,
+        mp_start_method: Optional[str] = None,
     ) -> None:
         if shard_threshold < 1:
             raise ValueError("shard_threshold must be at least 1")
@@ -77,6 +81,7 @@ class EnginePool:
         self._max_workers = max_workers
         self._cache_size = cache_size
         self._force_backend = force_backend
+        self._mp_start_method = mp_start_method
         self._single: Optional[QueryEngine] = None
         self._sharded: Optional[ShardedEngine] = None
 
@@ -111,8 +116,23 @@ class EnginePool:
                 index=self._index,
                 max_workers=self._max_workers,
                 cache_size=self._cache_size,
+                mp_start_method=self._mp_start_method,
             )
         return self._sharded
+
+    def warm_up(self) -> str:
+        """Build (and index) the backend the next batch will use; return it.
+
+        Lets the service pay index construction — and, for a process
+        backend, pool spin-up plus the shared-memory export — at startup
+        instead of on the first client request.
+        """
+        backend = self.backend_kind()
+        if backend == "sharded":
+            self.sharded_engine().warm_up()
+        else:
+            self.single_engine()
+        return backend
 
     def close(self) -> None:
         """Shut down pooled engines (idempotent)."""

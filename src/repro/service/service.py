@@ -171,12 +171,18 @@ class QueryService:
         return self._dispatcher is not None and not self._closing
 
     async def start(self) -> "QueryService":
-        """Start the dispatcher; idempotent while running."""
+        """Start the dispatcher; idempotent while running.
+
+        Warms the engine pool off the event loop before accepting work, so
+        the first request never pays index construction (or, for a process
+        backend, pool spin-up and the shared-memory export).
+        """
         if self._dispatcher is not None:
             if self._closing:
                 raise ServiceClosed("the service is stopping")
             return self
         self._loop = asyncio.get_running_loop()
+        await self._loop.run_in_executor(self._executor, self.pool.warm_up)
         self._queue = asyncio.Queue(maxsize=self._queue_limit)
         self._bridge = DeltaBridge(self._loop)
         self._closing = False

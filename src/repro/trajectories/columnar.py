@@ -101,18 +101,22 @@ class ColumnarStore:
     Args:
         mod: the :class:`~repro.trajectories.mod.MovingObjectsDatabase` to
             mirror.
-        seed: an optional parent store whose per-object column arrays are
-            borrowed (zero-copy) whenever this store needs columns of a
-            trajectory *object* the parent has already extracted —
-            ``mod.subset()`` views and shard member stores share trajectory
-            objects with their parent, so seeding skips the per-sample
-            Python extraction entirely.
+        seed: an optional parent column provider whose per-object column
+            arrays are borrowed (zero-copy) whenever this store needs
+            columns of a trajectory *object* the provider has already
+            extracted — ``mod.subset()`` views and shard member stores
+            share trajectory objects with their parent, so seeding skips
+            the per-sample Python extraction entirely.  Any object with a
+            ``columns_for(trajectory) -> Optional[(ts, xs, ys)]`` method
+            qualifies: another :class:`ColumnarStore`, or a worker-side
+            :class:`~repro.trajectories.shared.AttachedPack` whose views
+            point into shared memory.
     """
 
     def __init__(
         self,
         mod,
-        seed: Optional["ColumnarStore"] = None,
+        seed=None,
     ) -> None:
         self._mod = mod
         self._seed = seed

@@ -100,7 +100,8 @@ class MovingObjectsDatabase:
         self._object_revisions: Dict[object, int] = {}
         self._changelog: List[ChangeRecord] = []
         self._columnar = None
-        self._columnar_parent: Optional["MovingObjectsDatabase"] = None
+        #: A MovingObjectsDatabase or any ``columns_for`` column provider.
+        self._columnar_parent = None
         if trajectories is not None:
             for trajectory in trajectories:
                 self.add(trajectory)
@@ -297,22 +298,33 @@ class MovingObjectsDatabase:
 
         if self._columnar is None:
             seed = None
-            if self._columnar_parent is not None:
+            parent = self._columnar_parent
+            if isinstance(parent, MovingObjectsDatabase):
                 # Borrow only a pack the parent already paid for; never
                 # force the parent to build one on a view's behalf.
-                seed = self._columnar_parent._columnar
+                seed = parent._columnar
+            elif parent is not None:
+                # Any direct column provider (``columns_for``), e.g. a
+                # worker-side shared-memory attachment.
+                seed = parent
             self._columnar = ColumnarStore(self, seed=seed)
         else:
             self._columnar.sync()
         return self._columnar
 
-    def share_columns_with(self, parent: "MovingObjectsDatabase") -> None:
-        """Seed this store's columnar packing from a parent store.
+    def share_columns_with(self, parent) -> None:
+        """Seed this store's columnar packing from a parent column source.
 
         View stores (shard member sets, :meth:`subset` results) hold the
         *same* trajectory objects as their parent; linking them lets
         :meth:`columnar` reuse the parent's per-object column arrays by
         identity — zero per-sample Python work, zero copies.
+
+        ``parent`` is either another :class:`MovingObjectsDatabase` (its
+        already-built columnar store is borrowed) or any object exposing
+        ``columns_for(trajectory)`` directly — e.g. a worker-side
+        :class:`~repro.trajectories.shared.AttachedPack` whose views live
+        in shared memory.
         """
         self._columnar_parent = parent
 

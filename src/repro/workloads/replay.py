@@ -213,6 +213,16 @@ class ReplayReport:
             return 0.0
         return float(np.percentile(self.latency_seconds(), percentile))
 
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile service latency in seconds."""
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile (tail) service latency in seconds."""
+        return self.latency_percentile(99)
+
     def backend_counts(self) -> Dict[str, int]:
         """Served requests per backend (``cache`` / ``single`` / ``sharded``)."""
         counts: Dict[str, int] = {}

@@ -154,24 +154,25 @@ def test_telemetry_counts_batch(fleet):
         assert 0.0 <= batch.fallback_ratio <= 1.0
 
 
-def test_worker_payload_on_demand_protocol(fleet):
-    """Payload-free tasks miss on a cold cache, hit after one full send."""
-    from repro.parallel.worker import ShardTask, run_shard_task
+def _shared_task_fixture(mod, query_ids):
+    """A SharedColumnarStore plus a ShardTask kwargs template over it."""
     from repro.parallel.plan import expanded_bounds
+    from repro.parallel.worker import QuerySpec
+    from repro.trajectories.shared import SharedColumnarStore
 
-    mod, query_ids = fleet
     lo, hi = mod.common_time_span()
     bounds = [expanded_bounds(t) for t in mod]
     coverage = (
         min(b[0] for b in bounds), min(b[1] for b in bounds),
         max(b[2] for b in bounds), max(b[3] for b in bounds),
     )
-    from repro.parallel.worker import QuerySpec
-
     spec = QuerySpec(query_ids[0], lo, hi, mod.default_band_width(query_ids[0]))
+    shared = SharedColumnarStore(mod)
     common = dict(
-        token=("test-payload-protocol", 0),
+        token=("test-descriptor-protocol", 0),
         fingerprint=7,
+        store=shared.descriptor(),
+        member_ids=tuple(t.object_id for t in mod),
         index_kind="rtree",
         leaf_capacity=16,
         grid_cells=32,
@@ -180,16 +181,56 @@ def test_worker_payload_on_demand_protocol(fleet):
         coverage=coverage,
         complete=True,
     )
-    # Cold cache + no payload: the worker must ask for the payload.
-    assert run_shard_task(ShardTask(trajectories=None, **common)) is None
-    full = run_shard_task(ShardTask(trajectories=tuple(mod), **common))
-    assert full is not None and not full[0].escaped
-    # Same token+fingerprint: payload-free now succeeds from the cache.
-    probe = run_shard_task(ShardTask(trajectories=None, **common))
-    assert probe is not None and probe[0].answer == full[0].answer
-    # A bumped fingerprint invalidates the cache again.
-    stale = dict(common, fingerprint=8)
-    assert run_shard_task(ShardTask(trajectories=None, **stale)) is None
+    return shared, common
+
+
+def test_worker_descriptor_protocol_rebuilds_then_caches(fleet):
+    """A task always succeeds: cold rebuild once, cached afterwards."""
+    from repro.parallel.worker import ShardTask, run_shard_task
+
+    mod, query_ids = fleet
+    shared, common = _shared_task_fixture(mod, query_ids)
+    with shared:
+        # Cold cache: the worker attaches the shared export and rebuilds.
+        first = run_shard_task(ShardTask(**common))
+        assert first.rebuilt
+        assert first.revision == shared.revision
+        assert not first.outcomes[0].escaped
+        # Same token+fingerprint: served from the cached shard engine.
+        probe = run_shard_task(ShardTask(**common))
+        assert not probe.rebuilt
+        assert probe.outcomes[0].answer == first.outcomes[0].answer
+        # A bumped fingerprint forces one rebuild — still from shared
+        # memory, never a trajectory payload.
+        stale = run_shard_task(ShardTask(**dict(common, fingerprint=8)))
+        assert stale.rebuilt
+        assert stale.outcomes[0].answer == first.outcomes[0].answer
+
+
+def test_worker_cache_scales_to_shard_count(fleet):
+    """More shards than the old flat limit never evict each other."""
+    from repro.parallel.worker import (
+        _ENGINE_CACHE, _ENGINE_CACHE_LIMIT, ShardTask, run_shard_task,
+    )
+
+    mod, query_ids = fleet
+    shared, common = _shared_task_fixture(mod, query_ids)
+    shards = _ENGINE_CACHE_LIMIT + 5
+    with shared:
+        for sweep in range(2):
+            for shard in range(shards):
+                task = ShardTask(**dict(
+                    common,
+                    token=("test-cache-scaling", shard),
+                    cache_slots=shards,
+                ))
+                result = run_shard_task(task)
+                # Second sweep must be all cache hits: with cache_slots
+                # scaled to the engine's shard count, sweeping 21 shards
+                # through one worker never evicts a sibling (the old flat
+                # 16-slot cache thrashed here and rebuilt every task).
+                assert result.rebuilt == (sweep == 0)
+        assert len(_ENGINE_CACHE[("test-cache-scaling",)]) == shards
 
 
 def test_process_backend_warm_batches_after_mutation(fleet):
@@ -213,6 +254,31 @@ def test_process_backend_warm_batches_after_mutation(fleet):
             for q in query_ids
         }
         assert engine.answer_batch(query_ids, lo, hi).answers == expected
+
+
+def test_process_backend_steady_state_never_resends(fleet):
+    """Unchanged shards cost zero rebuilds (and zero payloads) per batch."""
+    mod, query_ids = sharded_fleet(num_districts=4, vehicles_per_district=8)
+    lo, hi = mod.common_time_span()
+    # One worker makes the task->worker assignment deterministic, so every
+    # shard's engine lands in that worker's cache on the cold batch.
+    with ShardedEngine(mod, 4, backend="process", max_workers=1) as engine:
+        cold = engine.answer_batch(query_ids, lo, hi)
+        assert cold.worker_rebuilds == engine.num_shards
+        # Identical batch: served entirely from the parent answer cache.
+        warm = engine.answer_batch(query_ids, lo, hi)
+        assert warm.answers == cold.answers
+        assert warm.cache_hits == len(query_ids)
+        assert warm.worker_rebuilds == 0
+        # Same queries with the cache dropped: workers serve from their
+        # cached shard engines — still zero rebuilds, zero resends.
+        engine.clear_answer_cache()
+        uncached = engine.answer_batch(query_ids, lo, hi)
+        assert uncached.answers == cold.answers
+        assert uncached.cache_hits == 0
+        assert uncached.worker_rebuilds == 0
+        assert engine.worker_rebuilds == engine.num_shards
+        assert engine.shared_segments()
 
 
 def test_close_is_idempotent(fleet):

@@ -44,6 +44,32 @@ class TestBackendSelection:
             EnginePool(mod, shard_threshold=0)
         with pytest.raises(ValueError, match="unknown backend"):
             EnginePool(mod, force_backend="gpu")
+        with pytest.raises(ValueError):
+            EnginePool(
+                mod, force_backend="sharded", mp_start_method="teleport"
+            ).sharded_engine()
+
+    def test_warm_up_builds_the_routed_backend(self, fleet):
+        mod, query_ids = fleet
+        lo, hi = mod.common_time_span()
+        with EnginePool(mod, force_backend="single") as pool:
+            assert pool.warm_up() == "single"
+            engine = pool.single_engine()
+            pool.answer_group(query_ids, lo, hi)
+            assert pool.single_engine() is engine  # warm engine was reused
+        with EnginePool(mod, force_backend="sharded", num_shards=2) as pool:
+            assert pool.warm_up() == "sharded"
+            sharded = pool.sharded_engine()
+            result = pool.answer_group(query_ids, lo, hi)
+            assert result.backend == "sharded"
+            assert pool.sharded_engine() is sharded
+
+    def test_mp_start_method_reaches_the_sharded_engine(self, fleet):
+        mod, _ = fleet
+        with EnginePool(
+            mod, force_backend="sharded", mp_start_method="forkserver"
+        ) as pool:
+            assert pool.sharded_engine()._mp_start_method == "forkserver"
 
 
 class TestExactness:

@@ -64,6 +64,9 @@ class TestReplay:
         assert report.coalescing_factor >= 1.0
         assert len(report.latency_seconds()) == report.served
         assert report.latency_percentile(95) >= report.latency_percentile(5)
+        assert report.p99_latency >= report.p95_latency > 0.0
+        assert report.p95_latency == report.latency_percentile(95)
+        assert report.p99_latency == report.latency_percentile(99)
         counts = report.backend_counts()
         assert sum(counts.values()) == report.served
 
