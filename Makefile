@@ -7,7 +7,7 @@ export PYTHONPATH := src
 
 .PHONY: test coverage bench-smoke bench bench-streaming bench-streaming-smoke \
 	bench-sharded bench-sharded-smoke bench-columnar bench-columnar-smoke \
-	bench-service bench-service-smoke \
+	bench-service bench-service-smoke bench-obs bench-obs-smoke \
 	bench-all bench-all-smoke check-regression update-baselines-dry lint \
 	docs clean
 
@@ -54,6 +54,12 @@ bench-service-smoke:
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py --json BENCH_service.json
+
+bench-obs-smoke:
+	$(PYTHON) benchmarks/bench_obs.py --quick
+
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
 
 # The unified runner: one schema-versioned BENCH_<name>.json per bench.
 bench-all:

@@ -32,6 +32,7 @@ import time
 from typing import Dict, Tuple
 
 from repro.engine import QueryEngine
+from repro.obs.metrics import default_registry
 from repro.service import QueryService
 from repro.workloads.replay import replay, service_workload
 
@@ -78,9 +79,15 @@ def run_bench(quick: bool = False) -> Tuple[Dict, Dict[str, float]]:
             expected[request.fingerprint] = answer
     direct_seconds = time.perf_counter() - started
 
+    # Report into the process-global registry so run_all.py's final
+    # BENCH_metrics.json dump carries this run's full instrument state.
+    registry = default_registry()
+
     async def _serve():
-        async with QueryService(workload.mod) as service:
-            return await replay(service, workload, count_rejections=False)
+        async with QueryService(workload.mod, registry=registry) as service:
+            return await replay(
+                service, workload, count_rejections=False, registry=registry
+            )
 
     report = asyncio.run(_serve())
     if report.served != workload.request_count:

@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.queries import QueryContext
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NOOP_SPAN as _NO_SPAN, trace_span
 from ..trajectories.mod import MovingObjectsDatabase
 from .answers import Answer, answer_of
 from .cache import CacheInfo, ContextCache
@@ -129,6 +131,9 @@ class QueryEngine:
         max_workers: when > 1, prepare batch members on a thread pool of
             this size; ``None``/1 prepares serially.
         cache_size: capacity of the LRU context cache.
+        registry: the :class:`~repro.obs.MetricsRegistry` engine metrics
+            land in (``repro_engine_*``); a private registry when ``None``,
+            so independent engines never mix counters.
     """
 
     def __init__(
@@ -140,6 +145,7 @@ class QueryEngine:
         grid_cells: int = 32,
         max_workers: Optional[int] = None,
         cache_size: int = 256,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -164,6 +170,33 @@ class QueryEngine:
         self._arrays = TrajectoryArrays()
         self._band_widths: Dict[object, float] = {}
         self._mod_revision = mod.revision
+        # Instruments are resolved once here; the hot paths below touch
+        # them with plain attribute calls only (no registry lookups).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_cache_hits = self.registry.counter(
+            "repro_engine_cache_hits_total", "Context-cache hits"
+        )
+        self._m_cache_misses = self.registry.counter(
+            "repro_engine_cache_misses_total", "Context-cache misses (builds)"
+        )
+        self._m_prepare = self.registry.histogram(
+            "repro_engine_prepare_seconds",
+            help="Per-query uncached preparation time",
+        )
+        self._m_batch = self.registry.histogram(
+            "repro_engine_batch_seconds", help="prepare_batch wall time"
+        )
+        self._m_corridor = self.registry.histogram(
+            "repro_engine_corridor_seconds",
+            help="Index probe + corridor filter stage time",
+        )
+        self._m_kernel = self.registry.histogram(
+            "repro_engine_kernel_seconds",
+            help="Band-interval kernel (envelope construction) stage time",
+        )
+        self._m_refreshes = self.registry.counter(
+            "repro_engine_refresh_total", "Derived-state refreshes after MOD changes"
+        )
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -260,10 +293,16 @@ class QueryEngine:
                     changed[record.object_id] = min(current, record.divergence_time)
                 else:
                     changed[record.object_id] = record.divergence_time
-        if changed is not None:
-            self._refresh_incremental(changed)
-        else:
-            self._refresh_full()
+        with trace_span(
+            "engine.refresh",
+            kind="incremental" if changed is not None else "full",
+            changed=len(changed) if changed is not None else len(self.mod),
+        ):
+            if changed is not None:
+                self._refresh_incremental(changed)
+            else:
+                self._refresh_full()
+        self._m_refreshes.inc()
         self._mod_revision = self.mod.revision
 
     def _refresh_full(self) -> None:
@@ -429,6 +468,7 @@ class QueryEngine:
             else None
         )
         if cached is not None:
+            self._m_cache_hits.inc()
             return PreparedQuery(
                 query_id=query_id,
                 context=cached,
@@ -438,9 +478,12 @@ class QueryEngine:
                 from_cache=True,
                 prepare_seconds=time.perf_counter() - started,
             )
-        prepared = self._prepare_uncached(
-            query_id, t_start, t_end, band_width, use_index, started
-        )
+        self._m_cache_misses.inc()
+        with trace_span("engine.prepare", query=query_id):
+            prepared = self._prepare_uncached(
+                query_id, t_start, t_end, band_width, use_index, started
+            )
+        self._m_prepare.observe(prepared.prepare_seconds)
         if use_index:
             self._cache.put(query_id, t_start, t_end, band_width, prepared.context)
         return prepared
@@ -460,8 +503,9 @@ class QueryEngine:
         per-shard workers, and ad-hoc callers share, so every execution layer
         produces the identical answer shape for identical inputs.
         """
-        prepared = self.prepare(query_id, t_start, t_end, band_width=band_width)
-        return answer_of(prepared.context, variant, fraction)
+        with trace_span("engine.answer", query=query_id, variant=variant):
+            prepared = self.prepare(query_id, t_start, t_end, band_width=band_width)
+            return answer_of(prepared.context, variant, fraction)
 
     def prepare_batch(
         self,
@@ -487,6 +531,22 @@ class QueryEngine:
         if t_end < t_start:
             raise ValueError(f"empty query window [{t_start}, {t_end}]")
         self._refresh_after_mod_change()
+        with trace_span("engine.prepare_batch", queries=len(query_ids)) as span:
+            result = self._prepare_batch_inner(
+                query_ids, t_start, t_end, band_width, use_index, span
+            )
+        self._m_batch.observe(result.total_seconds)
+        return result
+
+    def _prepare_batch_inner(
+        self,
+        query_ids: Sequence[object],
+        t_start: float,
+        t_end: float,
+        band_width: Optional[float],
+        use_index: bool,
+        batch_span,
+    ) -> BatchResult:
         batch_started = time.perf_counter()
         widths = {
             query_id: (
@@ -519,6 +579,10 @@ class QueryEngine:
             else:
                 pending.append(position)
 
+        # The warm path aggregates into one counter update per batch; the
+        # per-position loop above stays instrumentation-free.
+        self._m_cache_hits.inc(len(query_ids) - len(pending))
+
         # Deduplicate concurrent builds of the same (query, band) pair: only
         # the first position builds, later duplicates reuse its context.
         first_build: Dict[object, int] = {}
@@ -536,17 +600,27 @@ class QueryEngine:
         # the packed columns before the (possibly threaded) builds start.
         corridors: Dict[int, float] = {}
         if use_index and self._index is not None and t_end > t_start and builders:
-            radii = corridor_probe_bulk(
-                self.mod,
-                [query_ids[position] for position in builders],
-                t_start,
-                t_end,
-                [widths[query_ids[position]] for position in builders],
-            )
+            corridor_started = time.perf_counter()
+            with trace_span("engine.corridor_bulk", queries=len(builders)):
+                radii = corridor_probe_bulk(
+                    self.mod,
+                    [query_ids[position] for position in builders],
+                    t_start,
+                    t_end,
+                    [widths[query_ids[position]] for position in builders],
+                )
+            self._m_corridor.observe(time.perf_counter() - corridor_started)
             corridors = {
                 position: float(radius)
                 for position, radius in zip(builders, radii)
             }
+
+        # Thread-pool builds run off this thread, where nesting under the
+        # batch span via the thread-local stack would misattach — they
+        # build untraced; serial builds nest normally.
+        threaded = bool(
+            self._max_workers and self._max_workers > 1 and len(builders) > 1
+        )
 
         def build(position: int) -> PreparedQuery:
             query_id = query_ids[position]
@@ -558,14 +632,23 @@ class QueryEngine:
                 use_index,
                 time.perf_counter(),
                 corridor=corridors.get(position),
+                traced=not threaded,
             )
 
-        if self._max_workers and self._max_workers > 1 and len(builders) > 1:
+        if threaded:
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
                 built = list(pool.map(build, builders))
         else:
             built = [build(position) for position in builders]
+        # Skipped entirely on the all-cached warm path: a dashboard refresh
+        # batch must pay for exactly one counter update and one histogram
+        # observation (see benchmarks/bench_obs.py).
+        if builders:
+            self._m_cache_misses.inc(len(builders))
+            batch_span.set("cached", len(query_ids) - len(pending))
+            batch_span.set("built", len(builders))
         for position, prepared in zip(builders, built):
+            self._m_prepare.observe(prepared.prepare_seconds)
             results[position] = prepared
             if use_index:
                 self._cache.put(
@@ -605,25 +688,36 @@ class QueryEngine:
         use_index: bool,
         started: float,
         corridor: Optional[float] = None,
+        traced: bool = True,
     ) -> PreparedQuery:
         candidate_ids: Optional[List[object]] = None
         # A zero-length window cannot be sliced into probe segments (and the
         # preparation it gates is trivial anyway), so it skips the filter.
         if use_index and self._index is not None and t_end > t_start:
-            candidate_ids, corridor = filter_candidates(
-                self.mod, self._index, query_id, t_start, t_end, band_width,
-                corridor=corridor,
-            )
+            filter_started = time.perf_counter()
+            with trace_span("engine.filter", query=query_id) if traced else _NO_SPAN:
+                candidate_ids, corridor = filter_candidates(
+                    self.mod, self._index, query_id, t_start, t_end, band_width,
+                    corridor=corridor,
+                )
+            self._m_corridor.observe(time.perf_counter() - filter_started)
         else:
             corridor = None
-        context = QueryContext.from_mod(
-            self.mod,
-            query_id,
-            t_start,
-            t_end,
-            band_width=band_width,
-            candidate_ids=candidate_ids,
-        )
+        kernel_started = time.perf_counter()
+        with trace_span(
+            "engine.kernel",
+            query=query_id,
+            candidates=len(candidate_ids) if candidate_ids is not None else -1,
+        ) if traced else _NO_SPAN:
+            context = QueryContext.from_mod(
+                self.mod,
+                query_id,
+                t_start,
+                t_end,
+                band_width=band_width,
+                candidate_ids=candidate_ids,
+            )
+        self._m_kernel.observe(time.perf_counter() - kernel_started)
         return PreparedQuery(
             query_id=query_id,
             context=context,

@@ -1,0 +1,493 @@
+"""Lock-cheap metrics: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` holds every instrument of one component tree
+(a :class:`~repro.service.QueryService` and the engines behind it share a
+registry, so one ``snapshot()`` answers "what is the whole stack doing").
+Instruments are created once — get-or-create under a lock keyed by
+``(name, labels)`` — and updated without any locking afterwards: a counter
+increment is one float add, a histogram observation one bisect plus two
+adds.  Under CPython's GIL a concurrent update can at worst lose a single
+increment to a benign race, which is the usual trade monitoring systems
+make for keeping the hot path free of contention.
+
+Exposition comes in two shapes:
+
+* :meth:`MetricsRegistry.snapshot` — plain nested dicts (JSON-ready);
+* :meth:`MetricsRegistry.render_prometheus` — Prometheus text format
+  (``# TYPE`` headers, cumulative ``_bucket{le=...}`` histogram series),
+  ready to serve from a ``/metrics`` endpoint.
+
+A process-global default registry (:func:`default_registry`) exists for
+scripts and benchmarks that want zero wiring; long-lived components default
+to private registries instead so two engines never mix their counters.
+:data:`NULL_REGISTRY` hands out no-op instruments for measuring the cost
+of the instrumentation itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "default_registry",
+]
+
+#: Default histogram bounds for latencies in seconds: 100 µs to 10 s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default histogram bounds for small integer sizes (batch widths, fan-out).
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
+#: ``(name, sorted label items)`` — the identity of one instrument.
+_InstrumentKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _label_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    """The ``{k="v",...}`` exposition suffix ('' when label-free)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache hits...)."""
+
+    __slots__ = ("name", "labels", "help", "_value")
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, labels: Tuple[Tuple[str, str], ...] = (), help: str = ""
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current cumulative count."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (testing / :meth:`MetricsRegistry.reset`)."""
+        self._value = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict snapshot of this instrument."""
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, live subscriptions...)."""
+
+    __slots__ = ("name", "labels", "help", "_value")
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, labels: Tuple[Tuple[str, str], ...] = (), help: str = ""
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        """The current gauge value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge."""
+        self._value = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict snapshot of this instrument."""
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with p50/p95/p99 estimation.
+
+    Observations land in the first bucket whose upper bound is >= the
+    value (one :func:`bisect.bisect_left` over a small tuple); values above
+    the last bound fall into an implicit ``+Inf`` overflow bucket.
+    Percentiles are estimated by linear interpolation inside the bucket
+    holding the target rank, which is exact enough for dashboards as long
+    as the bounds bracket the interesting range (pick them per metric; the
+    defaults cover 100 µs – 10 s latencies).
+    """
+
+    __slots__ = ("name", "labels", "help", "bounds", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        help: str = "",
+    ) -> None:
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        ordered = tuple(float(bound) for bound in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.bounds = ordered
+        self._counts = [0] * (len(ordered) + 1)  # trailing +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of every observed value."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``q`` in [0, 1]) by interpolation.
+
+        Returns 0 when the histogram is empty.  Ranks landing in the
+        overflow bucket return the last finite bound (there is nothing to
+        interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for position, bucket_count in enumerate(self._counts):
+            if position >= len(self.bounds):
+                return self.bounds[-1]
+            upper = self.bounds[position]
+            if cumulative + bucket_count >= target:
+                if bucket_count == 0:
+                    return upper
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+            lower = upper
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """Estimated 95th percentile."""
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.quantile(0.99)
+
+    def reset(self) -> None:
+        """Drop every observation."""
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict snapshot including bucket counts and percentiles."""
+        buckets = {
+            str(bound): count
+            for bound, count in zip(self.bounds, self._counts)
+        }
+        buckets["+Inf"] = self._counts[-1]
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home of one component tree's instruments.
+
+    Creation is serialized by a lock and validates that a name is never
+    reused with a different instrument kind or bucket layout; updates on
+    the returned instruments take no locks at all.  ``labels`` distinguish
+    series under one name (``counter("requests_total", backend="single")``).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[_InstrumentKey, object] = {}
+
+    def _get_or_create(self, key: _InstrumentKey, factory) -> object:
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = self._instruments[key] = factory()
+            return instrument
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, object]) -> _InstrumentKey:
+        return (
+            name,
+            tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+        )
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """The counter registered under ``(name, labels)`` (created once)."""
+        key = self._key(name, labels)
+        instrument = self._get_or_create(
+            key, lambda: Counter(name, key[1], help)
+        )
+        if not isinstance(instrument, Counter):
+            raise TypeError(f"{name!r} is already a {instrument.kind}")
+        return instrument
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """The gauge registered under ``(name, labels)`` (created once)."""
+        key = self._key(name, labels)
+        instrument = self._get_or_create(key, lambda: Gauge(name, key[1], help))
+        if not isinstance(instrument, Gauge):
+            raise TypeError(f"{name!r} is already a {instrument.kind}")
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+        **labels,
+    ) -> Histogram:
+        """The histogram registered under ``(name, labels)`` (created once).
+
+        Raises:
+            ValueError: when the name exists with different bucket bounds.
+        """
+        key = self._key(name, labels)
+        instrument = self._get_or_create(
+            key, lambda: Histogram(name, buckets, key[1], help)
+        )
+        if not isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is already a {instrument.kind}")
+        if instrument.bounds != tuple(float(bound) for bound in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return instrument
+
+    def instruments(self) -> Iterator[object]:
+        """Every registered instrument, in registration order."""
+        return iter(list(self._instruments.values()))
+
+    def get(self, name: str, **labels) -> Optional[object]:
+        """The instrument under ``(name, labels)``, or ``None``."""
+        return self._instruments.get(self._key(name, labels))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument (counters, gauges, and histograms)."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    # ------------------------------------------------------------------
+    # Exposition.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every instrument as plain dicts, keyed by exposition name.
+
+        The key is the metric name plus its ``{k="v"}`` label suffix; the
+        value is the instrument's :meth:`to_dict` (JSON-serializable).
+        """
+        result: Dict[str, Dict[str, object]] = {}
+        for instrument in self.instruments():
+            key = instrument.name + _label_suffix(instrument.labels)
+            result[key] = instrument.to_dict()
+        return result
+
+    def render_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`snapshot` as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Counters and gauges render as single samples; histograms as the
+        conventional cumulative ``_bucket{le=...}`` series plus ``_sum``
+        and ``_count``.  ``# HELP`` / ``# TYPE`` headers are emitted once
+        per metric name.
+        """
+        lines: List[str] = []
+        described = set()
+        for instrument in self.instruments():
+            name = instrument.name
+            if name not in described:
+                described.add(name)
+                if instrument.help:
+                    lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(f"# TYPE {name} {instrument.kind}")
+            suffix = _label_suffix(instrument.labels)
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(instrument.bounds, instrument._counts):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{_label_suffix(instrument.labels + (("le", repr(bound)),))} {cumulative}'
+                    )
+                cumulative += instrument._counts[-1]
+                lines.append(
+                    f'{name}_bucket{_label_suffix(instrument.labels + (("le", "+Inf"),))} {cumulative}'
+                )
+                lines.append(f"{name}_sum{suffix} {instrument.sum}")
+                lines.append(f"{name}_count{suffix} {instrument.count}")
+            else:
+                lines.append(f"{name}{suffix} {instrument.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _NullInstrument:
+    """One no-op stand-in for every instrument kind."""
+
+    __slots__ = ()
+
+    name = "null"
+    labels: Tuple[Tuple[str, str], ...] = ()
+    help = ""
+    kind = "null"
+    bounds: Tuple[float, ...] = (1.0,)
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    p50 = 0.0
+    p95 = 0.0
+    p99 = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def reset(self) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing.
+
+    Exists so the cost of the instrumentation itself can be measured (see
+    ``benchmarks/bench_obs.py``): run the same hot path against
+    :data:`NULL_REGISTRY` and against a real registry and compare.
+    """
+
+    def counter(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, buckets=DEFAULT_LATENCY_BUCKETS, help="", **labels):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def instruments(self) -> Iterator[object]:  # type: ignore[override]
+        return iter(())
+
+    def get(self, name: str, **labels):  # type: ignore[override]
+        return None
+
+
+#: Shared no-op registry for overhead measurements and hard opt-outs.
+NULL_REGISTRY = NullRegistry()
+
+#: The process-global default registry (see :func:`default_registry`).
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry for scripts and benchmarks.
+
+    Long-lived components (services, engines) create private registries by
+    default so instances stay isolated; pass this one explicitly to pool
+    everything onto one exposition surface (``benchmarks/run_all.py`` dumps
+    it as ``BENCH_metrics.json``).
+    """
+    return _DEFAULT_REGISTRY

@@ -76,6 +76,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine import QueryEngine
 from ..engine.answers import VARIANTS, Answer
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Span, detached_span, span_context, trace_span
 from ..trajectories.mod import MovingObjectsDatabase
 from ..trajectories.shared import SharedColumnarStore, SharedPackDescriptor
 from .plan import (
@@ -252,6 +254,9 @@ class ShardedEngine:
             (0 disables it); the cache is invalidated by any store change.
         plan: a prebuilt :class:`ShardPlan` overriding ``num_shards`` /
             ``method`` / ``halo``.
+        registry: the :class:`~repro.obs.MetricsRegistry` sharded metrics
+            land in (``repro_sharded_*``; shard/fallback engines share it);
+            a private registry when ``None``.
 
     The engine can be used as a context manager; :meth:`close` is
     idempotent and shuts the worker pool down *and* unlinks the
@@ -276,6 +281,7 @@ class ShardedEngine:
         mp_start_method: Optional[str] = None,
         answer_cache_size: int = 4096,
         plan: Optional[ShardPlan] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r} (expected {BACKENDS})")
@@ -315,10 +321,30 @@ class ShardedEngine:
             OrderedDict()
         )
         self._answer_cache_size = answer_cache_size
-        self._answer_cache_hit_count = 0
-        self._worker_rebuild_count = 0
         self._fallback: Optional[QueryEngine] = None
-        self._fallback_uses = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_cache_hits = self.registry.counter(
+            "repro_sharded_answer_cache_hits_total",
+            "Queries served from the parent-side answer cache",
+        )
+        self._m_rebuilds = self.registry.counter(
+            "repro_sharded_worker_rebuilds_total",
+            "Worker-side shard-engine rebuilds",
+        )
+        self._m_fallback = self.registry.counter(
+            "repro_sharded_fallback_total",
+            "Queries escaped to the full-store fallback engine",
+        )
+        self._m_batches = self.registry.counter(
+            "repro_sharded_batches_total", "answer_batch calls"
+        )
+        self._m_batch_seconds = self.registry.histogram(
+            "repro_sharded_batch_seconds", help="answer_batch wall time"
+        )
+        self._m_shard_seconds = self.registry.histogram(
+            "repro_sharded_shard_seconds",
+            help="Per-shard dispatch-to-result time (includes IPC)",
+        )
         self._bounds: Dict[object, Bounds] = {}
         self._bounds_revision: Dict[object, int] = {}
         self._band_widths: Dict[object, float] = {}
@@ -359,18 +385,22 @@ class ShardedEngine:
 
     @property
     def fallback_evaluations(self) -> int:
-        """Total queries answered by the full-store fallback engine so far."""
-        return self._fallback_uses
+        """Total queries answered by the full-store fallback engine so far.
+
+        A thin view over ``repro_sharded_fallback_total`` in the engine's
+        metrics registry (as are the two accessors below over theirs).
+        """
+        return int(self._m_fallback.value)
 
     @property
     def answer_cache_hits(self) -> int:
         """Total queries served from the parent-side answer cache so far."""
-        return self._answer_cache_hit_count
+        return int(self._m_cache_hits.value)
 
     @property
     def worker_rebuilds(self) -> int:
         """Total worker-side shard-engine rebuilds observed so far."""
-        return self._worker_rebuild_count
+        return int(self._m_rebuilds.value)
 
     def clear_answer_cache(self) -> None:
         """Drop every cached answer (benchmarking the uncached path)."""
@@ -609,6 +639,7 @@ class ShardedEngine:
                 leaf_capacity=self._leaf_capacity,
                 grid_cells=self._grid_cells,
                 cache_size=self._cache_size,
+                registry=self.registry,
             )
         return state.engine
 
@@ -650,6 +681,7 @@ class ShardedEngine:
         state: _ShardState,
         specs: Tuple[QuerySpec, ...],
         descriptor: SharedPackDescriptor,
+        context: Optional[Tuple[str, float]] = None,
     ) -> ShardTask:
         return ShardTask(
             token=(*self._token_base, state.shard),
@@ -666,6 +698,7 @@ class ShardedEngine:
             coverage=state.coverage,
             complete=state.complete,
             cache_slots=len(self._states),
+            span_context=context,
         )
 
     def _run_shards(
@@ -675,44 +708,59 @@ class ShardedEngine:
         ordered = sorted(grouped.items())
         outputs: Dict[int, Tuple[List[ShardQueryOutcome], float]] = {}
         if self.backend == "process":
-            pool = self._process_pool()
-            descriptor = self._shared_descriptor()
-            payloads = [
-                self._payload(self._states[shard], specs, descriptor)
-                for shard, specs in ordered
-            ]
-            started = {shard: time.perf_counter() for shard, _ in ordered}
-            results = list(pool.map(run_shard_task, payloads))
-            rebuilds = 0
-            for (shard, _), result in zip(ordered, results):
-                if result.rebuilt:
-                    rebuilds += 1
-                outputs[shard] = (
-                    list(result.outcomes),
-                    time.perf_counter() - started[shard],
-                )
-            self._worker_rebuild_count += rebuilds
+            with trace_span(
+                "sharded.dispatch", backend="process", shards=len(ordered)
+            ) as dispatch:
+                pool = self._process_pool()
+                descriptor = self._shared_descriptor()
+                context = span_context()
+                payloads = [
+                    self._payload(self._states[shard], specs, descriptor, context)
+                    for shard, specs in ordered
+                ]
+                started = {shard: time.perf_counter() for shard, _ in ordered}
+                results = list(pool.map(run_shard_task, payloads))
+                rebuilds = 0
+                for (shard, _), result in zip(ordered, results):
+                    if result.rebuilt:
+                        rebuilds += 1
+                    if result.spans is not None:
+                        dispatch.adopt(Span.from_dict(result.spans))
+                    seconds = time.perf_counter() - started[shard]
+                    self._m_shard_seconds.observe(seconds)
+                    outputs[shard] = (list(result.outcomes), seconds)
+            self._m_rebuilds.inc(rebuilds)
             return outputs, rebuilds
 
         def run_local(item: Tuple[int, Tuple[QuerySpec, ...]]):
             shard, specs = item
             state = self._states[shard]
             begun = time.perf_counter()
-            outcomes = evaluate_shard(
-                state.mod,
-                self._shard_engine(state),
-                specs,
-                state.coverage,
-                state.complete,
-            )
-            return shard, outcomes, time.perf_counter() - begun
+            # Worker threads trace into a detached root the dispatcher
+            # adopts after the join; spans opened inside nest under it on
+            # the worker thread's own stack.
+            span = detached_span("shard.local", shard=shard, queries=len(specs))
+            with span:
+                outcomes = evaluate_shard(
+                    state.mod,
+                    self._shard_engine(state),
+                    specs,
+                    state.coverage,
+                    state.complete,
+                )
+            return shard, outcomes, time.perf_counter() - begun, span
 
-        if self.backend == "thread" and len(ordered) > 1:
-            results = list(self._thread_pool().map(run_local, ordered))
-        else:
-            results = [run_local(item) for item in ordered]
-        for shard, outcomes, seconds in results:
-            outputs[shard] = (outcomes, seconds)
+        with trace_span(
+            "sharded.dispatch", backend=self.backend, shards=len(ordered)
+        ) as dispatch:
+            if self.backend == "thread" and len(ordered) > 1:
+                results = list(self._thread_pool().map(run_local, ordered))
+            else:
+                results = [run_local(item) for item in ordered]
+            for shard, outcomes, seconds, span in results:
+                dispatch.adopt(span)
+                self._m_shard_seconds.observe(seconds)
+                outputs[shard] = (outcomes, seconds)
         return outputs, 0
 
     def _fallback_engine(self) -> QueryEngine:
@@ -723,6 +771,7 @@ class ShardedEngine:
                 leaf_capacity=self._leaf_capacity,
                 grid_cells=self._grid_cells,
                 cache_size=self._cache_size,
+                registry=self.registry,
             )
         return self._fallback
 
@@ -781,6 +830,27 @@ class ShardedEngine:
             raise ValueError(
                 f"unknown variant {variant!r} (expected {VARIANTS})"
             )
+        self._m_batches.inc()
+        with trace_span(
+            "sharded.answer_batch", queries=len(query_ids), variant=variant
+        ) as batch_span:
+            result = self._answer_batch_inner(
+                query_ids, t_start, t_end, variant, fraction, band_width,
+                batch_span,
+            )
+        self._m_batch_seconds.observe(result.total_seconds)
+        return result
+
+    def _answer_batch_inner(
+        self,
+        query_ids: Sequence[object],
+        t_start: float,
+        t_end: float,
+        variant: str,
+        fraction: float,
+        band_width: Optional[float],
+        batch_span,
+    ) -> ShardedBatchResult:
         started = time.perf_counter()
         self._sync()
         unique_ids = list(dict.fromkeys(query_ids))
@@ -803,7 +873,6 @@ class ShardedEngine:
             cached = self._answer_cache.get(key)
             if cached is not None:
                 self._answer_cache.move_to_end(key)
-                self._answer_cache_hit_count += 1
                 batch_hits += 1
                 merged[query_id] = cached
                 continue
@@ -817,6 +886,8 @@ class ShardedEngine:
                     fraction=fraction,
                 )
             )
+        self._m_cache_hits.inc(batch_hits)
+        batch_span.set("cache_hits", batch_hits)
         outputs, rebuilds = (
             self._run_shards(
                 {shard: tuple(specs) for shard, specs in grouped.items()}
@@ -825,57 +896,62 @@ class ShardedEngine:
             else ({}, 0)
         )
 
+        fallbacks = 0
         telemetry: List[ShardedBatchTelemetry] = []
-        for shard, (outcomes, seconds) in sorted(outputs.items()):
-            telemetry.append(
-                ShardedBatchTelemetry(
-                    shard=shard, queries=len(outcomes), seconds=seconds
+        with trace_span("sharded.merge", shards=len(outputs)) as merge_span:
+            for shard, (outcomes, seconds) in sorted(outputs.items()):
+                telemetry.append(
+                    ShardedBatchTelemetry(
+                        shard=shard, queries=len(outcomes), seconds=seconds
+                    )
                 )
-            )
-            for spec, outcome in zip(grouped[shard], outcomes):
-                if outcome.escaped:
-                    begun = time.perf_counter()
-                    answer = self._fallback_engine().answer(
-                        spec.query_id,
-                        t_start,
-                        t_end,
-                        variant=variant,
-                        fraction=fraction,
-                        band_width=spec.band_width,
+                for spec, outcome in zip(grouped[shard], outcomes):
+                    if outcome.escaped:
+                        begun = time.perf_counter()
+                        answer = self._fallback_engine().answer(
+                            spec.query_id,
+                            t_start,
+                            t_end,
+                            variant=variant,
+                            fraction=fraction,
+                            band_width=spec.band_width,
+                        )
+                        self._m_fallback.inc()
+                        fallbacks += 1
+                        item = ShardedQueryAnswer(
+                            query_id=spec.query_id,
+                            answer=answer,
+                            shard=shard,
+                            via_fallback=True,
+                            candidate_count=0,
+                            corridor=outcome.corridor,
+                            seconds=outcome.seconds
+                            + (time.perf_counter() - begun),
+                        )
+                    else:
+                        item = ShardedQueryAnswer(
+                            query_id=spec.query_id,
+                            answer=outcome.answer,
+                            shard=shard,
+                            via_fallback=False,
+                            candidate_count=outcome.candidate_count,
+                            corridor=outcome.corridor,
+                            seconds=outcome.seconds,
+                        )
+                    merged[spec.query_id] = item
+                    self._cache_store(
+                        self._cache_key(
+                            spec.query_id,
+                            t_start,
+                            t_end,
+                            spec.band_width,
+                            variant,
+                            fraction,
+                        ),
+                        item,
                     )
-                    self._fallback_uses += 1
-                    item = ShardedQueryAnswer(
-                        query_id=spec.query_id,
-                        answer=answer,
-                        shard=shard,
-                        via_fallback=True,
-                        candidate_count=0,
-                        corridor=outcome.corridor,
-                        seconds=outcome.seconds
-                        + (time.perf_counter() - begun),
-                    )
-                else:
-                    item = ShardedQueryAnswer(
-                        query_id=spec.query_id,
-                        answer=outcome.answer,
-                        shard=shard,
-                        via_fallback=False,
-                        candidate_count=outcome.candidate_count,
-                        corridor=outcome.corridor,
-                        seconds=outcome.seconds,
-                    )
-                merged[spec.query_id] = item
-                self._cache_store(
-                    self._cache_key(
-                        spec.query_id,
-                        t_start,
-                        t_end,
-                        spec.band_width,
-                        variant,
-                        fraction,
-                    ),
-                    item,
-                )
+            merge_span.set("fallbacks", fallbacks)
+        batch_span.set("fallbacks", fallbacks)
 
         return ShardedBatchResult(
             results=[merged[query_id] for query_id in query_ids],

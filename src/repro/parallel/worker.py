@@ -32,9 +32,13 @@ from typing import Dict, List, Optional, Tuple
 from ..engine import QueryEngine
 from ..engine.answers import Answer, answer_of
 from ..engine.filtering import corridor_probe_bulk
+from ..obs.logging import get_logger
+from ..obs.tracing import capture, trace_span
 from ..trajectories.mod import MovingObjectsDatabase
 from ..trajectories.shared import AttachedPack, SharedPackDescriptor, attach_pack
 from .plan import Bounds, bounds_contain
+
+_log = get_logger("parallel.worker")
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,6 +106,9 @@ class ShardTask:
             ``None`` when the shard owns nothing.
         complete: the shard holds *every* stored object, making each answer
             trivially exact.
+        span_context: compact tracing context of the dispatching span
+            (:func:`repro.obs.tracing.span_context`); ``None`` means the
+            parent is not tracing and the worker records no spans.
     """
 
     token: Tuple[int, ...]
@@ -116,6 +123,7 @@ class ShardTask:
     coverage: Optional[Bounds]
     complete: bool
     cache_slots: int = 16
+    span_context: Optional[Tuple[str, float]] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,11 +138,15 @@ class ShardTaskResult:
             ``False`` everywhere.
         revision: the shared-export revision the serving engine was built
             from (the parent's revision handshake for tests/telemetry).
+        spans: serialized worker span tree (:meth:`repro.obs.Span.to_dict`)
+            when the task carried a ``span_context``; the parent rebuilds
+            and adopts it under its dispatch span.
     """
 
     outcomes: Tuple[ShardQueryOutcome, ...]
     rebuilt: bool
     revision: int
+    spans: Optional[Dict] = None
 
 
 def probe_bounds(
@@ -181,13 +193,14 @@ def evaluate_shard(
             windows.setdefault((spec.t_start, spec.t_end), []).append(position)
         for (t_lo, t_hi), positions in windows.items():
             begun = time.perf_counter()
-            radii = corridor_probe_bulk(
-                mod,
-                [queries[position].query_id for position in positions],
-                t_lo,
-                t_hi,
-                [queries[position].band_width for position in positions],
-            )
+            with trace_span("shard.corridor", queries=len(positions)):
+                radii = corridor_probe_bulk(
+                    mod,
+                    [queries[position].query_id for position in positions],
+                    t_lo,
+                    t_hi,
+                    [queries[position].band_width for position in positions],
+                )
             share = (time.perf_counter() - begun) / len(positions)
             for position, radius in zip(positions, radii):
                 corridors[position] = float(radius)
@@ -269,45 +282,82 @@ def run_shard_task(task: ShardTask) -> ShardTaskResult:
     attaches the task's shared-memory descriptor and rebuilds the member
     store from zero-copy column views — there is no payload-retry protocol
     to fall back to, because the descriptor is always self-sufficient.
+
+    A task carrying a ``span_context`` is evaluated under a private
+    tracing capture: the worker's attach/evaluate spans come back
+    serialized in :attr:`ShardTaskResult.spans` for the parent to stitch
+    under its dispatch span.
     """
+    if task.span_context is None:
+        return _serve_task(task)
+    with capture() as recorder:
+        with trace_span(
+            "shard.worker", shard=task.token[-1], queries=len(task.queries)
+        ):
+            result = _serve_task(task)
+        root = recorder.latest()
+    return ShardTaskResult(
+        outcomes=result.outcomes,
+        rebuilt=result.rebuilt,
+        revision=result.revision,
+        spans=root.to_dict() if root is not None else None,
+    )
+
+
+def _serve_task(task: ShardTask) -> ShardTaskResult:
+    """Resolve the cached shard engine (rebuilding on miss) and evaluate."""
     group_key = task.token[:-1]
     group = _ENGINE_CACHE.get(group_key)
     if group is None:
         group = _ENGINE_CACHE[group_key] = OrderedDict()
     _ENGINE_CACHE.move_to_end(group_key)
     while len(_ENGINE_CACHE) > _ENGINE_GROUP_LIMIT:
-        _ENGINE_CACHE.popitem(last=False)
+        evicted_key, _ = _ENGINE_CACHE.popitem(last=False)
+        _log.debug("evicted engine group %s from worker cache", evicted_key)
 
     cached = group.get(task.token)
     rebuilt = False
     if cached is None or cached.fingerprint != task.fingerprint:
-        pack = attach_pack(task.store)
-        mod = pack.member_database(task.member_ids)
-        cached = _CachedShard(
-            fingerprint=task.fingerprint,
-            mod=mod,
-            engine=QueryEngine(
-                mod,
-                index=task.index_kind,
-                leaf_capacity=task.leaf_capacity,
-                grid_cells=task.grid_cells,
-                cache_size=task.cache_size,
-            ),
-            pack=pack,
-        )
+        with trace_span(
+            "shard.attach",
+            shard=task.token[-1],
+            members=len(task.member_ids),
+            reason="cold" if cached is None else "fingerprint",
+        ):
+            pack = attach_pack(task.store)
+            mod = pack.member_database(task.member_ids)
+            cached = _CachedShard(
+                fingerprint=task.fingerprint,
+                mod=mod,
+                engine=QueryEngine(
+                    mod,
+                    index=task.index_kind,
+                    leaf_capacity=task.leaf_capacity,
+                    grid_cells=task.grid_cells,
+                    cache_size=task.cache_size,
+                ),
+                pack=pack,
+            )
         group[task.token] = cached
         rebuilt = True
+        _log.debug(
+            "rebuilt shard engine %s (fingerprint %d, %d members)",
+            task.token, task.fingerprint, len(task.member_ids),
+        )
     group.move_to_end(task.token)
     limit = max(task.cache_slots, _ENGINE_CACHE_LIMIT)
     while len(group) > limit:
-        group.popitem(last=False)
-    return ShardTaskResult(
-        outcomes=tuple(
+        evicted_token, _ = group.popitem(last=False)
+        _log.debug("evicted shard engine %s from worker cache", evicted_token)
+    with trace_span("shard.evaluate", queries=len(task.queries)):
+        outcomes = tuple(
             evaluate_shard(
                 cached.mod, cached.engine, task.queries, task.coverage,
                 task.complete,
             )
-        ),
+        )
+    return ShardTaskResult(
+        outcomes=outcomes,
         rebuilt=rebuilt,
         revision=cached.pack.revision,
     )

@@ -14,6 +14,7 @@ from .pool import DEFAULT_SHARD_THRESHOLD, EnginePool, GroupResult
 from .requests import QueryRequest, QueryResponse
 from .service import (
     ADMISSION_POLICIES,
+    ExplainResult,
     QueryService,
     ServiceClosed,
     ServiceError,
@@ -28,6 +29,7 @@ __all__ = [
     "DeltaBridge",
     "DeltaSubscription",
     "EnginePool",
+    "ExplainResult",
     "GroupResult",
     "QueryRequest",
     "QueryResponse",

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from ..engine.answers import Answer
+from ..obs.metrics import MetricsRegistry
 from .requests import Fingerprint
 
 
@@ -49,10 +50,16 @@ class ResultCacheInfo:
 class ResultCache:
     """LRU result cache with TTL expiry and revision-keyed invalidation.
 
+    Counters are registry-backed (``repro_service_result_cache_*``);
+    :meth:`info` stays the exact per-instance view because the default
+    registry is private to the cache instance.
+
     Args:
         capacity: maximum number of cached answers (LRU eviction beyond).
         ttl: seconds an entry stays servable, or ``None`` for no TTL.
         clock: monotonic time source (injectable for tests).
+        registry: the :class:`~repro.obs.MetricsRegistry` the counters
+            land in; a private registry when ``None``.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class ResultCache:
         capacity: int = 1024,
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
@@ -72,11 +80,25 @@ class ResultCache:
         #: per fingerprint, so a newer revision displaces the stale answer.
         self._entries: "OrderedDict[Fingerprint, Tuple[int, Optional[float], Answer]]"
         self._entries = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._expirations = 0
-        self._invalidations = 0
-        self._evictions = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter(
+            "repro_service_result_cache_hits_total", "Result-cache hits"
+        )
+        self._misses = self.registry.counter(
+            "repro_service_result_cache_misses_total", "Result-cache misses"
+        )
+        self._expirations = self.registry.counter(
+            "repro_service_result_cache_expirations_total",
+            "Entries dropped by TTL expiry",
+        )
+        self._invalidations = self.registry.counter(
+            "repro_service_result_cache_invalidations_total",
+            "Entries dropped by revision mismatch",
+        )
+        self._evictions = self.registry.counter(
+            "repro_service_result_cache_evictions_total",
+            "Entries dropped by LRU capacity",
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -89,21 +111,21 @@ class ResultCache:
         """
         entry = self._entries.get(fingerprint)
         if entry is None:
-            self._misses += 1
+            self._misses.inc()
             return None
         cached_revision, expiry, answer = entry
         if cached_revision != revision:
             del self._entries[fingerprint]
-            self._invalidations += 1
-            self._misses += 1
+            self._invalidations.inc()
+            self._misses.inc()
             return None
         if expiry is not None and self._clock() >= expiry:
             del self._entries[fingerprint]
-            self._expirations += 1
-            self._misses += 1
+            self._expirations.inc()
+            self._misses.inc()
             return None
         self._entries.move_to_end(fingerprint)
-        self._hits += 1
+        self._hits.inc()
         return answer
 
     def put(self, fingerprint: Fingerprint, revision: int, answer: Answer) -> None:
@@ -114,19 +136,19 @@ class ResultCache:
         self._entries[fingerprint] = (revision, expiry, answer)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self._evictions += 1
+            self._evictions.inc()
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
 
     def info(self) -> ResultCacheInfo:
-        """Current counters and size."""
+        """Current counters and size (a thin view over the registry)."""
         return ResultCacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            expirations=self._expirations,
-            invalidations=self._invalidations,
-            evictions=self._evictions,
+            hits=int(self._hits.value),
+            misses=int(self._misses.value),
+            expirations=int(self._expirations.value),
+            invalidations=int(self._invalidations.value),
+            evictions=int(self._evictions.value),
             size=len(self._entries),
         )

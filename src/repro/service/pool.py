@@ -17,6 +17,8 @@ from typing import Dict, Optional, Sequence
 
 from ..engine import QueryEngine
 from ..engine.answers import Answer, answer_of
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import trace_span
 from ..parallel import ShardedEngine
 from ..trajectories.mod import MovingObjectsDatabase
 
@@ -51,6 +53,9 @@ class EnginePool:
         mp_start_method: multiprocessing start method handed through to the
             sharded engine's process pool (``None`` keeps the engine's
             spawn-safe default; irrelevant for thread/serial backends).
+        registry: the :class:`~repro.obs.MetricsRegistry` both pooled
+            engines report into (``repro_engine_*`` / ``repro_sharded_*``);
+            a private registry when ``None``.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class EnginePool:
         cache_size: int = 1024,
         force_backend: Optional[str] = None,
         mp_start_method: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if shard_threshold < 1:
             raise ValueError("shard_threshold must be at least 1")
@@ -82,6 +88,7 @@ class EnginePool:
         self._cache_size = cache_size
         self._force_backend = force_backend
         self._mp_start_method = mp_start_method
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._single: Optional[QueryEngine] = None
         self._sharded: Optional[ShardedEngine] = None
 
@@ -103,6 +110,7 @@ class EnginePool:
                 index=self._index,
                 max_workers=self._max_workers,
                 cache_size=self._cache_size,
+                registry=self.registry,
             )
         return self._single
 
@@ -117,6 +125,7 @@ class EnginePool:
                 max_workers=self._max_workers,
                 cache_size=self._cache_size,
                 mp_start_method=self._mp_start_method,
+                registry=self.registry,
             )
         return self._sharded
 
@@ -169,20 +178,25 @@ class EnginePool:
         :meth:`QueryEngine.answer` calls.
         """
         backend = self.backend_kind()
-        if backend == "sharded":
-            batch = self.sharded_engine().answer_batch(
-                query_ids,
-                t_start,
-                t_end,
-                variant=variant,
-                fraction=fraction,
-                band_width=band_width,
+        with trace_span(
+            "pool.answer_group", backend=backend, queries=len(query_ids)
+        ):
+            if backend == "sharded":
+                batch = self.sharded_engine().answer_batch(
+                    query_ids,
+                    t_start,
+                    t_end,
+                    variant=variant,
+                    fraction=fraction,
+                    band_width=band_width,
+                )
+                return GroupResult(answers=batch.answers, backend=backend)
+            engine = self.single_engine()
+            batch = engine.prepare_batch(
+                query_ids, t_start, t_end, band_width=band_width
             )
-            return GroupResult(answers=batch.answers, backend=backend)
-        engine = self.single_engine()
-        batch = engine.prepare_batch(query_ids, t_start, t_end, band_width=band_width)
-        answers = {
-            prepared.query_id: answer_of(prepared.context, variant, fraction)
-            for prepared in batch
-        }
-        return GroupResult(answers=answers, backend=backend)
+            answers = {
+                prepared.query_id: answer_of(prepared.context, variant, fraction)
+                for prepared in batch
+            }
+            return GroupResult(answers=answers, backend=backend)

@@ -35,6 +35,8 @@ from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from ..obs.tracing import Span, capture, detached_span, record, render_tree, trace_span
 from ..trajectories.mod import MovingObjectsDatabase
 from .cache import ResultCache, ResultCacheInfo
 from .pool import EnginePool
@@ -56,9 +58,15 @@ class ServiceOverloaded(ServiceError):
     """The admission queue is full and the policy is ``"reject"``."""
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServiceStats:
-    """Serving counters, exposed by :meth:`QueryService.stats`."""
+    """Immutable snapshot of the serving counters.
+
+    Built fresh by every :meth:`QueryService.stats` call (a thin view over
+    the service's metrics registry); ``backend_counts`` is a per-snapshot
+    copy, so mutating one snapshot can never leak into another or into the
+    service.
+    """
 
     submitted: int = 0
     cache_hits: int = 0
@@ -72,6 +80,25 @@ class ServiceStats:
     def coalescing_factor(self) -> float:
         """Mean requests per engine batch (1.0 = no coalescing happened)."""
         return self.evaluated / self.batches if self.batches else 0.0
+
+
+@dataclass(frozen=True)
+class ExplainResult:
+    """One traced request: the response plus its full span tree.
+
+    Attributes:
+        response: the served :class:`QueryResponse` (exact, cache-aware).
+        span: root of the trace — ``service.explain`` with the pool,
+            engine, shard, and (process backend) worker spans nested under
+            it.
+    """
+
+    response: QueryResponse
+    span: Span
+
+    def render(self) -> str:
+        """The span tree as indented text with millisecond timings."""
+        return render_tree(self.span)
 
 
 @dataclass
@@ -106,6 +133,10 @@ class QueryService:
             over ``mod`` when ``None``.
         executor: where engine batches run; the event loop's default
             thread pool when ``None``.
+        registry: the :class:`~repro.obs.MetricsRegistry` every layer of
+            this service reports into (``repro_service_*`` plus the pooled
+            engines' metrics); a private registry when ``None``.  A
+            caller-supplied ``pool`` keeps its own registry.
         **pool_options: forwarded to :class:`EnginePool` when building one
             (``shard_threshold``, ``num_shards``, ``force_backend``, ...).
 
@@ -127,6 +158,7 @@ class QueryService:
         cache_ttl: Optional[float] = None,
         pool: Optional[EnginePool] = None,
         executor: Optional[Executor] = None,
+        registry: Optional[MetricsRegistry] = None,
         **pool_options,
     ) -> None:
         if queue_limit < 1:
@@ -143,17 +175,60 @@ class QueryService:
         self.mod = mod
         if pool is not None and pool_options:
             raise ValueError("pass pool_options only when the pool is built here")
+        self.registry = registry if registry is not None else MetricsRegistry()
         # A caller-provided pool stays the caller's to close (it may be
         # shared across services); only a pool built here is shut down.
         self._owns_pool = pool is None
-        self.pool = pool if pool is not None else EnginePool(mod, **pool_options)
+        self.pool = (
+            pool
+            if pool is not None
+            else EnginePool(mod, registry=self.registry, **pool_options)
+        )
         self._queue_limit = queue_limit
         self._max_batch = max_batch
         self._coalesce_delay = coalesce_delay
         self._admission = admission
-        self.cache = ResultCache(capacity=cache_capacity, ttl=cache_ttl)
+        self.cache = ResultCache(
+            capacity=cache_capacity, ttl=cache_ttl, registry=self.registry
+        )
         self._executor = executor
-        self._stats = ServiceStats()
+        self._m_submitted = self.registry.counter(
+            "repro_service_requests_total", "Requests submitted"
+        )
+        self._m_cache_hits = self.registry.counter(
+            "repro_service_cache_hits_total", "Requests served from the result cache"
+        )
+        self._m_rejections = self.registry.counter(
+            "repro_service_rejections_total", "Requests rejected at admission"
+        )
+        self._m_evaluated = self.registry.counter(
+            "repro_service_evaluated_total", "Requests served by an engine batch"
+        )
+        self._m_batches = self.registry.counter(
+            "repro_service_batches_total", "Engine batches dispatched"
+        )
+        self._m_queue_depth = self.registry.gauge(
+            "repro_service_queue_depth", "Admitted requests currently queued"
+        )
+        self._m_admission_wait = self.registry.histogram(
+            "repro_service_admission_wait_seconds",
+            help="Submit-to-enqueue wait (admission backpressure)",
+        )
+        self._m_latency = self.registry.histogram(
+            "repro_service_latency_seconds",
+            help="Submit-to-response service latency",
+        )
+        self._m_eval = self.registry.histogram(
+            "repro_service_eval_seconds",
+            help="Off-loop engine evaluation time per batch",
+        )
+        self._m_coalesce = self.registry.histogram(
+            "repro_service_coalesce_width",
+            buckets=DEFAULT_SIZE_BUCKETS,
+            help="Requests coalesced into one engine batch",
+        )
+        self._backend_counts: Dict[str, int] = {}
+        self._max_queue_depth = 0
         self._queue: Optional["asyncio.Queue[object]"] = None
         self._dispatcher: Optional["asyncio.Task[None]"] = None
         self._bridge: Optional[DeltaBridge] = None
@@ -240,10 +315,12 @@ class QueryService:
         if not self.running:
             raise ServiceClosed("the service is not running")
         started = time.perf_counter()
-        self._stats.submitted += 1
+        self._m_submitted.inc()
         cached = self.cache.get(request.fingerprint, self.mod.revision)
         if cached is not None:
-            self._stats.cache_hits += 1
+            self._m_cache_hits.inc()
+            seconds = time.perf_counter() - started
+            self._m_latency.observe(seconds)
             return QueryResponse(
                 request=request,
                 answer=cached,
@@ -251,7 +328,7 @@ class QueryService:
                 backend="cache",
                 batch_size=1,
                 queue_seconds=0.0,
-                service_seconds=time.perf_counter() - started,
+                service_seconds=seconds,
             )
         future: "asyncio.Future[QueryResponse]" = self._loop.create_future()
         pending = _Pending(
@@ -264,15 +341,21 @@ class QueryService:
             try:
                 self._queue.put_nowait(pending)
             except asyncio.QueueFull:
-                self._stats.rejected += 1
+                self._m_rejections.inc()
                 raise ServiceOverloaded(
                     f"admission queue full ({self._queue_limit} pending)"
                 ) from None
         else:
             await self._queue.put(pending)
-        self._stats.max_queue_depth = max(
-            self._stats.max_queue_depth, self._queue.qsize()
-        )
+            # Under "wait" the put blocks while the queue is full; the
+            # enqueued stamp predates it, so re-stamp to keep queue_seconds
+            # measuring time *in* the queue, and record the wait itself.
+            pending.enqueued = time.perf_counter()
+        self._m_admission_wait.observe(pending.enqueued - started)
+        depth = self._queue.qsize()
+        if depth > self._max_queue_depth:
+            self._max_queue_depth = depth
+        self._m_queue_depth.set(depth)
         return await future
 
     async def query(
@@ -343,12 +426,109 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def stats(self) -> ServiceStats:
-        """Serving counters (live object; snapshot if you need isolation)."""
-        return self._stats
+        """An immutable snapshot of the serving counters.
+
+        Each call builds a fresh :class:`ServiceStats` from the metrics
+        registry (``backend_counts`` is a fresh copy), so a held snapshot
+        never changes under the caller.
+        """
+        return ServiceStats(
+            submitted=int(self._m_submitted.value),
+            cache_hits=int(self._m_cache_hits.value),
+            rejected=int(self._m_rejections.value),
+            evaluated=int(self._m_evaluated.value),
+            batches=int(self._m_batches.value),
+            max_queue_depth=self._max_queue_depth,
+            backend_counts=dict(self._backend_counts),
+        )
+
+    def reset(self) -> None:
+        """Zero every serving metric (counters, gauges, and histograms).
+
+        Resets the whole registry — including the pooled engines' metrics
+        when the pool was built by this service — plus the backend and
+        queue-depth trackers.  Cached answers are kept.
+        """
+        self.registry.reset()
+        self._backend_counts = {}
+        self._max_queue_depth = 0
 
     def cache_info(self) -> ResultCacheInfo:
         """Result-cache counters."""
         return self.cache.info()
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every metric of the serving stack as plain (JSON-ready) dicts.
+
+        Covers the service layer (requests, cache, queue depth, admission
+        wait, coalesce width, latencies), the result cache, and — when the
+        pool was built by this service — the engines behind it
+        (``repro_engine_*`` / ``repro_sharded_*``), one registry for the
+        whole stack.
+        """
+        return self.registry.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The same metrics in Prometheus text exposition format."""
+        return self.registry.render_prometheus()
+
+    async def explain(self, request: QueryRequest) -> "ExplainResult":
+        """Serve one request with tracing on, returning answer + span tree.
+
+        A diagnostic path: the request bypasses the admission queue and
+        coalescing (nothing rides along, so the trace is exactly this
+        request's work) but uses the same result cache and engine pool, so
+        what it reports is what :meth:`submit` would have done.  Evaluation
+        runs off-loop under a temporary process-wide tracing capture; with
+        a process-backend sharded pool the workers' spans come back
+        stitched under the dispatch span.  Service counters (requests,
+        batches, latencies) are not advanced — explaining a request does
+        not distort the serving metrics — though the caches it exercises
+        count their hits and misses as usual.
+        """
+        if not self.running:
+            raise ServiceClosed("the service is not running")
+
+        def evaluate() -> ExplainResult:
+            started = time.perf_counter()
+            with capture() as recorder:
+                with trace_span(
+                    "service.explain",
+                    query=request.query_id,
+                    variant=request.variant,
+                ):
+                    revision = self.mod.revision
+                    cached = self.cache.get(request.fingerprint, revision)
+                    if cached is not None:
+                        answer, backend = cached, "cache"
+                    else:
+                        result = self.pool.answer_group(
+                            [request.query_id],
+                            request.t_start,
+                            request.t_end,
+                            variant=request.variant,
+                            fraction=request.fraction,
+                            band_width=request.band_width,
+                        )
+                        answer = result.answers[request.query_id]
+                        backend = result.backend
+                        self.cache.put(request.fingerprint, revision, answer)
+                root = recorder.latest()
+            root.set("backend", backend)
+            return ExplainResult(
+                response=QueryResponse(
+                    request=request,
+                    answer=answer,
+                    revision=revision,
+                    backend=backend,
+                    batch_size=1,
+                    queue_seconds=0.0,
+                    service_seconds=time.perf_counter() - started,
+                ),
+                span=root,
+            )
+
+        return await self._loop.run_in_executor(self._executor, evaluate)
 
     # ------------------------------------------------------------------
     # Dispatcher internals.
@@ -372,6 +552,7 @@ class QueryService:
                     stop = True
                     break
                 batch.append(extra)
+            self._m_queue_depth.set(self._queue.qsize())
             await self._serve_batch(batch)
             if stop:
                 return
@@ -391,32 +572,55 @@ class QueryService:
         )
         revision = self.mod.revision
         dequeued = time.perf_counter()
-        try:
-            result = await self._loop.run_in_executor(
-                self._executor,
-                lambda: self.pool.answer_group(
+
+        def evaluate():
+            # Runs on an executor thread, so spans must not touch the event
+            # loop thread's stack: the group's trace is a detached root
+            # pushed to the active recorder once finished (a no-op when
+            # tracing is off).
+            span = detached_span(
+                "service.group",
+                queries=len(query_ids),
+                requests=len(members),
+                variant=request.variant,
+            )
+            with span:
+                result = self.pool.answer_group(
                     query_ids,
                     request.t_start,
                     request.t_end,
                     variant=request.variant,
                     fraction=request.fraction,
                     band_width=request.band_width,
-                ),
-            )
+                )
+            span.set("backend", result.backend)
+            record(span)
+            return result
+
+        try:
+            result = await self._loop.run_in_executor(self._executor, evaluate)
         except Exception as error:  # noqa: BLE001 - forwarded to awaiters
             for pending in members:
                 if not pending.future.done():
                     pending.future.set_exception(error)
             return
-        self._stats.batches += 1
-        self._stats.evaluated += len(members)
-        self._stats.backend_counts[result.backend] = (
-            self._stats.backend_counts.get(result.backend, 0) + len(members)
-        )
         finished = time.perf_counter()
+        self._m_batches.inc()
+        self._m_evaluated.inc(len(members))
+        self._m_coalesce.observe(len(members))
+        self._m_eval.observe(finished - dequeued)
+        self.registry.counter(
+            "repro_service_backend_requests_total",
+            "Requests served per engine backend",
+            backend=result.backend,
+        ).inc(len(members))
+        self._backend_counts[result.backend] = (
+            self._backend_counts.get(result.backend, 0) + len(members)
+        )
         for pending in members:
             answer = result.answers[pending.request.query_id]
             self.cache.put(pending.request.fingerprint, revision, answer)
+            self._m_latency.observe(finished - pending.submitted)
             if pending.future.done():
                 continue
             pending.future.set_result(

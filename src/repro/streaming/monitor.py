@@ -29,6 +29,8 @@ from ..core.queries import QueryContext
 from ..engine import QueryEngine
 from ..engine.answers import VARIANTS as _VARIANTS
 from ..engine.answers import answer_of
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import trace_span
 from ..trajectories.mod import MovingObjectsDatabase
 from ..trajectories.trajectory import UncertainTrajectory
 from .events import Answer, AnswerDelta, diff_answers
@@ -103,6 +105,9 @@ class ContinuousMonitor:
         cache_size: context-cache capacity; keep it above the number of
             standing queries so unaffected queries always hit.
         max_workers: thread-pool width for batch preparation.
+        registry: the :class:`~repro.obs.MetricsRegistry` the monitor and
+            its internal engine report into (``repro_monitor_*`` /
+            ``repro_engine_*``); a private registry when ``None``.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class ContinuousMonitor:
         index: str = "rtree",
         cache_size: int = 1024,
         max_workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if len(mod) == 0:
             raise ValueError(
@@ -119,8 +125,13 @@ class ContinuousMonitor:
                 "historical trajectories before registering queries)"
             )
         self.mod = mod
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.engine = QueryEngine(
-            mod, index=index, cache_size=cache_size, max_workers=max_workers
+            mod,
+            index=index,
+            cache_size=cache_size,
+            max_workers=max_workers,
+            registry=self.registry,
         )
         self.ingestor = StreamIngestor()
         self._queries: Dict[object, StandingQuery] = {}
@@ -128,6 +139,23 @@ class ContinuousMonitor:
         self._subscribers: List[Tuple[Optional[object], Callable[[AnswerDelta], None]]] = []
         self._batch = 0
         self._key_counter = 0
+        self._m_batches = self.registry.counter(
+            "repro_monitor_batches_total", "Update batches applied"
+        )
+        self._m_changed = self.registry.counter(
+            "repro_monitor_changed_objects_total",
+            "Trajectories rebuilt and swapped into the MOD",
+        )
+        self._m_evaluations = self.registry.counter(
+            "repro_monitor_evaluations_total",
+            "Standing-query answer recomputations",
+        )
+        self._m_deltas = self.registry.counter(
+            "repro_monitor_deltas_total", "Delta events emitted to subscribers"
+        )
+        self._m_apply = self.registry.histogram(
+            "repro_monitor_apply_seconds", help="End-to-end batch apply latency"
+        )
 
     # ------------------------------------------------------------------
     # Standing queries and subscriptions.
@@ -310,26 +338,39 @@ class ContinuousMonitor:
         """
         started = time.perf_counter()
         self._batch += 1
-        changed = self.ingestor.build_dirty(end_time=end_time)
-        for trajectory in trajectories or ():
-            changed[trajectory.object_id] = trajectory
-        for trajectory in changed.values():
-            self.mod.upsert(trajectory)
+        self._m_batches.inc()
+        with trace_span("monitor.apply", batch=self._batch) as span:
+            changed = self.ingestor.build_dirty(end_time=end_time)
+            for trajectory in trajectories or ():
+                changed[trajectory.object_id] = trajectory
+            with trace_span("monitor.upsert", changed=len(changed)):
+                for trajectory in changed.values():
+                    self.mod.upsert(trajectory)
+            self._m_changed.inc(len(changed))
 
-        affected: List[object] = []
-        events: List[AnswerDelta] = []
-        for standing in self._queries.values():
-            emitted = self._evaluate_one(standing, self._batch)
-            if emitted is not None:
-                affected.append(standing.key)
-                events.extend(emitted)
-        self._dispatch(events)
+            affected: List[object] = []
+            events: List[AnswerDelta] = []
+            with trace_span(
+                "monitor.evaluate", queries=len(self._queries)
+            ):
+                for standing in self._queries.values():
+                    emitted = self._evaluate_one(standing, self._batch)
+                    if emitted is not None:
+                        affected.append(standing.key)
+                        events.extend(emitted)
+            self._m_deltas.inc(len(events))
+            span.set("changed", len(changed))
+            span.set("affected", len(affected))
+            span.set("deltas", len(events))
+            self._dispatch(events)
+        seconds = time.perf_counter() - started
+        self._m_apply.observe(seconds)
         return BatchReport(
             batch=self._batch,
             changed_ids=tuple(sorted(changed.keys(), key=str)),
             affected_queries=tuple(affected),
             events=tuple(events),
-            seconds=time.perf_counter() - started,
+            seconds=seconds,
         )
 
     # ------------------------------------------------------------------
@@ -384,6 +425,7 @@ class ContinuousMonitor:
                 return None
             answer = answer_of(context, standing.variant, standing.fraction)
         state.evaluations += 1
+        self._m_evaluations.inc()
         delta = diff_answers(
             state.answer, answer, standing.key, standing.query_id, batch
         )

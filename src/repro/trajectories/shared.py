@@ -61,8 +61,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.logging import get_logger
 from .mod import MovingObjectsDatabase
 from .trajectory import TrajectorySample, Trajectory, UncertainTrajectory
+
+_log = get_logger("trajectories.shared")
 
 #: Payload alignment inside a segment (comfortably above float64's 8 bytes).
 _ALIGN = 16
@@ -313,6 +316,12 @@ class SharedColumnarStore:
         self._segments[:] = [segment]
         for old in retired:
             _destroy(old)
+        _log.debug(
+            "rebased %s: %d objects, retired %d segment(s)",
+            segment.name,
+            len(pack.ids),
+            len(retired),
+        )
 
     def _append_patch(
         self, changed_ids: Tuple[object, ...], removed: Tuple[object, ...]
@@ -331,6 +340,13 @@ class SharedColumnarStore:
             np.concatenate([ys for _, _, ys in columns]) if columns else empty,
         )
         self._segments.append(segment)
+        _log.debug(
+            "patched %s: %d changed, %d removed (chain length %d)",
+            segment.name,
+            len(changed_ids),
+            len(removed),
+            len(self._segments),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -342,6 +358,8 @@ class SharedColumnarStore:
             return
         self._closed = True
         self._finalizer.detach()
+        _log.debug("closing shared store %s (%d segment(s))",
+                   self._prefix, len(self._segments))
         _release_segments(self._segments)
 
     def __enter__(self) -> "SharedColumnarStore":

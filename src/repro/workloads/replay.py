@@ -22,6 +22,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
 from ..service.requests import QueryRequest, QueryResponse
 from ..service.service import QueryService, ServiceOverloaded
 from ..trajectories.mod import MovingObjectsDatabase
@@ -237,6 +242,7 @@ async def replay(
     *,
     time_scale: float = 0.0,
     count_rejections: bool = True,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ReplayReport:
     """Drive a workload through a running service, burst by burst.
 
@@ -252,21 +258,47 @@ async def replay(
         time_scale: pacing factor over ``workload.tick_seconds``.
         count_rejections: tolerate :class:`ServiceOverloaded` rejections and
             count them (``False`` re-raises, for tests that expect none).
+        registry: record driver-side ``repro_replay_*`` metrics (burst sizes
+            and latencies, rejections) into this registry; no metrics when
+            ``None``.
     """
+    metrics = registry if registry is not None else NULL_REGISTRY
+    m_bursts = metrics.counter(
+        "repro_replay_bursts_total", "Bursts driven through the service"
+    )
+    m_requests = metrics.counter(
+        "repro_replay_requests_total", "Requests submitted by the driver"
+    )
+    m_rejections = metrics.counter(
+        "repro_replay_rejections_total", "Requests the service rejected"
+    )
+    m_burst_seconds = metrics.histogram(
+        "repro_replay_burst_seconds", help="Wall clock to absorb one burst"
+    )
+    m_burst_size = metrics.histogram(
+        "repro_replay_burst_size",
+        buckets=DEFAULT_SIZE_BUCKETS,
+        help="Requests per burst",
+    )
     responses: List[QueryResponse] = []
     rejected = 0
     started = time.perf_counter()
     for burst in workload.ticks:
         burst_started = time.perf_counter()
+        m_bursts.inc()
+        m_requests.inc(len(burst))
+        m_burst_size.observe(len(burst))
         results = await asyncio.gather(
             *(service.submit(request) for request in burst),
             return_exceptions=True,
         )
+        m_burst_seconds.observe(time.perf_counter() - burst_started)
         for result in results:
             if isinstance(result, ServiceOverloaded):
                 if not count_rejections:
                     raise result
                 rejected += 1
+                m_rejections.inc()
             elif isinstance(result, BaseException):
                 raise result
             else:

@@ -1,0 +1,232 @@
+"""Unit tests of the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0.0
+
+    def test_to_dict(self):
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.to_dict() == {"type": "counter", "value": 2.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4.0
+
+    def test_reset(self):
+        gauge = Gauge("g")
+        gauge.set(9)
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = Histogram("h")
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.mean == 0.0
+        assert histogram.p50 == 0.0
+
+    def test_counts_and_sum(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 100.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(106.5)
+        buckets = histogram.to_dict()["buckets"]
+        assert buckets == {"1.0": 1, "2.0": 2, "4.0": 1, "+Inf": 1}
+
+    def test_exact_boundary_lands_in_bucket(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.to_dict()["buckets"]["1.0"] == 1
+
+    def test_quantile_interpolates_within_bucket(self):
+        histogram = Histogram("h", bounds=(0.0, 10.0))
+        for _ in range(100):
+            histogram.observe(5.0)
+        # All mass in the (0, 10] bucket: the median interpolates to its middle.
+        assert histogram.p50 == pytest.approx(5.0)
+
+    def test_quantile_overflow_returns_last_bound(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for _ in range(10):
+            histogram.observe(50.0)
+        assert histogram.p99 == 2.0
+
+    def test_quantile_monotone(self):
+        histogram = Histogram("h")
+        for value in (0.0002, 0.003, 0.04, 0.5, 6.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+    def test_quantile_out_of_range_raises(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+
+    def test_reset(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests_total")
+        second = registry.counter("requests_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        single = registry.counter("requests_total", backend="single")
+        sharded = registry.counter("requests_total", backend="sharded")
+        assert single is not sharded
+        single.inc(3)
+        assert registry.get("requests_total", backend="single").value == 3.0
+        assert registry.get("requests_total", backend="sharded").value == 0.0
+        assert registry.get("requests_total") is None
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=DEFAULT_LATENCY_BUCKETS)
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=DEFAULT_SIZE_BUCKETS)
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(0.01)
+        registry.reset()
+        assert registry.get("c").value == 0.0
+        assert registry.get("g").value == 0.0
+        assert registry.get("h").count == 0
+
+    def test_snapshot_keys_carry_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", backend="single").inc()
+        snapshot = registry.snapshot()
+        assert snapshot['requests_total{backend="single"}']["value"] == 1.0
+
+    def test_render_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h").observe(0.005)
+        parsed = json.loads(registry.render_json(indent=2))
+        assert parsed["c"]["value"] == 2.0
+        assert parsed["h"]["count"] == 1
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", help="Requests").inc(4)
+        registry.gauge("depth").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP req_total Requests" in text
+        assert "# TYPE req_total counter" in text
+        assert "req_total 4.0" in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2.0" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="2.0"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 11.0" in text
+        assert "lat_count 3" in text
+
+    def test_type_header_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", backend="single")
+        registry.counter("req_total", backend="sharded")
+        text = registry.render_prometheus()
+        assert text.count("# TYPE req_total counter") == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestNullRegistry:
+    def test_instruments_do_nothing(self):
+        counter = NULL_REGISTRY.counter("c")
+        counter.inc(100)
+        assert counter.value == 0.0
+        histogram = NULL_REGISTRY.histogram("h", buckets=DEFAULT_SIZE_BUCKETS)
+        histogram.observe(5)
+        assert histogram.count == 0
+        assert NULL_REGISTRY.render_prometheus() == ""
+        assert NULL_REGISTRY.snapshot() == {}
+
+    def test_help_positional_matches_real_registry(self):
+        # Both registries must accept (name, help) positionally so call
+        # sites can swap NULL_REGISTRY in for overhead measurement.
+        NULL_REGISTRY.counter("c", "help text")
+        MetricsRegistry().counter("c", "help text")
+
+
+def test_default_registry_is_process_global():
+    assert default_registry() is default_registry()

@@ -1,0 +1,59 @@
+"""Perf-gated guard: disabled tracing must stay within the overhead budget.
+
+Skipped unless ``REPRO_PERF_TESTS`` is set — timing assertions are too
+machine-sensitive for the default suite.  CI enforces the same bound
+through ``benchmarks/bench_obs.py`` + ``baselines/obs.json`` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.engine import QueryEngine
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import disable_tracing
+from repro.workloads.scenarios import multi_query_fleet
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_PERF_TESTS"),
+    reason="timing-sensitive; set REPRO_PERF_TESTS=1 to run",
+)
+
+#: Allowed warm-path regression of disabled tracing + live registry, percent.
+OVERHEAD_LIMIT_PCT = 2.0
+
+
+def _warm_batch_seconds(engine, query_ids, lo, hi, repeats=200):
+    engine.prepare_batch(query_ids, lo, hi)  # warm the context cache
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            engine.prepare_batch(query_ids, lo, hi)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_tracing_overhead_under_budget():
+    disable_tracing()
+    mod, query_ids = multi_query_fleet(num_vehicles=40, num_queries=8, seed=3)
+    lo, hi = mod.common_time_span()
+
+    null_engine = QueryEngine(mod, registry=NULL_REGISTRY)
+    live_engine = QueryEngine(mod, registry=MetricsRegistry())
+    # Interleave so ambient machine drift hits both variants equally.
+    baseline = _warm_batch_seconds(null_engine, query_ids, lo, hi)
+    instrumented = _warm_batch_seconds(live_engine, query_ids, lo, hi)
+    baseline = min(baseline, _warm_batch_seconds(null_engine, query_ids, lo, hi))
+    instrumented = min(
+        instrumented, _warm_batch_seconds(live_engine, query_ids, lo, hi)
+    )
+
+    overhead_pct = (instrumented - baseline) / baseline * 100.0
+    assert overhead_pct < OVERHEAD_LIMIT_PCT, (
+        f"warm prepare_batch regressed {overhead_pct:.2f}% "
+        f"(budget {OVERHEAD_LIMIT_PCT}%)"
+    )

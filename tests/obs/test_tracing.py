@@ -1,0 +1,220 @@
+"""Unit tests of structured tracing: spans, stitching, and the no-op path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    SpanRecorder,
+    capture,
+    current_span,
+    detached_span,
+    disable_tracing,
+    enable_tracing,
+    enabled,
+    record,
+    render_tree,
+    span_context,
+    trace_span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing globally off."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestNoopPath:
+    def test_disabled_returns_singleton(self):
+        assert trace_span("x") is NOOP_SPAN
+        assert detached_span("x") is NOOP_SPAN
+        assert current_span() is NOOP_SPAN
+        assert span_context() is None
+
+    def test_noop_span_is_inert(self):
+        with trace_span("x", a=1) as span:
+            span.set("k", "v")
+            span.adopt(None)
+        assert span is NOOP_SPAN
+        assert span.find("x") is None
+        assert list(span.walk()) == []
+
+
+class TestSpans:
+    def test_nesting_and_recording(self):
+        recorder = enable_tracing(SpanRecorder())
+        with trace_span("root", kind="test") as root:
+            with trace_span("child") as child:
+                with trace_span("grandchild"):
+                    pass
+        assert root.children == [child]
+        assert len(child.children) == 1
+        assert root.duration is not None
+        assert child.duration <= root.duration
+        assert recorder.spans() == [root]
+
+    def test_only_roots_are_recorded(self):
+        recorder = enable_tracing(SpanRecorder())
+        with trace_span("root"):
+            with trace_span("child"):
+                pass
+        assert len(recorder) == 1
+        assert recorder.latest().name == "root"
+
+    def test_exception_tags_error_and_unwinds_stack(self):
+        enable_tracing(SpanRecorder())
+        with pytest.raises(RuntimeError):
+            with trace_span("root") as root:
+                with trace_span("child") as child:
+                    raise RuntimeError("boom")
+        assert child.attrs["error"] == "RuntimeError"
+        assert root.attrs["error"] == "RuntimeError"
+        assert current_span() is NOOP_SPAN  # stack fully unwound
+
+    def test_detached_span_nests_children_but_never_attaches(self):
+        recorder = enable_tracing(SpanRecorder())
+        with trace_span("root") as root:
+            with detached_span("off-tree") as detached:
+                with trace_span("inner") as inner:
+                    pass
+        assert detached not in root.children
+        assert inner in detached.children
+        assert recorder.spans() == [root]  # detached spans never auto-record
+        root.adopt(detached)
+        assert detached in root.children
+
+    def test_record_pushes_detached_roots(self):
+        recorder = enable_tracing(SpanRecorder())
+        with detached_span("worker") as span:
+            pass
+        record(span)
+        assert recorder.latest() is span
+
+    def test_adopt_ignores_none_and_noop(self):
+        span = Span("root")
+        span.adopt(None)
+        span.adopt(NOOP_SPAN)
+        assert span.children == []
+
+    def test_span_context_carries_current_span(self):
+        enable_tracing(SpanRecorder())
+        with trace_span("outer"):
+            name, _started = span_context()
+            assert name == "outer"
+
+    def test_walk_and_find(self):
+        with capture():
+            with trace_span("a") as a:
+                with trace_span("b"):
+                    with trace_span("c"):
+                        pass
+        assert [span.name for span in a.walk()] == ["a", "b", "c"]
+        assert a.find("c").name == "c"
+        assert a.find("missing") is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_shape_and_relative_offsets(self):
+        with capture():
+            with trace_span("root", shard=1) as root:
+                with trace_span("child", stage="kernel"):
+                    pass
+        payload = root.to_dict()
+        rebuilt = Span.from_dict(payload)
+        assert rebuilt.name == "root"
+        assert rebuilt.attrs == {"shard": 1}
+        assert rebuilt.duration == pytest.approx(root.duration)
+        (child,) = rebuilt.children
+        assert child.name == "child"
+        assert child.attrs == {"stage": "kernel"}
+        # Relative child offset survives re-basing onto a new clock.
+        original_offset = root.children[0].started - root.started
+        assert child.started - rebuilt.started == pytest.approx(original_offset)
+
+    def test_rebuilt_tree_is_detached(self):
+        with capture() as recorder:
+            with trace_span("root"):
+                pass
+            payload = recorder.latest().to_dict()
+            with Span.from_dict(payload):
+                pass
+            # Exiting the rebuilt (detached) root must not re-record it.
+            assert len(recorder) == 1
+
+
+class TestRecorder:
+    def test_ring_buffer_evicts_oldest(self):
+        recorder = SpanRecorder(capacity=2)
+        for index in range(4):
+            recorder.push(Span(f"s{index}"))
+        assert [span.name for span in recorder.spans()] == ["s2", "s3"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+    def test_clear(self):
+        recorder = SpanRecorder()
+        recorder.push(Span("s"))
+        recorder.clear()
+        assert recorder.latest() is None
+        assert len(recorder) == 0
+
+
+class TestCapture:
+    def test_capture_restores_global_state(self):
+        assert not enabled()
+        with capture() as recorder:
+            assert enabled()
+            with trace_span("inside"):
+                pass
+        assert not enabled()
+        assert recorder.latest().name == "inside"
+
+    def test_capture_isolates_thread_stack(self):
+        enable_tracing(SpanRecorder())
+        with trace_span("outer"):
+            with capture() as inner_recorder:
+                assert current_span() is NOOP_SPAN  # fresh stack inside
+                with trace_span("inner"):
+                    pass
+            assert current_span().name == "outer"  # stack restored
+        assert inner_recorder.latest().name == "inner"
+
+
+def test_spans_on_other_threads_record_independently():
+    recorder = enable_tracing(SpanRecorder())
+    try:
+        def work():
+            with trace_span("thread-root"):
+                pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        with trace_span("main-root"):
+            pass
+        names = sorted(span.name for span in recorder.spans())
+        assert names == ["main-root", "thread-root"]
+    finally:
+        disable_tracing()
+
+
+def test_render_tree_shows_timings_and_attrs():
+    with capture():
+        with trace_span("root", queries=3) as root:
+            with trace_span("child"):
+                pass
+    text = render_tree(root)
+    lines = text.splitlines()
+    assert lines[0].startswith("root")
+    assert "[queries=3]" in lines[0]
+    assert lines[1].startswith("  child")
+    assert "ms" in lines[0]

@@ -1,0 +1,179 @@
+"""Service-level observability: stats snapshots, metrics, and explain."""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service import QueryRequest, QueryService, ServiceStats
+from repro.workloads.scenarios import multi_query_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return multi_query_fleet(num_vehicles=24, num_queries=4, seed=7)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def serve_some(service_options=None, repeats=1):
+    async def _run():
+        mod, query_ids = multi_query_fleet(num_vehicles=24, num_queries=4, seed=7)
+        lo, hi = mod.common_time_span()
+        async with QueryService(mod, **(service_options or {})) as service:
+            for _ in range(repeats):
+                await service.submit_all(
+                    [QueryRequest(query_id, lo, hi) for query_id in query_ids]
+                )
+            return service, service.stats(), service.metrics_snapshot()
+
+    return run(_run())
+
+
+class TestStatsSnapshot:
+    def test_stats_is_immutable(self):
+        _service, stats, _snapshot = serve_some()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            stats.submitted = 0
+
+    def test_stats_values(self):
+        _service, stats, _snapshot = serve_some()
+        assert stats.submitted == 4
+        assert stats.evaluated + stats.cache_hits == 4
+        assert stats.rejected == 0
+        assert stats.batches >= 1
+        assert sum(stats.backend_counts.values()) == stats.evaluated
+
+    def test_backend_counts_mutation_does_not_leak(self):
+        # Regression: the live mutable stats object (and its shared
+        # backend_counts dict) used to leak internal state to callers.
+        async def _run():
+            mod, query_ids = multi_query_fleet(
+                num_vehicles=24, num_queries=4, seed=7
+            )
+            lo, hi = mod.common_time_span()
+            async with QueryService(mod, force_backend="single") as service:
+                await service.submit(QueryRequest(query_ids[0], lo, hi))
+                first = service.stats()
+                first.backend_counts["single"] = 999
+                first.backend_counts["bogus"] = 1
+                second = service.stats()
+                return first, second
+
+        first, second = run(_run())
+        assert second.backend_counts == {"single": 1}
+        assert "bogus" not in second.backend_counts
+
+    def test_default_backend_counts_not_shared_between_instances(self):
+        # Regression: a mutable default would alias every bare ServiceStats.
+        first = ServiceStats()
+        second = ServiceStats()
+        assert first.backend_counts is not second.backend_counts
+        first.backend_counts["single"] = 5
+        assert second.backend_counts == {}
+
+    def test_reset_zeroes_stats_and_metrics(self):
+        async def _run():
+            mod, query_ids = multi_query_fleet(
+                num_vehicles=24, num_queries=4, seed=7
+            )
+            lo, hi = mod.common_time_span()
+            async with QueryService(mod) as service:
+                await service.submit(QueryRequest(query_ids[0], lo, hi))
+                service.reset()
+                return service.stats(), service.metrics_snapshot()
+
+        stats, snapshot = run(_run())
+        assert stats.submitted == 0
+        assert stats.backend_counts == {}
+        assert stats.max_queue_depth == 0
+        assert snapshot["repro_service_requests_total"]["value"] == 0.0
+
+
+class TestMetricsSurface:
+    def test_snapshot_covers_the_whole_stack(self):
+        _service, _stats, snapshot = serve_some(repeats=2)
+        assert snapshot["repro_service_requests_total"]["value"] == 8.0
+        assert snapshot["repro_service_cache_hits_total"]["value"] == 4.0
+        assert "repro_service_queue_depth" in snapshot
+        assert snapshot["repro_service_latency_seconds"]["count"] == 8
+        assert snapshot["repro_service_coalesce_width"]["count"] >= 1
+        # The pooled engine shares the service registry.
+        assert any(key.startswith("repro_engine_") for key in snapshot)
+        # Result-cache counters live in the same registry.
+        assert snapshot["repro_service_result_cache_hits_total"]["value"] == 4.0
+
+    def test_shared_registry_can_be_injected(self):
+        registry = MetricsRegistry()
+
+        async def _run():
+            mod, query_ids = multi_query_fleet(
+                num_vehicles=24, num_queries=4, seed=7
+            )
+            lo, hi = mod.common_time_span()
+            async with QueryService(mod, registry=registry) as service:
+                await service.submit(QueryRequest(query_ids[0], lo, hi))
+                return service.registry
+
+        assert run(_run()) is registry
+        assert registry.get("repro_service_requests_total").value == 1.0
+
+    def test_prometheus_rendering(self):
+        async def _run():
+            mod, query_ids = multi_query_fleet(
+                num_vehicles=24, num_queries=4, seed=7
+            )
+            lo, hi = mod.common_time_span()
+            async with QueryService(mod) as service:
+                await service.submit(QueryRequest(query_ids[0], lo, hi))
+                return service.metrics_prometheus()
+
+        text = run(_run())
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "repro_service_requests_total 1.0" in text
+        assert 'repro_service_latency_seconds_bucket{le="+Inf"} 1' in text
+
+
+class TestExplain:
+    def test_explain_returns_span_tree_and_exact_answer(self):
+        async def _run():
+            mod, query_ids = multi_query_fleet(
+                num_vehicles=24, num_queries=4, seed=7
+            )
+            lo, hi = mod.common_time_span()
+            async with QueryService(mod, force_backend="single") as service:
+                request = QueryRequest(query_ids[0], lo, hi)
+                explained = await service.explain(request)
+                served = await service.submit(request)
+                cached = await service.explain(request)
+                return explained, served, cached
+
+        explained, served, cached = run(_run())
+        assert explained.response.answer == served.answer
+        assert explained.span.name == "service.explain"
+        assert explained.span.attrs["backend"] == "single"
+        assert explained.span.find("pool.answer_group") is not None
+        assert explained.span.find("engine.prepare_batch") is not None
+        rendered = explained.render()
+        assert "service.explain" in rendered
+        assert "ms" in rendered
+        # The first explain primed the cache; the second is served from it.
+        assert cached.span.attrs["backend"] == "cache"
+        assert cached.response.answer == served.answer
+
+    def test_explain_does_not_disturb_service_stats(self):
+        async def _run():
+            mod, query_ids = multi_query_fleet(
+                num_vehicles=24, num_queries=4, seed=7
+            )
+            lo, hi = mod.common_time_span()
+            async with QueryService(mod) as service:
+                await service.explain(QueryRequest(query_ids[0], lo, hi))
+                return service.stats()
+
+        stats = run(_run())
+        assert stats.submitted == 0
+        assert stats.evaluated == 0
