@@ -8,8 +8,9 @@ export PYTHONPATH := src
 .PHONY: test coverage bench-smoke bench bench-streaming bench-streaming-smoke \
 	bench-sharded bench-sharded-smoke bench-columnar bench-columnar-smoke \
 	bench-service bench-service-smoke bench-obs bench-obs-smoke \
+	bench-planner bench-planner-smoke \
 	bench-all bench-all-smoke check-regression update-baselines-dry lint \
-	docs clean
+	typecheck docs clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -61,6 +62,12 @@ bench-obs-smoke:
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs.py
 
+bench-planner-smoke:
+	$(PYTHON) benchmarks/bench_planner.py --quick --json BENCH_planner.json
+
+bench-planner:
+	$(PYTHON) benchmarks/bench_planner.py --json BENCH_planner.json
+
 # The unified runner: one schema-versioned BENCH_<name>.json per bench.
 bench-all:
 	$(PYTHON) benchmarks/run_all.py
@@ -93,4 +100,14 @@ lint:
 		$(PYTHON) -m ruff check src benchmarks examples tests; \
 	else \
 		echo "ruff not installed; skipping ruff check"; \
+	fi
+
+# Static analysis: strict on the query language / planner (see mypy.ini),
+# permissive elsewhere.  mypy comes from requirements-dev.txt (CI installs
+# it); skip gracefully when the local environment lacks it.
+typecheck:
+	@if $(PYTHON) -c "import mypy" >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping typecheck (pip install -r requirements-dev.txt)"; \
 	fi

@@ -42,6 +42,10 @@ REGISTRY = {
         "bench_obs",
         "observability overhead: instrumented vs null-registry hot path",
     ),
+    "planner": (
+        "bench_planner",
+        "compiled query plans vs naive per-statement interpretation",
+    ),
     "streaming": (
         "bench_streaming",
         "incremental streaming maintenance vs rebuild-from-scratch",

@@ -207,6 +207,11 @@ class QueryEngine:
         """The shared spatio-temporal index (``None`` when filtering is off)."""
         return self._index
 
+    @property
+    def index_kind(self) -> Optional[str]:
+        """The engine-built index kind (``None``: prebuilt or filtering off)."""
+        return self._index_kind
+
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters of the context cache."""
         return self._cache.info()

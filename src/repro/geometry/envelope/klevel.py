@@ -109,6 +109,14 @@ def k_level_envelopes(
     if limit < 1:
         raise ValueError("max_levels must be at least 1")
 
+    # Ties between equal-valued functions are broken by input order inside
+    # lower_envelope, and the per-interval exclusion cascade amplifies the
+    # choice into different level *memberships*.  Canonicalizing the order
+    # here makes every level a pure function of the function set, so rank
+    # answers agree across execution layers that enumerate candidates
+    # differently (insertion order, sorted corridor survivors, shards).
+    functions = sorted(functions, key=lambda f: str(f.object_id))
+
     by_id: Dict[object, DistanceFunction] = {f.object_id: f for f in functions}
     if len(by_id) != len(functions):
         raise ValueError("distance functions must have unique object ids")

@@ -429,6 +429,20 @@ class ShardedEngine:
             for state in self._states
         ]
 
+    def plan_coverage(self) -> float:
+        """Fraction of owned trajectories living in candidate-complete shards.
+
+        A complete shard answers its queries without touching the
+        fallback engine, so this is the planner's cost-model signal for
+        how well a sharded fan-out will avoid fallback re-evaluation
+        (1.0: every query shard-local; 0.0: everything falls back).
+        """
+        infos = self.shard_info()
+        owned = sum(info.owned for info in infos)
+        if owned == 0:
+            return 0.0
+        return sum(info.owned for info in infos if info.complete) / owned
+
     def owner_of(self, object_id: object) -> int:
         """Index of the shard owning an object's queries."""
         self._sync()

@@ -1,0 +1,196 @@
+"""The planner's cost model: columnar-stat-driven physical choices.
+
+Two decisions are made per compiled plan, both fed by
+:class:`StoreStats` read off the MOD's :class:`~repro.trajectories.columnar.ColumnarStore`:
+
+* **access** — build/probe the spatio-temporal index (corridor
+  filtering) or scan every stored trajectory.  Filtering is provably
+  answer-preserving, so this is purely a cost call: below
+  :attr:`CostModel.index_min_objects` stored objects (or
+  :attr:`CostModel.index_min_segments` segments) the bulk-load + probe
+  overhead exceeds the envelope work it saves.
+* **backend** — serve a fused group on the single in-process
+  :class:`~repro.engine.QueryEngine` or fan it out over a
+  :class:`~repro.parallel.ShardedEngine`.  Sharding only pays for wide
+  probability (UQ3x) groups — rank statements are not servable by the
+  sharded batch API — and only when enough of the store lives in
+  candidate-complete shards that fallback re-evaluation stays rare.
+
+Both decisions are recorded with a human-readable reason, which the
+plan tree surfaces through ``explain_plan``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..trajectories.mod import MovingObjectsDatabase
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Columnar-store statistics the cost model prices plans with.
+
+    Attributes:
+        object_count: stored trajectories.
+        segment_count: stored polyline segments (samples minus objects).
+        shard_coverage: fraction of owned trajectories living in
+            candidate-complete shards (``None`` when no sharded engine
+            is attached).
+    """
+
+    object_count: int
+    segment_count: int
+    shard_coverage: Optional[float] = None
+
+    @classmethod
+    def from_mod(
+        cls,
+        mod: "MovingObjectsDatabase",
+        sharded: Optional[object] = None,
+    ) -> "StoreStats":
+        """Read stats off a MOD's columnar store (changelog-synced).
+
+        Args:
+            mod: the moving objects database.
+            sharded: an optional :class:`~repro.parallel.ShardedEngine`;
+                its :meth:`~repro.parallel.ShardedEngine.plan_coverage`
+                feeds the backend decision.
+        """
+        store = mod.columnar()
+        pack = store.pack()
+        object_count = len(store)
+        coverage: Optional[float] = None
+        if sharded is not None:
+            coverage = float(sharded.plan_coverage())
+        return cls(
+            object_count=object_count,
+            segment_count=max(0, pack.sample_count - object_count),
+            shard_coverage=coverage,
+        )
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """Index-vs-scan choice for corridor filtering."""
+
+    use_index: bool
+    reason: str
+
+    @property
+    def index_kind(self) -> Optional[str]:
+        """Engine-constructor index argument implementing the choice."""
+        return "rtree" if self.use_index else None
+
+    @property
+    def access(self) -> str:
+        """Plan-tree access label."""
+        return "rtree-corridor" if self.use_index else "full-scan"
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """Single-vs-sharded execution choice for one fused group."""
+
+    backend: str
+    reason: str
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the group fans out over the sharded engine."""
+        return self.backend == "sharded"
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Threshold-based plan costing (documented in ``docs/query-planner.md``).
+
+    Attributes:
+        index_min_objects: minimum stored objects before corridor
+            filtering pays for the index probe.
+        index_min_segments: minimum stored segments before bulk-loading
+            the index beats scanning them outright.
+        sharded_min_group: minimum fused probability statements before
+            sharded dispatch amortizes its per-batch overhead.
+        sharded_min_coverage: minimum complete-shard coverage required
+            to keep fallback re-evaluations rare.
+    """
+
+    index_min_objects: int = 8
+    index_min_segments: int = 64
+    sharded_min_group: int = 4
+    sharded_min_coverage: float = 0.5
+
+    def choose_access(self, stats: StoreStats) -> AccessDecision:
+        """Index-filter or full-scan, from store size alone."""
+        if stats.object_count < self.index_min_objects:
+            return AccessDecision(
+                use_index=False,
+                reason=(
+                    f"{stats.object_count} objects < "
+                    f"index_min_objects={self.index_min_objects}"
+                ),
+            )
+        if stats.segment_count < self.index_min_segments:
+            return AccessDecision(
+                use_index=False,
+                reason=(
+                    f"{stats.segment_count} segments < "
+                    f"index_min_segments={self.index_min_segments}"
+                ),
+            )
+        return AccessDecision(
+            use_index=True,
+            reason=(
+                f"{stats.object_count} objects / {stats.segment_count} "
+                "segments justify corridor filtering"
+            ),
+        )
+
+    def choose_backend(
+        self,
+        stats: StoreStats,
+        *,
+        probability_width: int,
+        sharded_available: bool,
+    ) -> BackendDecision:
+        """Single engine or sharded fan-out for one fused group.
+
+        Args:
+            stats: columnar store statistics.
+            probability_width: UQ3x (non-rank) statements in the group —
+                the only ones the sharded batch API can serve.
+            sharded_available: a sharded engine is attached.
+        """
+        if not sharded_available:
+            return BackendDecision("single", "no sharded engine attached")
+        if probability_width < self.sharded_min_group:
+            return BackendDecision(
+                "single",
+                (
+                    f"{probability_width} probability statements < "
+                    f"sharded_min_group={self.sharded_min_group}"
+                ),
+            )
+        coverage = stats.shard_coverage if stats.shard_coverage is not None else 0.0
+        if coverage < self.sharded_min_coverage:
+            return BackendDecision(
+                "single",
+                (
+                    f"complete-shard coverage {coverage:.2f} < "
+                    f"sharded_min_coverage={self.sharded_min_coverage}"
+                ),
+            )
+        return BackendDecision(
+            "sharded",
+            (
+                f"{probability_width} probability statements over "
+                f"{coverage:.2f} complete-shard coverage"
+            ),
+        )
+
+
+#: The default thresholds every executor starts from.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,24 +1,48 @@
-"""Executing parsed MOD queries against a MovingObjectsDatabase.
+"""Executing parsed MOD queries through the batch compiler.
 
-The executor maps each AST shape onto the corresponding Section-4 category of
-:class:`~repro.core.continuous.ContinuousProbabilisticNNQuery`:
+The executor maps each AST shape onto the corresponding Section-4 category
+of the paper's UQ operators:
 
-* Category 3/4 (no target restriction) return the list of qualifying object
-  ids;
+* Category 3/4 (no target restriction) return the list of qualifying
+  object ids;
 * Category 1/2 (``AND T = ...``) return the same list restricted to the
   target — i.e. an empty list means "no", a singleton means "yes" — plus a
   boolean convenience flag on the result object.
+
+Execution routes through the :mod:`~repro.query_language.planner`: text
+is parsed, lowered into a fused :class:`~repro.query_language.planner.QueryPlan`,
+and run against a *reusable* :class:`~repro.engine.QueryEngine` — one
+engine (index, context cache, bulk kernels) per MOD, held by a
+:class:`QueryExecutor`.  The module-level :func:`execute_query` /
+:func:`execute_many` keep one executor alive per MOD (weakly referenced),
+so a dashboard re-issuing the same text hits the engine's
+:class:`~repro.engine.cache.ContextCache` instead of rebuilding envelopes.
+
+:func:`execute_query_naive` pins the original per-query interpreter over
+the scalar :class:`~repro.core.continuous.ContinuousProbabilisticNNQuery`
+façade as the equivalence oracle: planned answers must stay byte-identical
+to it (both paths canonicalize answer order by ``str``).
 """
 
 from __future__ import annotations
 
+import time
+import weakref
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from ..core.continuous import ContinuousProbabilisticNNQuery
+from ..engine.cache import CacheInfo
+from ..engine.engine import QueryEngine
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
+from ..obs.tracing import capture, render_tree, trace_span
 from ..trajectories.mod import MovingObjectsDatabase
 from .ast import ContinuousNNQueryAST, Quantifier
+from .cost import AccessDecision, CostModel, DEFAULT_COST_MODEL, StoreStats
 from .parser import parse_query
+from .planner import BandWidths, QueryPlan, compile_queries, resolve_object_id
+
+Statement = Union[str, ContinuousNNQueryAST]
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,29 +58,326 @@ class QueryResult:
         return bool(self.object_ids)
 
 
+class QueryExecutor:
+    """A reusable query-language session over one MOD.
+
+    Owns the cost model, the access decision, and the single-process
+    :class:`~repro.engine.QueryEngine` every compiled plan executes
+    against, so repeated executions share the engine's index and context
+    cache.  Optionally fans wide probability groups out over an attached
+    :class:`~repro.parallel.ShardedEngine`.
+
+    Args:
+        mod: the moving objects database to serve.
+        cost_model: planner thresholds (:class:`~repro.query_language.cost.CostModel`).
+        sharded: an optional sharded engine for wide UQ3x groups.
+        cache_size: the engine's LRU context-cache capacity.
+        registry: the :class:`~repro.obs.MetricsRegistry` planner and
+            engine metrics land in (``repro_planner_*`` /
+            ``repro_engine_*``); a private registry when ``None``.
+    """
+
+    def __init__(
+        self,
+        mod: MovingObjectsDatabase,
+        *,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        sharded: Optional[object] = None,
+        cache_size: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.mod = mod
+        self.cost_model = cost_model
+        self.sharded = sharded
+        self._cache_size = cache_size
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._stats = StoreStats.from_mod(mod, sharded=sharded)
+        self._access = cost_model.choose_access(self._stats)
+        self._stats_revision = mod.revision
+        self._engine = QueryEngine(
+            mod,
+            index=self._access.index_kind,
+            cache_size=cache_size,
+            registry=self.registry,
+        )
+        self._m_compilations = self.registry.counter(
+            "repro_planner_compilations_total", "Plans compiled"
+        )
+        self._m_statements = self.registry.counter(
+            "repro_planner_statements_total", "Statements planned"
+        )
+        self._m_group_width = self.registry.histogram(
+            "repro_planner_group_width",
+            buckets=DEFAULT_SIZE_BUCKETS,
+            help="Statements fused per prepared group",
+        )
+        self._m_backend = {
+            backend: self.registry.counter(
+                "repro_planner_backend_statements_total",
+                "Statements executed per chosen backend",
+                backend=backend,
+            )
+            for backend in ("single", "sharded")
+        }
+        self._m_fallbacks = self.registry.counter(
+            "repro_planner_fallbacks_total",
+            "Statements re-routed to the single engine (or escaped shards)",
+        )
+        self._m_execute = self.registry.histogram(
+            "repro_planner_execute_seconds", help="Plan execution wall time"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The reusable single-process engine plans execute against."""
+        return self._engine
+
+    @property
+    def stats(self) -> StoreStats:
+        """Columnar statistics the current access decision was priced on."""
+        return self._stats
+
+    @property
+    def access(self) -> AccessDecision:
+        """The engine's index-vs-scan decision."""
+        return self._access
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters of the engine's context cache."""
+        return self._engine.cache_info()
+
+    # ------------------------------------------------------------------
+    # Compilation and execution.
+    # ------------------------------------------------------------------
+
+    def compile(
+        self,
+        statements: Union[Statement, Sequence[Statement]],
+        band_width: BandWidths = None,
+    ) -> QueryPlan:
+        """Parse (where needed) and lower statements into a fused plan."""
+        self._refresh_access()
+        asts = [_parse(statement) for statement in _as_batch(statements)]
+        plan = compile_queries(
+            asts,
+            self.mod,
+            band_width=band_width,
+            cost_model=self.cost_model,
+            stats=self._stats,
+            access=self._access,
+            sharded_available=self.sharded is not None,
+        )
+        self._m_compilations.inc()
+        self._m_statements.inc(plan.statement_count)
+        for group in plan.groups:
+            self._m_group_width.observe(group.width)
+        return plan
+
+    def execute(
+        self,
+        statement: Statement,
+        band_width: Optional[float] = None,
+    ) -> QueryResult:
+        """Compile and run one statement (engine caches persist across calls)."""
+        return self.execute_many([statement], band_width=band_width)[0]
+
+    def execute_many(
+        self,
+        statements: Sequence[Statement],
+        band_width: BandWidths = None,
+    ) -> List[QueryResult]:
+        """Compile and run a batch; results come back in submission order."""
+        plan = self.compile(statements, band_width=band_width)
+        started = time.perf_counter()
+        with trace_span(
+            "planner.execute",
+            statements=plan.statement_count,
+            groups=len(plan.groups),
+        ):
+            execution = plan.execute(self._engine, sharded=self.sharded)
+        self._m_execute.observe(time.perf_counter() - started)
+        self._m_fallbacks.inc(execution.telemetry.fallbacks)
+        for backend, count in execution.telemetry.backend_statements.items():
+            self._m_backend[backend].inc(count)
+        asts = [group_statement.ast for group_statement in _in_order(plan)]
+        return [
+            QueryResult(ast, ids)
+            for ast, ids in zip(asts, execution.answers)
+        ]
+
+    def explain(
+        self,
+        statements: Union[Statement, Sequence[Statement]],
+        band_width: BandWidths = None,
+        *,
+        execute: bool = False,
+    ) -> str:
+        """Render the compiled plan tree, optionally with the span tree.
+
+        With ``execute=True`` the plan is run under a private tracing
+        capture and the resulting engine span tree is appended below the
+        plan, so one string shows both the *decisions* (plan nodes) and
+        the *observed costs* (span timings).
+        """
+        plan = self.compile(statements, band_width=band_width)
+        rendered = plan.explain()
+        if not execute:
+            return rendered
+        with capture() as recorder:
+            with trace_span(
+                "planner.execute",
+                statements=plan.statement_count,
+                groups=len(plan.groups),
+            ):
+                plan.execute(self._engine, sharded=self.sharded)
+        trees = "\n".join(render_tree(span) for span in recorder.spans())
+        return f"{rendered}\n\n{trees}" if trees else rendered
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+
+    def _refresh_access(self) -> None:
+        """Re-price the access decision when the store changed.
+
+        The engine refreshes its own derived state on MOD changes; the
+        executor only needs to re-read the columnar stats and — in the
+        rare case the store crossed a cost threshold — rebuild the
+        engine with the flipped index choice.
+        """
+        if self.mod.revision == self._stats_revision:
+            return
+        self._stats = StoreStats.from_mod(self.mod, sharded=self.sharded)
+        access = self.cost_model.choose_access(self._stats)
+        self._stats_revision = self.mod.revision
+        if access.index_kind != self._access.index_kind:
+            self._access = access
+            self._engine = QueryEngine(
+                self.mod,
+                index=access.index_kind,
+                cache_size=self._cache_size,
+                registry=self.registry,
+            )
+        else:
+            self._access = access
+
+
+def _parse(statement: Statement) -> ContinuousNNQueryAST:
+    return (
+        statement
+        if isinstance(statement, ContinuousNNQueryAST)
+        else parse_query(statement)
+    )
+
+
+def _as_batch(
+    statements: Union[Statement, Sequence[Statement]]
+) -> Sequence[Statement]:
+    if isinstance(statements, (str, ContinuousNNQueryAST)):
+        return [statements]
+    return statements
+
+
+def _in_order(plan: QueryPlan):
+    """The plan's statements sorted back into submission order."""
+    flat = [
+        statement for group in plan.groups for statement in group.statements
+    ]
+    return sorted(flat, key=lambda statement: statement.position)
+
+
+# ----------------------------------------------------------------------
+# Module-level convenience API (one cached executor per MOD).
+# ----------------------------------------------------------------------
+
+_EXECUTORS: "weakref.WeakKeyDictionary[MovingObjectsDatabase, QueryExecutor]"
+_EXECUTORS = weakref.WeakKeyDictionary()
+
+
+def executor_for(mod: MovingObjectsDatabase) -> QueryExecutor:
+    """The process-wide cached executor of one MOD.
+
+    Created on first use and kept alive (weakly, so dropping the MOD
+    drops its executor) — which is what lets bare :func:`execute_query`
+    calls share an engine and hit its context cache on re-execution.
+    """
+    executor = _EXECUTORS.get(mod)
+    if executor is None:
+        executor = QueryExecutor(mod)
+        _EXECUTORS[mod] = executor
+    return executor
+
+
 def execute_query(
-    text_or_ast: str | ContinuousNNQueryAST,
+    text_or_ast: Statement,
     mod: MovingObjectsDatabase,
     band_width: Optional[float] = None,
 ) -> QueryResult:
     """Parse (if needed) and execute a query against a MOD.
 
+    Routes through the MOD's cached :class:`QueryExecutor`, so repeated
+    executions of the same text reuse the engine's prepared contexts.
+
     Args:
         text_or_ast: the query text, or an already-parsed AST.
         mod: the moving objects database to run against.
-        band_width: optional pruning-band override handed to the query façade.
+        band_width: optional pruning-band override.
 
     Returns:
         A :class:`QueryResult` with the qualifying object ids (the query
-        object itself is never part of its own answer).
+        object itself is never part of its own answer), sorted by ``str``.
     """
-    ast = (
-        text_or_ast
-        if isinstance(text_or_ast, ContinuousNNQueryAST)
-        else parse_query(text_or_ast)
+    return executor_for(mod).execute(text_or_ast, band_width=band_width)
+
+
+def execute_many(
+    statements: Sequence[Statement],
+    mod: MovingObjectsDatabase,
+    band_width: BandWidths = None,
+) -> List[QueryResult]:
+    """Execute a batch of statements through one fused plan.
+
+    Statements sharing a window and band width are served by a single
+    batched preparation; results come back in submission order.
+    """
+    return executor_for(mod).execute_many(statements, band_width=band_width)
+
+
+def explain_plan(
+    statements: Union[Statement, Sequence[Statement]],
+    mod: MovingObjectsDatabase,
+    band_width: BandWidths = None,
+    *,
+    execute: bool = False,
+) -> str:
+    """Render the fused plan tree of one or many statements.
+
+    See :meth:`QueryExecutor.explain`.
+    """
+    return executor_for(mod).explain(
+        statements, band_width=band_width, execute=execute
     )
-    query_object = _resolve_object_id(mod, ast.predicate.query_object)
-    engine = ContinuousProbabilisticNNQuery(
+
+
+def execute_query_naive(
+    text_or_ast: Statement,
+    mod: MovingObjectsDatabase,
+    band_width: Optional[float] = None,
+) -> QueryResult:
+    """The pinned per-query interpreter, kept as the planner's oracle.
+
+    Evaluates one AST alone against the scalar façade — no index, no
+    cache, no fusion — exactly as ``execute_query`` did before the
+    planner existed.  Answer ordering is canonicalized by ``str`` so
+    planned results can be compared byte-for-byte.
+    """
+    ast = _parse(text_or_ast)
+    query_object = resolve_object_id(mod, ast.predicate.query_object)
+    facade = ContinuousProbabilisticNNQuery(
         mod,
         query_object,
         ast.window.t_start,
@@ -67,40 +388,30 @@ def execute_query(
     rank = ast.predicate.max_rank
     if rank is None:
         if ast.quantifier is Quantifier.EXISTS:
-            candidates = engine.all_with_nonzero_probability_sometime()
+            candidates = facade.all_with_nonzero_probability_sometime()
         elif ast.quantifier is Quantifier.FORALL:
-            candidates = engine.all_with_nonzero_probability_always()
+            candidates = facade.all_with_nonzero_probability_always()
         else:
-            candidates = engine.all_with_nonzero_probability_at_least(ast.min_fraction)
+            candidates = facade.all_with_nonzero_probability_at_least(
+                ast.min_fraction
+            )
     else:
         if ast.quantifier is Quantifier.EXISTS:
-            candidates = engine.all_ranked_within_sometime(rank)
+            candidates = facade.all_ranked_within_sometime(rank)
         elif ast.quantifier is Quantifier.FORALL:
-            candidates = engine.all_ranked_within_always(rank)
+            candidates = facade.all_ranked_within_always(rank)
         else:
-            candidates = engine.all_ranked_within_at_least(rank, ast.min_fraction)
+            candidates = facade.all_ranked_within_at_least(
+                rank, ast.min_fraction
+            )
 
+    candidates = sorted(candidates, key=str)
     if ast.target_object is not None:
-        target = _resolve_object_id(mod, ast.target_object)
+        target = resolve_object_id(mod, ast.target_object)
         candidates = [oid for oid in candidates if oid == target]
     return QueryResult(ast, candidates)
 
 
 def _resolve_object_id(mod: MovingObjectsDatabase, requested: object) -> object:
-    """Match a parsed literal against the MOD's actual object ids.
-
-    Query text cannot distinguish ``"7"`` from ``7``; try the literal first
-    and fall back to the obvious string/int coercions before giving up.
-    """
-    if requested in mod:
-        return requested
-    if isinstance(requested, str):
-        try:
-            numeric = int(requested)
-        except ValueError:
-            numeric = None
-        if numeric is not None and numeric in mod:
-            return numeric
-    if isinstance(requested, (int, float)) and str(requested) in mod:
-        return str(requested)
-    raise KeyError(f"query references unknown object {requested!r}")
+    """Back-compat alias of :func:`repro.query_language.planner.resolve_object_id`."""
+    return resolve_object_id(mod, requested)

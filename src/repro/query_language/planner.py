@@ -1,0 +1,428 @@
+"""Compiling parsed UQ statements into set-oriented batched plans.
+
+The naive interpreter evaluates each
+:class:`~repro.query_language.ast.ContinuousNNQueryAST` alone against the
+scalar :class:`~repro.core.continuous.ContinuousProbabilisticNNQuery`
+façade — no index reuse, no context cache, no bulk kernels.  This module
+is the compiler that makes the batched stack reachable from parsed text:
+
+1. **Resolve** — each statement's query (and target) literal is matched
+   against the MOD's actual ids once, up front;
+2. **Fuse** — statements sharing ``(t_start, t_end, band width)`` are
+   folded into one :class:`PlanGroup`, served by a single
+   :meth:`~repro.engine.QueryEngine.prepare_batch` call (one corridor
+   bulk probe, one envelope pass per distinct query id, shared LRU
+   cache);
+3. **Cost** — the :class:`~repro.query_language.cost.CostModel` picks
+   index-vs-scan and single-vs-sharded per group from
+   :class:`~repro.query_language.cost.StoreStats`;
+4. **Execute** — :meth:`QueryPlan.execute` runs the groups against a
+   reusable engine and re-interleaves per-statement answers into
+   submission order.
+
+Planned answers are byte-identical to the naive interpreter's: corridor
+filtering is provably answer-preserving (see
+:mod:`repro.engine.filtering`), and both paths canonicalize answer
+ordering by ``str`` of the object id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine.answers import Answer, answer_of
+from ..engine.engine import QueryEngine
+from ..trajectories.mod import MovingObjectsDatabase
+from .ast import ContinuousNNQueryAST, Quantifier
+from .cost import (
+    AccessDecision,
+    BackendDecision,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    StoreStats,
+)
+from .plans import (
+    AnswerNode,
+    BandIntervalsNode,
+    CorridorFilterNode,
+    MergeNode,
+    PrepareNode,
+    render_plan,
+)
+
+#: Quantifier -> UQ3x variant of the shared answer dispatch.
+VARIANT_OF_QUANTIFIER: Dict[Quantifier, str] = {
+    Quantifier.EXISTS: "sometime",
+    Quantifier.FORALL: "always",
+    Quantifier.FRACTION: "fraction",
+}
+
+BandWidths = Union[None, float, Sequence[Optional[float]]]
+
+
+def resolve_object_id(mod: MovingObjectsDatabase, requested: object) -> object:
+    """Match a parsed literal against the MOD's actual object ids.
+
+    Query text cannot distinguish ``"7"`` from ``7``; try the literal
+    first and fall back to the obvious string/int coercions before
+    giving up.
+    """
+    if requested in mod:
+        return requested
+    if isinstance(requested, str):
+        try:
+            numeric: Optional[int] = int(requested)
+        except ValueError:
+            numeric = None
+        if numeric is not None and numeric in mod:
+            return numeric
+    if isinstance(requested, (int, float)) and str(requested) in mod:
+        return str(requested)
+    raise KeyError(f"query references unknown object {requested!r}")
+
+
+@dataclass(frozen=True)
+class PlannedStatement:
+    """One resolved statement inside a fused group."""
+
+    position: int
+    ast: ContinuousNNQueryAST
+    query_object: object
+    variant: str
+    fraction: float
+    rank: Optional[int]
+    target: Optional[object]
+
+    @property
+    def is_rank(self) -> bool:
+        """Rank (Category 2/4) statements bypass the sharded batch API."""
+        return self.rank is not None
+
+
+@dataclass(frozen=True)
+class PlanGroup:
+    """Statements fused into one batched preparation."""
+
+    t_start: float
+    t_end: float
+    band_width: Optional[float]
+    statements: Tuple[PlannedStatement, ...]
+    backend: BackendDecision
+
+    @property
+    def width(self) -> int:
+        """Statements in the group."""
+        return len(self.statements)
+
+    @property
+    def probability_statements(self) -> Tuple[PlannedStatement, ...]:
+        """The UQ3x members a sharded backend can serve."""
+        return tuple(s for s in self.statements if not s.is_rank)
+
+    @property
+    def rank_statements(self) -> Tuple[PlannedStatement, ...]:
+        """The rank members only the single engine can serve."""
+        return tuple(s for s in self.statements if s.is_rank)
+
+
+@dataclass
+class PlanTelemetry:
+    """Execution-side planner decisions, for metrics and tests."""
+
+    groups: int = 0
+    statements: int = 0
+    group_widths: List[int] = field(default_factory=list)
+    backend_statements: Dict[str, int] = field(default_factory=dict)
+    fallbacks: int = 0
+
+
+@dataclass
+class PlanExecution:
+    """Outcome of executing one compiled plan."""
+
+    #: Per-statement answer id lists, submission order, canonically
+    #: sorted by ``str``.
+    answers: List[List[object]]
+    telemetry: PlanTelemetry
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled, executable batch of UQ statements."""
+
+    root: MergeNode
+    groups: Tuple[PlanGroup, ...]
+    stats: StoreStats
+    access: AccessDecision
+    cost_model: CostModel
+
+    @property
+    def statement_count(self) -> int:
+        """Total statements across every group."""
+        return sum(group.width for group in self.groups)
+
+    def explain(self) -> str:
+        """The plan tree as indented text."""
+        return render_plan(self.root)
+
+    def execute(
+        self,
+        engine: QueryEngine,
+        sharded: Optional[object] = None,
+    ) -> PlanExecution:
+        """Run every group and interleave answers into submission order.
+
+        Args:
+            engine: the reusable single-process engine (its context
+                cache persists across executions).
+            sharded: the :class:`~repro.parallel.ShardedEngine` groups
+                planned as ``backend=sharded`` fan out to; such groups
+                fall back to ``engine`` (and are counted as fallbacks)
+                when it is absent or fails.
+        """
+        telemetry = PlanTelemetry(
+            groups=len(self.groups), statements=self.statement_count
+        )
+        by_position: Dict[int, List[object]] = {}
+        for group in self.groups:
+            telemetry.group_widths.append(group.width)
+            self._execute_group(group, engine, sharded, by_position, telemetry)
+        answers = [by_position[position] for position in sorted(by_position)]
+        return PlanExecution(answers=answers, telemetry=telemetry)
+
+    # ------------------------------------------------------------------
+    # Group execution.
+    # ------------------------------------------------------------------
+
+    def _execute_group(
+        self,
+        group: PlanGroup,
+        engine: QueryEngine,
+        sharded: Optional[object],
+        by_position: Dict[int, List[object]],
+        telemetry: PlanTelemetry,
+    ) -> None:
+        single: Tuple[PlannedStatement, ...] = group.statements
+        if group.backend.sharded:
+            probability = group.probability_statements
+            served = self._execute_sharded(
+                group, probability, sharded, by_position, telemetry
+            )
+            if served:
+                single = group.rank_statements
+        if single:
+            self._execute_single(group, single, engine, by_position)
+            count = telemetry.backend_statements.get("single", 0)
+            telemetry.backend_statements["single"] = count + len(single)
+
+    def _execute_sharded(
+        self,
+        group: PlanGroup,
+        statements: Tuple[PlannedStatement, ...],
+        sharded: Optional[object],
+        by_position: Dict[int, List[object]],
+        telemetry: PlanTelemetry,
+    ) -> bool:
+        """Fan the group's probability statements out; True when served."""
+        if sharded is None or not statements:
+            telemetry.fallbacks += len(statements)
+            return False
+        # The sharded batch API answers one (variant, fraction) per call.
+        subgroups: Dict[Tuple[str, float], List[PlannedStatement]] = {}
+        for statement in statements:
+            key = (statement.variant, statement.fraction)
+            subgroups.setdefault(key, []).append(statement)
+        try:
+            answers: Dict[Tuple[str, float], Dict[object, Answer]] = {}
+            for (variant, fraction), members in subgroups.items():
+                result = sharded.answer_batch(
+                    [s.query_object for s in members],
+                    group.t_start,
+                    group.t_end,
+                    variant=variant,
+                    fraction=fraction,
+                    band_width=group.band_width,
+                )
+                telemetry.fallbacks += len(result.escaped_ids)
+                answers[(variant, fraction)] = result.answers
+        except Exception:
+            # Any sharded failure re-routes the whole probability slice
+            # through the single engine; answers stay exact either way.
+            telemetry.fallbacks += len(statements)
+            return False
+        for (variant, fraction), members in subgroups.items():
+            merged = answers[(variant, fraction)]
+            for statement in members:
+                ids = sorted(merged[statement.query_object], key=str)
+                by_position[statement.position] = _restrict(ids, statement)
+        count = telemetry.backend_statements.get("sharded", 0)
+        telemetry.backend_statements["sharded"] = count + len(statements)
+        return True
+
+    def _execute_single(
+        self,
+        group: PlanGroup,
+        statements: Tuple[PlannedStatement, ...],
+        engine: QueryEngine,
+        by_position: Dict[int, List[object]],
+    ) -> None:
+        unique_ids = list(
+            dict.fromkeys(statement.query_object for statement in statements)
+        )
+        batch = engine.prepare_batch(
+            unique_ids, group.t_start, group.t_end, band_width=group.band_width
+        )
+        contexts = batch.contexts
+        for statement in statements:
+            context = contexts[statement.query_object]
+            if statement.rank is None:
+                ids = list(
+                    answer_of(context, statement.variant, statement.fraction)
+                )
+            elif statement.variant == "sometime":
+                ids = context.uq41_all_rank_sometime(statement.rank)
+            elif statement.variant == "always":
+                ids = context.uq42_all_rank_always(statement.rank)
+            else:
+                ids = context.uq43_all_rank_at_least(
+                    statement.rank, statement.fraction
+                )
+            ids = sorted(ids, key=str)
+            by_position[statement.position] = _restrict(ids, statement)
+
+
+def _restrict(ids: List[object], statement: PlannedStatement) -> List[object]:
+    """Apply the Category-1/2 target restriction to an answer set."""
+    if statement.target is None:
+        return ids
+    return [object_id for object_id in ids if object_id == statement.target]
+
+
+def compile_queries(
+    asts: Sequence[ContinuousNNQueryAST],
+    mod: MovingObjectsDatabase,
+    *,
+    band_width: BandWidths = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    stats: Optional[StoreStats] = None,
+    access: Optional[AccessDecision] = None,
+    sharded_available: bool = False,
+) -> QueryPlan:
+    """Lower parsed statements into a fused, costed :class:`QueryPlan`.
+
+    Args:
+        asts: the parsed statements, in submission order.
+        mod: the moving objects database they run against.
+        band_width: pruning-band override — a single value for every
+            statement, or a per-statement sequence (``None`` entries use
+            the 4r default).  Statements only fuse when their overrides
+            match, since a batched preparation shares one band width.
+        cost_model: thresholds for the access/backend decisions.
+        stats: precomputed store statistics (read off ``mod.columnar()``
+            when omitted).
+        access: a pinned access decision — the executor passes the one
+            its engine was built with, so plan trees always render the
+            physical truth; recomputed from ``stats`` when omitted.
+        sharded_available: whether a sharded engine is attached (groups
+            never plan ``backend=sharded`` without one).
+    """
+    widths = _normalize_band_widths(band_width, len(asts))
+    if stats is None:
+        stats = StoreStats.from_mod(mod)
+    if access is None:
+        access = cost_model.choose_access(stats)
+
+    resolved: List[PlannedStatement] = []
+    for position, ast in enumerate(asts):
+        target = (
+            resolve_object_id(mod, ast.target_object)
+            if ast.target_object is not None
+            else None
+        )
+        resolved.append(
+            PlannedStatement(
+                position=position,
+                ast=ast,
+                query_object=resolve_object_id(mod, ast.predicate.query_object),
+                variant=VARIANT_OF_QUANTIFIER[ast.quantifier],
+                fraction=(
+                    ast.min_fraction if ast.min_fraction is not None else 0.0
+                ),
+                rank=ast.predicate.max_rank,
+                target=target,
+            )
+        )
+
+    fused: Dict[
+        Tuple[float, float, Optional[float]], List[PlannedStatement]
+    ] = {}
+    for statement, width in zip(resolved, widths):
+        key = (statement.ast.window.t_start, statement.ast.window.t_end, width)
+        fused.setdefault(key, []).append(statement)
+
+    groups: List[PlanGroup] = []
+    nodes: List[PrepareNode] = []
+    for (t_start, t_end, width), members in fused.items():
+        probability_width = sum(1 for s in members if not s.is_rank)
+        backend = cost_model.choose_backend(
+            stats,
+            probability_width=probability_width,
+            sharded_available=sharded_available,
+        )
+        groups.append(
+            PlanGroup(
+                t_start=t_start,
+                t_end=t_end,
+                band_width=width,
+                statements=tuple(members),
+                backend=backend,
+            )
+        )
+        answers = tuple(
+            AnswerNode(
+                position=s.position,
+                ast=s.ast,
+                query_object=s.query_object,
+                variant=None if s.is_rank else s.variant,
+                fraction=s.fraction,
+                rank=s.rank,
+                target=s.target,
+            )
+            for s in members
+        )
+        nodes.append(
+            PrepareNode(
+                t_start=t_start,
+                t_end=t_end,
+                backend=backend.backend,
+                backend_reason=backend.reason,
+                child=CorridorFilterNode(
+                    access=access.access,
+                    reason=access.reason,
+                    child=BandIntervalsNode(band_width=width, answers=answers),
+                ),
+            )
+        )
+    return QueryPlan(
+        root=MergeNode(groups=tuple(nodes)),
+        groups=tuple(groups),
+        stats=stats,
+        access=access,
+        cost_model=cost_model,
+    )
+
+
+def _normalize_band_widths(
+    band_width: BandWidths, count: int
+) -> List[Optional[float]]:
+    """Expand the override argument into one entry per statement."""
+    if band_width is None or isinstance(band_width, (int, float)):
+        return [band_width] * count
+    widths = list(band_width)
+    if len(widths) != count:
+        raise ValueError(
+            f"band_width sequence has {len(widths)} entries "
+            f"for {count} statements"
+        )
+    return widths

@@ -1,0 +1,223 @@
+"""Tests for the query-language planner: fusion, costing, execution, explain."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.query_language import (
+    CostModel,
+    QueryExecutor,
+    compile_queries,
+    execute_many,
+    execute_query,
+    executor_for,
+    explain_plan,
+    parse_query,
+)
+from repro.query_language.cost import StoreStats
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.workloads.scenarios import multi_query_fleet
+
+from ..conftest import straight_trajectory
+
+
+@pytest.fixture
+def mod() -> MovingObjectsDatabase:
+    return MovingObjectsDatabase(
+        [
+            straight_trajectory("q", (0.0, 0.0), (30.0, 0.0)),
+            straight_trajectory("near", (0.0, 2.0), (30.0, 2.0)),
+            straight_trajectory("crossing", (15.0, -20.0), (15.0, 20.0)),
+            straight_trajectory("far", (0.0, 30.0), (30.0, 30.0)),
+        ]
+    )
+
+
+def _text(query: str, t_start: float = 0.0, t_end: float = 60.0) -> str:
+    return (
+        f"SELECT T FROM MOD WHERE EXISTS TIME IN [{t_start}, {t_end}] "
+        f"AND PROBABILITY_NN(T, '{query}', TIME) > 0"
+    )
+
+
+class TestFusion:
+    def test_shared_window_statements_fuse_into_one_group(self, mod):
+        asts = [parse_query(_text("q")), parse_query(_text("near"))]
+        plan = compile_queries(asts, mod)
+        assert len(plan.groups) == 1
+        assert plan.groups[0].width == 2
+        assert plan.statement_count == 2
+
+    def test_distinct_windows_stay_separate(self, mod):
+        asts = [
+            parse_query(_text("q")),
+            parse_query(_text("q", t_end=30.0)),
+        ]
+        plan = compile_queries(asts, mod)
+        assert len(plan.groups) == 2
+        assert [group.width for group in plan.groups] == [1, 1]
+
+    def test_band_width_override_splits_groups(self, mod):
+        asts = [parse_query(_text("q")) for _ in range(3)]
+        plan = compile_queries(asts, mod, band_width=[1.0, 1.0, None])
+        widths = sorted(group.width for group in plan.groups)
+        assert widths == [1, 2]
+        by_band = {group.band_width: group.width for group in plan.groups}
+        assert by_band == {1.0: 2, None: 1}
+
+    def test_scalar_band_width_fuses_everything(self, mod):
+        asts = [parse_query(_text("q")), parse_query(_text("near"))]
+        plan = compile_queries(asts, mod, band_width=2.0)
+        assert len(plan.groups) == 1
+        assert plan.groups[0].band_width == 2.0
+
+    def test_band_width_sequence_must_match_statement_count(self, mod):
+        asts = [parse_query(_text("q"))]
+        with pytest.raises(ValueError):
+            compile_queries(asts, mod, band_width=[1.0, 2.0])
+
+
+class TestCostModel:
+    def test_tiny_store_scans(self, mod):
+        plan = compile_queries([parse_query(_text("q"))], mod)
+        assert not plan.access.use_index
+        assert plan.access.index_kind is None
+        assert "index_min" in plan.access.reason
+
+    def test_large_store_uses_index(self):
+        fleet, _ = multi_query_fleet(num_vehicles=60, num_queries=2)
+        plan = compile_queries(
+            [parse_query(_text("veh-0", t_end=30.0))], fleet
+        )
+        assert plan.access.use_index
+        assert plan.access.index_kind == "rtree"
+
+    def test_thresholds_flip_the_access_choice(self, mod):
+        eager = CostModel(index_min_objects=1, index_min_segments=1)
+        plan = compile_queries(
+            [parse_query(_text("q"))], mod, cost_model=eager
+        )
+        assert plan.access.use_index
+
+    def test_backend_single_without_sharded_engine(self, mod):
+        plan = compile_queries([parse_query(_text("q"))], mod)
+        assert plan.groups[0].backend.backend == "single"
+        assert "no sharded engine" in plan.groups[0].backend.reason
+
+    def test_backend_sharded_needs_width_and_coverage(self, mod):
+        stats = StoreStats(object_count=100, segment_count=500, shard_coverage=1.0)
+        model = CostModel(sharded_min_group=2)
+        asts = [parse_query(_text("q")), parse_query(_text("near"))]
+        plan = compile_queries(
+            asts, mod, cost_model=model, stats=stats, sharded_available=True
+        )
+        assert plan.groups[0].backend.sharded
+
+        narrow = compile_queries(
+            asts[:1], mod, cost_model=model, stats=stats, sharded_available=True
+        )
+        assert narrow.groups[0].backend.backend == "single"
+
+        uncovered = StoreStats(
+            object_count=100, segment_count=500, shard_coverage=0.1
+        )
+        plan = compile_queries(
+            asts, mod, cost_model=model, stats=uncovered, sharded_available=True
+        )
+        assert plan.groups[0].backend.backend == "single"
+        assert "coverage" in plan.groups[0].backend.reason
+
+    def test_rank_statements_never_count_toward_sharded_width(self, mod):
+        stats = StoreStats(object_count=100, segment_count=500, shard_coverage=1.0)
+        model = CostModel(sharded_min_group=2)
+        rank_text = (
+            "SELECT T FROM MOD WHERE EXISTS TIME IN [0, 60] "
+            "AND RANK_NN(T, 'q', TIME) <= 2"
+        )
+        asts = [parse_query(rank_text), parse_query(rank_text)]
+        plan = compile_queries(
+            asts, mod, cost_model=model, stats=stats, sharded_available=True
+        )
+        assert plan.groups[0].backend.backend == "single"
+
+
+class TestExplain:
+    def test_plan_tree_renders_every_stage(self, mod):
+        rendered = explain_plan([_text("q"), _text("near")], mod)
+        for label in ("Merge", "Prepare", "CorridorFilter", "BandIntervals", "Answer"):
+            assert label in rendered
+        assert "statements=2" in rendered
+        assert "backend=single" in rendered
+
+    def test_explain_with_execution_appends_span_tree(self, mod):
+        rendered = explain_plan(_text("q"), mod, execute=True)
+        assert "Merge" in rendered
+        assert "planner.execute" in rendered
+
+
+class TestExecutor:
+    def test_repeated_execution_hits_the_context_cache(self, mod):
+        executor = QueryExecutor(mod)
+        executor.execute(_text("q"))
+        assert executor.cache_info().hits == 0
+        executor.execute(_text("q"))
+        assert executor.cache_info().hits > 0
+
+    def test_module_level_execute_query_reuses_one_executor(self, mod):
+        execute_query(_text("q"), mod)
+        execute_query(_text("q"), mod)
+        assert executor_for(mod).cache_info().hits > 0
+
+    def test_execute_many_preserves_submission_order(self, mod):
+        texts = [
+            _text("q"),
+            _text("near", t_end=30.0),
+            _text("q", t_end=30.0),
+        ]
+        results = execute_many(texts, mod)
+        assert [r.ast.predicate.query_object for r in results] == [
+            "q",
+            "near",
+            "q",
+        ]
+
+    def test_answers_are_canonically_sorted(self, mod):
+        result = execute_query(_text("q"), mod)
+        assert result.object_ids == sorted(result.object_ids, key=str)
+
+    def test_target_restriction(self, mod):
+        holds = execute_query(
+            "SELECT T FROM MOD WHERE EXISTS TIME IN [0, 60] "
+            "AND PROBABILITY_NN(T, 'q', TIME) > 0 AND T = 'crossing'",
+            mod,
+        )
+        fails = execute_query(
+            "SELECT T FROM MOD WHERE FORALL TIME IN [0, 60] "
+            "AND PROBABILITY_NN(T, 'q', TIME) > 0 AND T = 'crossing'",
+            mod,
+        )
+        assert holds.holds and holds.object_ids == ["crossing"]
+        assert not fails.holds
+
+    def test_planner_metrics_land_in_the_registry(self, mod):
+        registry = MetricsRegistry()
+        executor = QueryExecutor(mod, registry=registry)
+        executor.execute_many([_text("q"), _text("near")])
+        assert registry.get("repro_planner_compilations_total").value == 1
+        assert registry.get("repro_planner_statements_total").value == 2
+        assert registry.get("repro_planner_group_width").count == 1
+        assert (
+            registry.get(
+                "repro_planner_backend_statements_total", backend="single"
+            ).value
+            == 2
+        )
+        assert registry.get("repro_planner_execute_seconds").count == 1
+
+    def test_store_growth_reprices_the_access_decision(self, mod):
+        executor = QueryExecutor(mod)
+        assert not executor.access.use_index
+        fleet, _ = multi_query_fleet(num_vehicles=60, num_queries=2)
+        mod.add_all(list(fleet))
+        executor.execute(_text("q", t_end=30.0))
+        assert executor.access.use_index
+        assert executor.engine.index is not None
