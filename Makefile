@@ -9,6 +9,7 @@ export PYTHONPATH := src
 	bench-sharded bench-sharded-smoke bench-columnar bench-columnar-smoke \
 	bench-service bench-service-smoke bench-obs bench-obs-smoke \
 	bench-planner bench-planner-smoke \
+	bench-persistence bench-persistence-smoke \
 	bench-all bench-all-smoke check-regression update-baselines-dry lint \
 	typecheck docs clean
 
@@ -68,6 +69,12 @@ bench-planner-smoke:
 bench-planner:
 	$(PYTHON) benchmarks/bench_planner.py --json BENCH_planner.json
 
+bench-persistence-smoke:
+	$(PYTHON) benchmarks/bench_persistence.py --quick --json BENCH_persistence.json
+
+bench-persistence:
+	$(PYTHON) benchmarks/bench_persistence.py --json BENCH_persistence.json
+
 # The unified runner: one schema-versioned BENCH_<name>.json per bench.
 bench-all:
 	$(PYTHON) benchmarks/run_all.py
@@ -90,8 +97,10 @@ docs:
 
 clean:
 	rm -rf .pytest_cache .ruff_cache .hypothesis .benchmarks htmlcov docs/api \
-		.coverage BENCH_*.json
+		.coverage BENCH_*.json example-data/
 	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	find . -name "*.wal" -not -path "./.git/*" -delete
+	find . -type d -name snapshots -not -path "./.git/*" -prune -exec rm -rf {} +
 
 lint:
 	$(PYTHON) -m compileall -q src benchmarks examples

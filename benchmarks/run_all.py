@@ -42,6 +42,10 @@ REGISTRY = {
         "bench_obs",
         "observability overhead: instrumented vs null-registry hot path",
     ),
+    "persistence": (
+        "bench_persistence",
+        "warm restart from snapshot+WAL vs cold JSON rebuild",
+    ),
     "planner": (
         "bench_planner",
         "compiled query plans vs naive per-statement interpretation",

@@ -1,0 +1,193 @@
+"""Serialization of trajectories and change records for the durable tier.
+
+The WAL and the snapshot header both need a compact, loss-free encoding of
+one :class:`~repro.trajectories.trajectory.UncertainTrajectory` and of one
+:class:`~repro.trajectories.mod.ChangeRecord`.  The encoding mirrors the
+interchange formats in :mod:`repro.trajectories.io`: samples as plain
+``(x, y, t)`` float triples (pickle round-trips Python floats exactly, so
+replay is bit-identical), the uncertainty radius, and the pdf as a
+``(family, parameter)`` pair.  Only the shipped pdf families (uniform,
+truncated Gaussian) are encoded; a custom pdf degrades to a uniform pdf
+with the same support radius, exactly like the JSON/CSV exporters.
+
+Everything here is plain data (dicts, tuples, floats) — the frame/byte
+layer (length prefixes, checksums, files) lives in
+:mod:`repro.persistence.wal` and :mod:`repro.persistence.snapshot`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trajectories.mod import ChangeRecord
+from ..trajectories.trajectory import (
+    Trajectory,
+    TrajectorySample,
+    UncertainTrajectory,
+)
+from ..uncertainty.gaussian import TruncatedGaussianPDF
+from ..uncertainty.pdf import RadialPDF
+from ..uncertainty.uniform import UniformDiskPDF
+
+#: One encoded pdf: ``(family, parameter)`` — the parameter is the
+#: Gaussian's sigma, ``None`` for the uniform family.
+PdfSpec = Tuple[str, Optional[float]]
+
+#: One encoded trajectory: the payload dict a WAL frame / snapshot header
+#: carries for an ``add``/``replace`` mutation.
+TrajectoryPayload = Dict[str, object]
+
+
+def encode_pdf(pdf: RadialPDF) -> PdfSpec:
+    """The ``(family, parameter)`` spec of a shipped pdf.
+
+    Custom pdfs degrade to ``("uniform", None)`` with the same support
+    radius (the radius is stored alongside, not here), mirroring
+    :mod:`repro.trajectories.io`.
+    """
+    if isinstance(pdf, TruncatedGaussianPDF):
+        return ("gaussian", float(pdf.sigma))
+    return ("uniform", None)
+
+
+def decode_pdf(spec: PdfSpec, radius: float) -> RadialPDF:
+    """Rebuild a pdf from its spec and the trajectory's uncertainty radius.
+
+    Raises:
+        ValueError: on an unknown family name.
+    """
+    family, parameter = spec
+    if family == "gaussian":
+        return TruncatedGaussianPDF(radius, parameter)
+    if family == "uniform":
+        return UniformDiskPDF(radius)
+    raise ValueError(
+        f"unknown pdf family {family!r} (expected 'uniform' or 'gaussian')"
+    )
+
+
+def encode_trajectory(trajectory: UncertainTrajectory) -> TrajectoryPayload:
+    """The plain-data payload of one trajectory (samples, radius, pdf)."""
+    return {
+        "samples": [(s.x, s.y, s.t) for s in trajectory.samples],
+        "radius": float(trajectory.radius),
+        "pdf": encode_pdf(trajectory.pdf),
+    }
+
+
+def decode_trajectory(
+    object_id: object, payload: TrajectoryPayload
+) -> UncertainTrajectory:
+    """Rebuild one trajectory from :func:`encode_trajectory`'s payload."""
+    samples = payload["samples"]
+    if not isinstance(samples, list):
+        raise ValueError("trajectory payload lacks a sample list")
+    radius = float(payload["radius"])  # type: ignore[arg-type]
+    pdf_spec = payload["pdf"]
+    if not isinstance(pdf_spec, tuple) or len(pdf_spec) != 2:
+        raise ValueError("trajectory payload lacks a (family, parameter) pdf")
+    return UncertainTrajectory(
+        object_id,
+        [(float(x), float(y), float(t)) for x, y, t in samples],
+        radius,
+        decode_pdf((str(pdf_spec[0]), pdf_spec[1]), radius),
+    )
+
+
+def build_trajectory_shell(
+    object_id: object,
+    xs: List[float],
+    ys: List[float],
+    ts: List[float],
+    radius: float,
+    pdf: RadialPDF,
+) -> UncertainTrajectory:
+    """A trusted-input trajectory, skipping constructor validation.
+
+    Snapshot columns were validated when the original trajectory was
+    constructed and are checksummed on disk, so the restore path rebuilds
+    shells without re-running the per-sample time-ordering pass — the
+    dominant Python cost of a cold rebuild.  Never feed this unvalidated
+    data; use :class:`UncertainTrajectory` directly instead.
+    """
+    shell = UncertainTrajectory.__new__(UncertainTrajectory)
+    shell.object_id = object_id
+    shell.samples = tuple(
+        TrajectorySample(x, y, t) for x, y, t in zip(xs, ys, ts)
+    )
+    shell.radius = float(radius)
+    shell.pdf = pdf
+    return shell
+
+
+class MappedTrajectory(UncertainTrajectory):
+    """A snapshot-backed trajectory whose samples materialize on demand.
+
+    Restoring a large store must not pay one Python
+    :class:`TrajectorySample` per packed sample up front — that is the
+    dominant cost of a cold rebuild, and most restored objects are only
+    ever touched through the packed columns (filtering, boxes, kernels).
+    This subclass keeps just the mmap column views; the ``samples`` tuple
+    (a *slot* on :class:`Trajectory`, shadowed here by a property) is
+    built lazily on first attribute access and cached in the slot, after
+    which the instance behaves exactly like an eagerly-built trajectory.
+
+    Combined with :func:`numpy.memmap` column files this is what lets a
+    store larger than RAM restore: unread objects cost four slot writes
+    and no page faults.
+    """
+
+    __slots__ = ("_mapped",)
+
+    @property
+    def samples(self) -> Tuple[TrajectorySample, ...]:  # type: ignore[override]
+        slot = Trajectory.__dict__["samples"]
+        try:
+            return slot.__get__(self)  # type: ignore[no-any-return]
+        except AttributeError:
+            ts, xs, ys = self._mapped
+            built = tuple(
+                TrajectorySample(x, y, t)
+                for x, y, t in zip(xs.tolist(), ys.tolist(), ts.tolist())
+            )
+            slot.__set__(self, built)
+            return built
+
+
+def build_mapped_shell(
+    object_id: object,
+    columns: Tuple[Sequence[float], Sequence[float], Sequence[float]],
+    radius: float,
+    pdf: RadialPDF,
+) -> MappedTrajectory:
+    """A lazy trusted-input trajectory over ``(ts, xs, ys)`` column views.
+
+    Like :func:`build_trajectory_shell` the constructor's validation pass
+    is skipped (snapshot columns are checksummed, trusted data), but here
+    the samples tuple itself is deferred until something actually reads
+    ``.samples`` — restoring N objects is O(N), not O(total samples).
+    """
+    shell = MappedTrajectory.__new__(MappedTrajectory)
+    shell.object_id = object_id
+    shell._mapped = columns
+    shell.radius = float(radius)
+    shell.pdf = pdf
+    return shell
+
+
+def encode_record(record: ChangeRecord) -> Tuple[int, str, object, Optional[float]]:
+    """A change record as the plain tuple the WAL/snapshot layers store."""
+    return (record.revision, record.kind, record.object_id, record.divergence_time)
+
+
+def decode_record(
+    encoded: Tuple[int, str, object, Optional[float]]
+) -> ChangeRecord:
+    """Rebuild a :class:`ChangeRecord` from :func:`encode_record`'s tuple."""
+    revision, kind, object_id, divergence_time = encoded
+    return ChangeRecord(
+        int(revision),
+        str(kind),
+        object_id,
+        None if divergence_time is None else float(divergence_time),
+    )

@@ -1,0 +1,463 @@
+"""The changelog write-ahead log: durable, replayable mutation frames.
+
+Every :class:`~repro.trajectories.mod.ChangeRecord` flowing through a
+:class:`~repro.trajectories.mod.MovingObjectsDatabase` is appended here as
+one self-validating frame, so a crashed process replays the log and lands
+on the exact pre-crash store — revision, changelog, and divergence times
+included (see ``docs/persistence.md`` for the operational story).
+
+On-disk format
+--------------
+A WAL file is a 12-byte header followed by frames, append-only::
+
+    [0:8)    magic  b"REPROWAL"
+    [8:12)   little-endian uint32 format version (currently 1)
+
+    frame := [0:4)  little-endian uint32: payload byte length
+             [4:8)  little-endian uint32: zlib.crc32 of the payload
+             [8:8+length) payload (pickled plain-data dict)
+
+The payload dict carries the encoded record (revision, kind, object id,
+divergence time) plus, for ``add``/``replace`` mutations, the encoded
+trajectory (:mod:`repro.persistence.codec`).  Frames are strictly
+revision-ordered within one file.
+
+A reader (:meth:`WriteAheadLog.scan`) walks frames until the first one
+that fails to validate — a short header, a short payload, an implausible
+length, or a checksum mismatch.  Because a crash can only tear the *tail*
+(frames are written back to front nowhere; the file only ever grows),
+everything before the first invalid frame is trustworthy and everything
+from it on is discarded: the scan reports the dropped byte count, and
+opening the log for append truncates the torn tail so new frames never
+land behind garbage.
+
+Durability is a policy choice (``fsync=``): ``"always"`` fsyncs after
+every append (no acknowledged mutation is ever lost, slowest),
+``"batch"`` flushes OS buffers per append but fsyncs only on
+:meth:`~WriteAheadLog.flush` / checkpoint / close (a kernel crash may lose
+the last instants), ``"never"`` leaves syncing entirely to the OS.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from ..obs.logging import get_logger
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..trajectories.mod import ChangeRecord
+from ..trajectories.trajectory import UncertainTrajectory
+from .codec import (
+    decode_record,
+    decode_trajectory,
+    encode_record,
+    encode_trajectory,
+)
+
+_log = get_logger("persistence.wal")
+
+PathLike = Union[str, Path]
+
+#: File magic + version prefix of every WAL file.
+WAL_MAGIC = b"REPROWAL"
+WAL_VERSION = 1
+_HEADER = WAL_MAGIC + struct.pack("<I", WAL_VERSION)
+_FRAME_PREFIX = struct.Struct("<II")
+
+#: Upper bound on one frame's payload; a length field beyond this is
+#: treated as tail corruption rather than attempted as an allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The supported fsync policies, strictest first.
+FSYNC_POLICIES = ("always", "batch", "never")
+
+
+class WalError(RuntimeError):
+    """Base class of write-ahead-log failures."""
+
+
+class WalCorruption(WalError):
+    """The log is unreadable beyond tail damage (bad magic, mid-file gap)."""
+
+
+@dataclass(frozen=True, slots=True)
+class WalFrame:
+    """One decoded WAL frame: the record plus its trajectory payload."""
+
+    record: ChangeRecord
+    trajectory: Optional[UncertainTrajectory]
+
+
+@dataclass(frozen=True, slots=True)
+class WalScan:
+    """Result of reading one WAL file front to back.
+
+    Attributes:
+        frames: every frame that validated, in file (= revision) order.
+        valid_bytes: file offset up to which the log is intact; truncating
+            here removes exactly the torn tail.
+        dropped_bytes: bytes past ``valid_bytes`` (0 for a clean log).
+    """
+
+    frames: Tuple[WalFrame, ...]
+    valid_bytes: int
+    dropped_bytes: int
+
+    @property
+    def last_revision(self) -> int:
+        """Revision of the last valid frame (0 for an empty log)."""
+        return self.frames[-1].record.revision if self.frames else 0
+
+
+def _encode_frame(
+    record: ChangeRecord, trajectory: Optional[UncertainTrajectory]
+) -> bytes:
+    payload_dict: dict = {"record": encode_record(record)}
+    if trajectory is not None:
+        payload_dict["trajectory"] = encode_trajectory(trajectory)
+    payload = pickle.dumps(payload_dict, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME_PREFIX.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> WalFrame:
+    decoded = pickle.loads(payload)
+    record = decode_record(decoded["record"])
+    trajectory_payload = decoded.get("trajectory")
+    trajectory = (
+        None
+        if trajectory_payload is None
+        else decode_trajectory(record.object_id, trajectory_payload)
+    )
+    return WalFrame(record=record, trajectory=trajectory)
+
+
+def scan_wal(path: PathLike, *, strict: bool = False) -> WalScan:
+    """Read a WAL file, stopping at (and measuring) any torn tail.
+
+    Args:
+        path: the WAL file; a missing file scans as empty.
+        strict: raise :class:`WalCorruption` instead of tolerating a torn
+            tail — the integrity-audit mode of the operations runbook.
+
+    Raises:
+        WalCorruption: when the header is not a WAL header, or (under
+            ``strict``) when any tail bytes fail to validate.
+    """
+    path = Path(path)
+    if not path.exists():
+        return WalScan(frames=(), valid_bytes=0, dropped_bytes=0)
+    data = path.read_bytes()
+    if len(data) < len(_HEADER):
+        if strict:
+            raise WalCorruption(f"{path}: shorter than the WAL header")
+        return WalScan(frames=(), valid_bytes=0, dropped_bytes=len(data))
+    if data[: len(WAL_MAGIC)] != WAL_MAGIC:
+        raise WalCorruption(f"{path}: not a WAL file (bad magic)")
+    (version,) = struct.unpack_from("<I", data, len(WAL_MAGIC))
+    if version != WAL_VERSION:
+        raise WalCorruption(
+            f"{path}: unsupported WAL version {version} (expected {WAL_VERSION})"
+        )
+    frames: List[WalFrame] = []
+    offset = len(_HEADER)
+    valid = offset
+    total = len(data)
+    reason: Optional[str] = None
+    while offset < total:
+        if offset + _FRAME_PREFIX.size > total:
+            reason = "short frame header"
+            break
+        length, checksum = _FRAME_PREFIX.unpack_from(data, offset)
+        if length > MAX_FRAME_BYTES:
+            reason = f"implausible frame length {length}"
+            break
+        start = offset + _FRAME_PREFIX.size
+        stop = start + length
+        if stop > total:
+            reason = "short frame payload"
+            break
+        payload = data[start:stop]
+        if zlib.crc32(payload) != checksum:
+            reason = "payload checksum mismatch"
+            break
+        try:
+            frame = _decode_payload(payload)
+        except Exception as error:  # pragma: no cover - crc already guards
+            reason = f"payload decode failure: {error}"
+            break
+        if frames and frame.record.revision <= frames[-1].record.revision:
+            raise WalCorruption(
+                f"{path}: frames out of revision order at offset {offset} "
+                f"({frames[-1].record.revision} then {frame.record.revision})"
+            )
+        frames.append(frame)
+        offset = stop
+        valid = stop
+    dropped = total - valid
+    if dropped and strict:
+        raise WalCorruption(
+            f"{path}: {dropped} unreadable tail byte(s) at offset {valid}"
+            + (f" ({reason})" if reason else "")
+        )
+    if dropped:
+        _log.warning(
+            "%s: dropping %d torn tail byte(s) at offset %d (%s)",
+            path,
+            dropped,
+            valid,
+            reason,
+        )
+    return WalScan(
+        frames=tuple(frames), valid_bytes=valid, dropped_bytes=dropped
+    )
+
+
+class WriteAheadLog:
+    """Appendable, checksummed log of MOD mutations.
+
+    Opening scans the existing file (if any), truncates any torn tail so
+    appends continue from the last valid frame, and then accepts
+    :meth:`append` calls — typically wired to
+    :meth:`~repro.trajectories.mod.MovingObjectsDatabase.subscribe_changes`
+    by a :class:`~repro.persistence.store.PersistentStore`.
+
+    Args:
+        path: the log file (created, with header, when missing).
+        fsync: durability policy — one of :data:`FSYNC_POLICIES`.
+        registry: metrics sink for the ``repro_persistence_wal_*`` series;
+            the no-op registry when ``None``.
+
+    Thread safety: appends, flushes, and truncation serialize on an
+    internal lock, so a streaming monitor thread and a checkpoint thread
+    can share one log.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        fsync: str = "batch",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r} (expected {FSYNC_POLICIES})"
+            )
+        self.path = Path(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._registry = registry if registry is not None else NULL_REGISTRY
+        self._m_appends = self._registry.counter(
+            "repro_persistence_wal_appends_total", "WAL frames appended"
+        )
+        self._m_bytes = self._registry.counter(
+            "repro_persistence_wal_bytes_total", "WAL bytes appended"
+        )
+        self._m_fsyncs = self._registry.counter(
+            "repro_persistence_wal_fsyncs_total", "WAL fsync calls"
+        )
+        self._m_truncations = self._registry.counter(
+            "repro_persistence_wal_truncations_total", "WAL truncation rewrites"
+        )
+        self._m_repaired = self._registry.counter(
+            "repro_persistence_wal_repaired_bytes_total",
+            "Torn tail bytes discarded when opening the log",
+        )
+        scan = scan_wal(self.path)
+        self._last_revision = scan.last_revision
+        self._frames = len(scan.frames)
+        if self.path.exists():
+            if scan.dropped_bytes:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(scan.valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._m_repaired.inc(scan.dropped_bytes)
+            self._handle: io.BufferedWriter = open(self.path, "ab")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "ab")
+            self._handle.write(_HEADER)
+            self._handle.flush()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def last_revision(self) -> int:
+        """Revision of the newest appended frame (0 when the log is empty)."""
+        return self._last_revision
+
+    @property
+    def frame_count(self) -> int:
+        """Number of valid frames currently in the log."""
+        return self._frames
+
+    @property
+    def fsync_policy(self) -> str:
+        """The configured durability policy."""
+        return self._fsync
+
+    def size_bytes(self) -> int:
+        """Current on-disk size of the log file."""
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+        return self.path.stat().st_size
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        record: ChangeRecord,
+        trajectory: Optional[UncertainTrajectory] = None,
+    ) -> int:
+        """Append one mutation frame; returns the frame's byte size.
+
+        Raises:
+            WalError: when the log is closed.
+            ValueError: when the record's revision does not extend the log
+                (frames must stay strictly revision-ordered).
+        """
+        frame = _encode_frame(record, trajectory)
+        with self._lock:
+            if self._closed:
+                raise WalError("the write-ahead log is closed")
+            if record.revision <= self._last_revision:
+                raise ValueError(
+                    f"frame revision {record.revision} does not extend the log "
+                    f"(last appended {self._last_revision})"
+                )
+            self._handle.write(frame)
+            if self._fsync == "always":
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self._m_fsyncs.inc()
+            elif self._fsync == "batch":
+                self._handle.flush()
+            self._last_revision = record.revision
+            self._frames += 1
+        self._m_appends.inc()
+        self._m_bytes.inc(len(frame))
+        return len(frame)
+
+    def flush(self) -> None:
+        """Flush buffers and (except under ``"never"``) fsync to disk."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            if self._fsync != "never":
+                os.fsync(self._handle.fileno())
+                self._m_fsyncs.inc()
+
+    # ------------------------------------------------------------------
+    # Reading and retention.
+    # ------------------------------------------------------------------
+
+    def scan(self, *, strict: bool = False) -> WalScan:
+        """Read the log back (see :func:`scan_wal`); flushes first."""
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+        return scan_wal(self.path, strict=strict)
+
+    def frames_after(self, revision: int) -> Iterator[WalFrame]:
+        """The valid frames with ``record.revision > revision``, in order."""
+        for frame in self.scan().frames:
+            if frame.record.revision > revision:
+                yield frame
+
+    def truncate_through(self, revision: int) -> int:
+        """Drop every frame with ``record.revision <= revision``.
+
+        The retention half of a checkpoint: once a snapshot at revision
+        ``R`` is durable, frames at or before ``R`` are dead weight.  The
+        rewrite is atomic (temp file + rename), so a crash mid-truncation
+        leaves the previous log intact.
+
+        Returns:
+            The number of frames dropped.
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError("the write-ahead log is closed")
+            self._handle.flush()
+            scan = scan_wal(self.path)
+            kept = [
+                frame
+                for frame in scan.frames
+                if frame.record.revision > revision
+            ]
+            dropped = len(scan.frames) - len(kept)
+            if dropped == 0 and scan.dropped_bytes == 0:
+                return 0
+            temp = self.path.with_name(self.path.name + ".tmp")
+            with open(temp, "wb") as handle:
+                handle.write(_HEADER)
+                for frame in kept:
+                    handle.write(
+                        _encode_frame(frame.record, frame.trajectory)
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle.close()
+            os.replace(temp, self.path)
+            _fsync_directory(self.path.parent)
+            self._handle = open(self.path, "ab")
+            self._frames = len(kept)
+            self._m_truncations.inc()
+            _log.debug(
+                "truncated %s through revision %d: dropped %d frame(s), kept %d",
+                self.path,
+                revision,
+                dropped,
+                len(kept),
+            )
+            return dropped
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, fsync (policy permitting), and close the file handle."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            if self._fsync != "never":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Fsync a directory so a rename inside it is durable (POSIX)."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -35,6 +35,9 @@ from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from pathlib import Path
+from typing import Union
+
 from ..obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from ..obs.tracing import Span, capture, detached_span, record, render_tree, trace_span
 from ..trajectories.mod import MovingObjectsDatabase
@@ -117,7 +120,22 @@ class QueryService:
     Args:
         mod: the store to serve; the same object a
             :class:`~repro.streaming.ContinuousMonitor` may keep ingesting
-            into.
+            into.  ``None`` (with ``data_dir``) warm-restarts the store
+            recorded in the data directory instead.
+        data_dir: optional durable-tier directory
+            (:mod:`repro.persistence`).  When set, every store mutation is
+            write-ahead logged before the mutating call returns, and —
+            with ``mod=None`` — the service restores the directory's
+            recorded store on construction: latest snapshot mapped, WAL
+            tail replayed, revision/changelog byte-identical to the
+            pre-crash original.
+        snapshot_interval: seconds between background checkpoints
+            (snapshot + WAL truncation + snapshot pruning) while the
+            service runs; ``None`` checkpoints only on :meth:`stop`.
+        persistence_fsync: WAL durability policy (``"always"`` /
+            ``"batch"`` / ``"never"`` — see
+            :class:`~repro.persistence.WriteAheadLog`).
+        snapshot_retain: snapshots kept after each checkpoint.
         queue_limit: admission-queue capacity (the backpressure bound).
         max_batch: most requests coalesced into one engine batch.
         coalesce_delay: seconds the dispatcher lingers after the first
@@ -148,8 +166,12 @@ class QueryService:
 
     def __init__(
         self,
-        mod: MovingObjectsDatabase,
+        mod: Optional[MovingObjectsDatabase] = None,
         *,
+        data_dir: Optional[Union[str, Path]] = None,
+        snapshot_interval: Optional[float] = None,
+        persistence_fsync: str = "batch",
+        snapshot_retain: int = 2,
         queue_limit: int = 256,
         max_batch: int = 64,
         coalesce_delay: float = 0.0,
@@ -172,10 +194,35 @@ class QueryService:
                 f"unknown admission policy {admission!r} "
                 f"(expected {ADMISSION_POLICIES})"
             )
-        self.mod = mod
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
         if pool is not None and pool_options:
             raise ValueError("pass pool_options only when the pool is built here")
         self.registry = registry if registry is not None else MetricsRegistry()
+        # The durable tier: restore the recorded store when none was given,
+        # then shadow every mutation through the write-ahead log.
+        self.restore_result = None
+        self.persistence = None
+        if mod is None:
+            if data_dir is None:
+                raise ValueError("pass a mod, a data_dir, or both")
+            from ..persistence import restore as _restore
+
+            self.restore_result = _restore(data_dir, registry=self.registry)
+            mod = self.restore_result.mod
+        if data_dir is not None:
+            from ..persistence import PersistentStore
+
+            self.persistence = PersistentStore(
+                data_dir,
+                mod,
+                fsync=persistence_fsync,
+                retain=snapshot_retain,
+                registry=self.registry,
+            )
+        self._snapshot_interval = snapshot_interval
+        self._checkpointer: Optional["asyncio.Task[None]"] = None
+        self.mod = mod
         # A caller-provided pool stays the caller's to close (it may be
         # shared across services); only a pool built here is shut down.
         self._owns_pool = pool is None
@@ -257,11 +304,25 @@ class QueryService:
                 raise ServiceClosed("the service is stopping")
             return self
         self._loop = asyncio.get_running_loop()
+        if self.persistence is not None and self.persistence.closed:
+            # A stop() checkpointed and closed the durable tier; a restart
+            # re-attaches it (the directory tip still matches the store).
+            from ..persistence import PersistentStore
+
+            self.persistence = PersistentStore(
+                self.persistence.data_dir,
+                self.mod,
+                fsync=self.persistence.wal.fsync_policy,
+                retain=self.persistence.snapshotter.retain,
+                registry=self.registry,
+            )
         await self._loop.run_in_executor(self._executor, self.pool.warm_up)
         self._queue = asyncio.Queue(maxsize=self._queue_limit)
         self._bridge = DeltaBridge(self._loop)
         self._closing = False
         self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        if self.persistence is not None and self._snapshot_interval is not None:
+            self._checkpointer = self._loop.create_task(self._checkpoint_loop())
         return self
 
     async def stop(self) -> None:
@@ -275,6 +336,13 @@ class QueryService:
         if self._dispatcher is None:
             return
         self._closing = True
+        if self._checkpointer is not None:
+            self._checkpointer.cancel()
+            try:
+                await self._checkpointer
+            except asyncio.CancelledError:
+                pass
+            self._checkpointer = None
         await self._queue.put(self._sentinel)
         await self._dispatcher
         # A submitter that was backpressure-blocked on a full queue can slip
@@ -292,6 +360,13 @@ class QueryService:
             self._bridge = None
         if self._owns_pool:
             self.pool.close()
+        if self.persistence is not None and not self.persistence.closed:
+            # Final checkpoint so the next restore maps a snapshot instead
+            # of replaying the whole log; closing releases the WAL handle
+            # (start() re-attaches on restart).
+            await self._loop.run_in_executor(
+                self._executor, lambda: self.persistence.close(checkpoint=True)
+            )
         self._closing = False
 
     async def __aenter__(self) -> "QueryService":
@@ -529,6 +604,47 @@ class QueryService:
             )
 
         return await self._loop.run_in_executor(self._executor, evaluate)
+
+    # ------------------------------------------------------------------
+    # Durability.
+    # ------------------------------------------------------------------
+
+    async def checkpoint(self):
+        """Run one durable-tier checkpoint off the event loop.
+
+        Snapshot + WAL truncation + snapshot pruning — what the background
+        loop does every ``snapshot_interval`` seconds, callable on demand
+        (e.g. before a planned shutdown or a backup).
+
+        Returns:
+            The published :class:`~repro.persistence.SnapshotInfo`.
+
+        Raises:
+            ServiceError: when the service has no ``data_dir``.
+        """
+        if self.persistence is None:
+            raise ServiceError("the service has no durable tier (no data_dir)")
+        loop = self._loop if self._loop is not None else asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self.persistence.checkpoint
+        )
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._snapshot_interval)
+            try:
+                await self._loop.run_in_executor(
+                    self._executor, self.persistence.checkpoint
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - a failed checkpoint must not
+                # take the service down; the WAL still has every mutation
+                # and the next interval retries.
+                self.registry.counter(
+                    "repro_persistence_checkpoint_failures_total",
+                    "Background checkpoints that raised",
+                ).inc()
 
     # ------------------------------------------------------------------
     # Dispatcher internals.

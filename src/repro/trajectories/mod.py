@@ -9,7 +9,17 @@ query trajectory, and (optionally) index-assisted candidate filtering.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..geometry.envelope.hyperbola import DistanceFunction
 from .difference import difference_distance_functions
@@ -40,6 +50,15 @@ class ChangeRecord:
     kind: str
     object_id: object
     divergence_time: Optional[float] = None
+
+
+#: The mutation kinds a :class:`ChangeRecord` may carry.
+CHANGE_KINDS = ("add", "remove", "replace")
+
+#: A change listener: called with every appended record plus the object's
+#: *current* trajectory (``None`` for removals).  This is the seam the
+#: persistence tier's write-ahead log hangs off.
+ChangeListener = Callable[[ChangeRecord, Optional["UncertainTrajectory"]], None]
 
 
 def _divergence_time(
@@ -99,6 +118,7 @@ class MovingObjectsDatabase:
         self._revision = 0
         self._object_revisions: Dict[object, int] = {}
         self._changelog: List[ChangeRecord] = []
+        self._listeners: List[ChangeListener] = []
         self._columnar = None
         #: A MovingObjectsDatabase or any ``columns_for`` column provider.
         self._columnar_parent = None
@@ -140,6 +160,14 @@ class MovingObjectsDatabase:
             return None
         return [record for record in self._changelog if record.revision > revision]
 
+    def changelog_records(self) -> List[ChangeRecord]:
+        """The retained changelog tail, oldest first (capacity-trimmed).
+
+        This is exactly the state a snapshot must persist for the restored
+        store's :meth:`changes_since` to answer like the original's.
+        """
+        return list(self._changelog)
+
     def _record_change(
         self,
         kind: str,
@@ -151,11 +179,173 @@ class MovingObjectsDatabase:
             self._object_revisions.pop(object_id, None)
         else:
             self._object_revisions[object_id] = self._revision
-        self._changelog.append(
-            ChangeRecord(self._revision, kind, object_id, divergence_time)
-        )
+        record = ChangeRecord(self._revision, kind, object_id, divergence_time)
+        self._changelog.append(record)
         if len(self._changelog) > _CHANGELOG_CAPACITY:
             del self._changelog[: len(self._changelog) - _CHANGELOG_CAPACITY]
+        self._notify(record)
+
+    def _notify(self, record: ChangeRecord) -> None:
+        if not self._listeners:
+            return
+        trajectory = self._trajectories.get(record.object_id)
+        for listener in tuple(self._listeners):
+            listener(record, trajectory)
+
+    # ------------------------------------------------------------------
+    # Change listeners and replicated/replayed mutations (the seams the
+    # persistence tier — repro.persistence — is built on).
+    # ------------------------------------------------------------------
+
+    def subscribe_changes(self, listener: ChangeListener) -> None:
+        """Register a listener called after every recorded mutation.
+
+        The listener receives the appended :class:`ChangeRecord` and the
+        object's current trajectory (``None`` for removals) — exactly the
+        payload a write-ahead log needs to make the mutation durable.
+        Listeners run synchronously on the mutating thread, after the
+        store's own state (revision, changelog) is updated.
+        """
+        if listener in self._listeners:
+            raise ValueError("listener is already subscribed")
+        self._listeners.append(listener)
+
+    def unsubscribe_changes(self, listener: ChangeListener) -> None:
+        """Remove a previously subscribed listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def apply_change(
+        self,
+        record: ChangeRecord,
+        trajectory: Optional[UncertainTrajectory] = None,
+    ) -> None:
+        """Apply one recorded mutation verbatim (the WAL-replay entry point).
+
+        Unlike :meth:`add`/:meth:`remove`/:meth:`replace_trajectory`, this
+        does not *derive* a new :class:`ChangeRecord` — it installs the
+        given one, divergence time included, so a replayed store's
+        revision, changelog, and ``changes_since`` behavior are identical
+        to the original's.  Records must arrive in revision order with no
+        gaps.
+
+        Args:
+            record: the change to apply; ``record.revision`` must be
+                exactly ``self.revision + 1``.
+            trajectory: the object's post-change trajectory; required for
+                ``"add"``/``"replace"`` records, forbidden for ``"remove"``.
+
+        Raises:
+            ValueError: on a revision gap, an unknown kind, or a payload
+                that does not match the kind.
+            KeyError: when the record's object id contradicts the store
+                (adding an existing id, removing/replacing a missing one).
+        """
+        if record.kind not in CHANGE_KINDS:
+            raise ValueError(
+                f"unknown change kind {record.kind!r} (expected {CHANGE_KINDS})"
+            )
+        if record.revision != self._revision + 1:
+            raise ValueError(
+                f"revision gap: cannot apply revision {record.revision} "
+                f"on top of {self._revision}"
+            )
+        if record.kind == "remove":
+            if trajectory is not None:
+                raise ValueError("remove records carry no trajectory payload")
+            if record.object_id not in self._trajectories:
+                raise KeyError(f"unknown object id {record.object_id!r}")
+            del self._trajectories[record.object_id]
+            self._object_revisions.pop(record.object_id, None)
+        else:
+            if not isinstance(trajectory, UncertainTrajectory):
+                raise ValueError(
+                    f"{record.kind!r} records require an UncertainTrajectory payload"
+                )
+            if trajectory.object_id != record.object_id:
+                raise ValueError(
+                    f"payload object id {trajectory.object_id!r} does not match "
+                    f"record object id {record.object_id!r}"
+                )
+            stored = record.object_id in self._trajectories
+            if record.kind == "add" and stored:
+                raise KeyError(f"object id {record.object_id!r} already stored")
+            if record.kind == "replace" and not stored:
+                raise KeyError(f"unknown object id {record.object_id!r}")
+            self._trajectories[record.object_id] = trajectory
+            self._object_revisions[record.object_id] = record.revision
+        self._revision = record.revision
+        self._changelog.append(record)
+        if len(self._changelog) > _CHANGELOG_CAPACITY:
+            del self._changelog[: len(self._changelog) - _CHANGELOG_CAPACITY]
+        self._notify(record)
+
+    @classmethod
+    def restore_state(
+        cls,
+        trajectories: Iterable[UncertainTrajectory],
+        revision: int,
+        object_revisions: Mapping[object, int],
+        changelog: Sequence[ChangeRecord],
+    ) -> "MovingObjectsDatabase":
+        """Rebuild a store at an exact prior state (the snapshot-load path).
+
+        The returned MOD does not re-derive anything: ``trajectories``
+        become the stored objects in iteration order (which fixes the
+        columnar pack order), and ``revision`` / ``object_revisions`` /
+        ``changelog`` are installed verbatim — so ``changes_since`` on the
+        restored store answers exactly as it did on the original.
+
+        Raises:
+            ValueError: when the changelog is not revision-ordered, reaches
+                past ``revision``, or ``object_revisions`` names an object
+                that is not restored.
+        """
+        mod = cls()
+        for trajectory in trajectories:
+            if not isinstance(trajectory, UncertainTrajectory):
+                raise TypeError("the MOD stores UncertainTrajectory objects")
+            if trajectory.object_id in mod._trajectories:
+                raise KeyError(
+                    f"object id {trajectory.object_id!r} restored twice"
+                )
+            mod._trajectories[trajectory.object_id] = trajectory
+        if revision < 0:
+            raise ValueError("revision must be non-negative")
+        previous = 0
+        for record in changelog:
+            if record.revision <= previous:
+                raise ValueError("changelog records must be revision-ordered")
+            if record.revision > revision:
+                raise ValueError(
+                    f"changelog reaches past the restored revision: "
+                    f"{record.revision} > {revision}"
+                )
+            previous = record.revision
+        unknown = [
+            object_id
+            for object_id in object_revisions
+            if object_id not in mod._trajectories
+        ]
+        if unknown:
+            raise ValueError(
+                f"object_revisions name unrestored objects: {unknown!r}"
+            )
+        missing = [
+            object_id
+            for object_id in mod._trajectories
+            if object_id not in object_revisions
+        ]
+        if missing:
+            raise ValueError(
+                f"restored objects lack an object_revision entry: {missing!r}"
+            )
+        mod._revision = revision
+        mod._object_revisions = dict(object_revisions)
+        mod._changelog = list(changelog)
+        return mod
 
     # ------------------------------------------------------------------
     # Store operations.

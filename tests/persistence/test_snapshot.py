@@ -1,0 +1,172 @@
+"""Snapshot tests: round trip, atomicity, corruption handling, retention."""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.persistence.snapshot import (
+    COLUMNS_NAME,
+    HEADER_NAME,
+    MANIFEST_NAME,
+    SnapshotCorruption,
+    Snapshotter,
+    load_snapshot,
+    read_snapshot_info,
+)
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.trajectories.trajectory import UncertainTrajectory
+from repro.uncertainty.gaussian import TruncatedGaussianPDF
+
+
+def make_mod():
+    mod = MovingObjectsDatabase(
+        [
+            UncertainTrajectory("a", [(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)], 0.5),
+            UncertainTrajectory(
+                "b",
+                [(5.0, 5.0, 0.0), (5.0, -5.0, 10.0)],
+                0.75,
+                TruncatedGaussianPDF(0.75, 0.3),
+            ),
+            UncertainTrajectory(
+                "c", [(1.0, 2.0, 0.0), (3.0, 4.0, 5.0), (9.0, 9.0, 10.0)], 0.5
+            ),
+        ]
+    )
+    mod.replace_trajectory(
+        UncertainTrajectory("a", [(0.0, 0.0, 0.0), (12.0, 1.0, 10.0)], 0.5)
+    )
+    return mod
+
+
+def assert_mods_equal(left, right):
+    assert left.revision == right.revision
+    assert left.object_ids == right.object_ids
+    assert left.changelog_records() == right.changelog_records()
+    for object_id in left.object_ids:
+        assert left.object_revision(object_id) == right.object_revision(object_id)
+        a, b = left.get(object_id), right.get(object_id)
+        assert [(s.x, s.y, s.t) for s in a.samples] == [
+            (s.x, s.y, s.t) for s in b.samples
+        ]
+        assert a.radius == b.radius
+        assert type(a.pdf) is type(b.pdf)
+        assert a.pdf.support_radius == b.pdf.support_radius
+
+
+class TestRoundTrip:
+    def test_snapshot_restores_exact_state(self, tmp_path):
+        mod = make_mod()
+        info = Snapshotter(tmp_path).write(mod)
+        assert info.revision == mod.revision
+        assert info.objects == 3
+        restored = load_snapshot(info.path).build_mod()
+        assert_mods_equal(restored, mod)
+        # The Gaussian pdf's parameter survives the (family, sigma) spec.
+        assert restored.get("b").pdf.sigma == mod.get("b").pdf.sigma
+
+    def test_restored_columns_are_mmap_backed_and_identical(self, tmp_path):
+        mod = make_mod()
+        info = Snapshotter(tmp_path).write(mod)
+        snapshot = load_snapshot(info.path)
+        restored = snapshot.build_mod()
+        pack = restored.columnar().pack()
+        original = mod.columnar().pack()
+        assert pack.ids == original.ids
+        assert np.array_equal(pack.ts, original.ts)
+        assert np.array_equal(pack.xs, original.xs)
+        assert np.array_equal(pack.ys, original.ys)
+        assert np.array_equal(pack.radii, original.radii)
+        # The per-object columns really are views into the mapped file,
+        # not re-extracted sample tuples.
+        ts, xs, ys = restored.columnar().columns("a")
+        assert isinstance(snapshot._raw, np.memmap)
+        assert np.shares_memory(ts, snapshot._raw)
+        snap_ts, _, _ = snapshot.columns("a")
+        assert np.shares_memory(ts, snap_ts)
+
+    def test_empty_mod_round_trips(self, tmp_path):
+        mod = MovingObjectsDatabase()
+        info = Snapshotter(tmp_path).write(mod)
+        restored = load_snapshot(info.path).build_mod()
+        assert restored.revision == 0 and len(restored) == 0
+
+    def test_rewriting_same_revision_is_idempotent(self, tmp_path):
+        mod = make_mod()
+        snapshotter = Snapshotter(tmp_path)
+        first = snapshotter.write(mod)
+        second = snapshotter.write(mod)
+        assert first == second
+        assert len(snapshotter.list_snapshots()) == 1
+
+
+class TestCorruption:
+    def _snapshot(self, tmp_path):
+        mod = make_mod()
+        return Snapshotter(tmp_path), Snapshotter(tmp_path).write(mod)
+
+    def test_half_written_snapshot_without_manifest_is_invisible(self, tmp_path):
+        snapshotter, info = self._snapshot(tmp_path)
+        # Simulate a crash mid-write: a second snapshot directory with data
+        # files but no manifest (the manifest is written last).
+        half = tmp_path / "snapshot-000000000099"
+        half.mkdir()
+        shutil.copy(info.path / COLUMNS_NAME, half / COLUMNS_NAME)
+        shutil.copy(info.path / HEADER_NAME, half / HEADER_NAME)
+        assert [s.revision for s in snapshotter.list_snapshots()] == [info.revision]
+        assert snapshotter.latest().revision == info.revision
+        with pytest.raises(SnapshotCorruption, match="MANIFEST"):
+            read_snapshot_info(half)
+
+    def test_tmp_directories_are_never_listed_and_get_swept(self, tmp_path):
+        snapshotter, info = self._snapshot(tmp_path)
+        orphan = tmp_path / ".tmp-000000000042-9999"
+        orphan.mkdir()
+        (orphan / COLUMNS_NAME).write_bytes(b"partial")
+        assert len(snapshotter.list_snapshots()) == 1
+        snapshotter.prune()
+        assert not orphan.exists()
+        assert info.path.exists()
+
+    def test_truncated_columns_file_fails_layout_check(self, tmp_path):
+        snapshotter, info = self._snapshot(tmp_path)
+        columns = info.path / COLUMNS_NAME
+        columns.write_bytes(columns.read_bytes()[:-8])
+        with pytest.raises(SnapshotCorruption, match="bytes on disk"):
+            read_snapshot_info(info.path)
+        assert snapshotter.latest() is None
+
+    def test_bit_flip_caught_by_checksum_verification(self, tmp_path):
+        _, info = self._snapshot(tmp_path)
+        columns = info.path / COLUMNS_NAME
+        data = bytearray(columns.read_bytes())
+        data[17] ^= 0x01
+        columns.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruption, match="checksum"):
+            load_snapshot(info.path)
+        load_snapshot(info.path, verify=False)  # explicit opt-out loads
+
+    def test_manifest_garbage_is_rejected(self, tmp_path):
+        _, info = self._snapshot(tmp_path)
+        (info.path / MANIFEST_NAME).write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(SnapshotCorruption, match="manifest"):
+            read_snapshot_info(info.path)
+
+
+class TestRetention:
+    def test_prune_keeps_the_newest_snapshots(self, tmp_path):
+        mod = make_mod()
+        snapshotter = Snapshotter(tmp_path, retain=2)
+        revisions = []
+        for i in range(4):
+            mod.replace_trajectory(mod.get("a"))
+            revisions.append(snapshotter.write(mod).revision)
+            snapshotter.prune()
+        kept = [s.revision for s in snapshotter.list_snapshots()]
+        assert kept == revisions[-2:]
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="retain"):
+            Snapshotter(tmp_path, retain=0)
