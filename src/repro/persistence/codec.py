@@ -17,7 +17,9 @@ layer (length prefixes, checksums, files) lives in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import io
+import pickle
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
 
 from ..trajectories.mod import ChangeRecord
 from ..trajectories.trajectory import (
@@ -36,6 +38,35 @@ PdfSpec = Tuple[str, Optional[float]]
 #: One encoded trajectory: the payload dict a WAL frame / snapshot header
 #: carries for an ``add``/``replace`` mutation.
 TrajectoryPayload = Dict[str, object]
+
+
+class _PlainDataUnpickler(pickle.Unpickler):
+    """Unpickler that refuses every global lookup.
+
+    WAL payloads and snapshot headers are plain data (dicts, tuples,
+    lists, strs, numbers, ``None``), which pickle reconstructs without a
+    single ``find_class`` call.  Refusing globals outright means a
+    tampered data directory can corrupt a restore but never execute code
+    through it — CRC32 guards integrity, this guards the deserializer.
+    Object ids must therefore be plain data too (they already must be for
+    the snapshot header's manifest round-trip).
+    """
+
+    def find_class(self, module: str, name: str):  # noqa: ANN201
+        raise pickle.UnpicklingError(
+            f"refusing to unpickle global {module}.{name}: durable-tier "
+            "payloads are plain data (see docs/persistence.md, trust boundary)"
+        )
+
+
+def plain_loads(data: bytes) -> object:
+    """``pickle.loads`` restricted to plain-data payloads (no globals)."""
+    return _PlainDataUnpickler(io.BytesIO(data)).load()
+
+
+def plain_load(handle: BinaryIO) -> object:
+    """``pickle.load`` restricted to plain-data payloads (no globals)."""
+    return _PlainDataUnpickler(handle).load()
 
 
 def encode_pdf(pdf: RadialPDF) -> PdfSpec:

@@ -30,6 +30,7 @@ import json
 import os
 import pickle
 import shutil
+import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -41,6 +42,7 @@ import numpy as np
 from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
 from ..obs.tracing import trace_span
+from ..trajectories.columnar import ColumnarPack
 from ..trajectories.mod import ChangeRecord, MovingObjectsDatabase
 from ..trajectories.trajectory import UncertainTrajectory
 from .codec import (
@@ -50,6 +52,7 @@ from .codec import (
     decode_record,
     encode_pdf,
     encode_record,
+    plain_load,
 )
 
 _log = get_logger("persistence.snapshot")
@@ -205,8 +208,17 @@ class MappedSnapshot:
         manifest = _read_manifest(self.path)
         if verify:
             _verify_checksums(self.path, manifest)
-        with open(self.path / HEADER_NAME, "rb") as handle:
-            header = pickle.load(handle)
+        try:
+            with open(self.path / HEADER_NAME, "rb") as handle:
+                header = plain_load(handle)
+        except pickle.UnpicklingError as error:
+            raise SnapshotCorruption(
+                f"{self.path / HEADER_NAME}: {error}"
+            ) from error
+        if not isinstance(header, dict):
+            raise SnapshotCorruption(
+                f"{self.path / HEADER_NAME}: header is not a dict"
+            )
         self.revision: int = int(header["revision"])
         self._ids: List[object] = list(header["ids"])
         self._lengths: List[int] = [int(n) for n in header["lengths"]]
@@ -345,6 +357,7 @@ class Snapshotter:
             raise ValueError("retain must be at least 1")
         self.directory = Path(directory)
         self.retain = retain
+        self._write_lock = threading.Lock()
         self._registry = registry if registry is not None else NULL_REGISTRY
         self._m_snapshots = self._registry.counter(
             "repro_persistence_snapshots_total", "Snapshots published"
@@ -363,35 +376,76 @@ class Snapshotter:
     # Writing.
     # ------------------------------------------------------------------
 
+    #: Capture attempts before :meth:`write` gives up on a store that is
+    #: mutating faster than its state can be read.
+    CAPTURE_ATTEMPTS = 16
+
+    def _capture(
+        self, mod: MovingObjectsDatabase
+    ) -> Tuple[int, ColumnarPack, Dict[str, object]]:
+        """A consistent ``(revision, pack, header)`` view of a live MOD.
+
+        The MOD is documented as concurrently mutable (a streaming monitor
+        thread while checkpoints run on an executor thread), and its
+        revision is monotonic, so optimistic capture is sound: read the
+        revision, read everything else, and retry whenever the revision
+        moved underneath — equal revisions before and after prove no
+        mutation interleaved.  Without this, a mutation landing between
+        the pack build and the bookkeeping reads would publish a manifest
+        revision claiming data the columns do not contain, and the
+        checkpoint's WAL truncation would then delete the acknowledged
+        frame for good.
+        """
+        for _ in range(self.CAPTURE_ATTEMPTS):
+            revision = mod.revision
+            try:
+                pack = mod.columnar().pack()
+                header: Dict[str, object] = {
+                    "ids": list(pack.ids),
+                    "lengths": pack.lengths.tolist(),
+                    "radii": pack.radii.tolist(),
+                    "pdfs": [
+                        encode_pdf(mod.get(object_id).pdf)
+                        for object_id in pack.ids
+                    ],
+                    "revision": revision,
+                    "object_revisions": {
+                        object_id: mod.object_revision(object_id)
+                        for object_id in pack.ids
+                    },
+                    "changelog": [
+                        encode_record(record)
+                        for record in mod.changelog_records()
+                    ],
+                }
+            except Exception:
+                if mod.revision != revision:
+                    continue  # A concurrent mutation tore the reads.
+                raise
+            if mod.revision == revision:
+                return revision, pack, header
+        raise SnapshotError(
+            f"no stable view after {self.CAPTURE_ATTEMPTS} attempts: the "
+            "store is mutating faster than a snapshot can capture it"
+        )
+
     def write(self, mod: MovingObjectsDatabase) -> SnapshotInfo:
         """Publish a snapshot of the MOD's current state atomically.
 
         Re-publishing an already-snapshotted revision returns the existing
         snapshot untouched (checkpoints at an idle store are free).
+        Concurrent callers serialize on an internal lock, and the captured
+        state is revision-consistent even while other threads mutate the
+        MOD (see :meth:`_capture`).
         """
         started = time.perf_counter()
-        with trace_span("persistence.snapshot", revision=mod.revision):
-            pack = mod.columnar().pack()
-            revision = mod.revision
+        with self._write_lock, trace_span(
+            "persistence.snapshot", revision=mod.revision
+        ):
+            revision, pack, header = self._capture(mod)
             existing = self._info_if_valid(self._path_for(revision))
             if existing is not None:
                 return existing
-            header = {
-                "ids": list(pack.ids),
-                "lengths": pack.lengths.tolist(),
-                "radii": pack.radii.tolist(),
-                "pdfs": [
-                    encode_pdf(mod.get(object_id).pdf) for object_id in pack.ids
-                ],
-                "revision": revision,
-                "object_revisions": {
-                    object_id: mod.object_revision(object_id)
-                    for object_id in pack.ids
-                },
-                "changelog": [
-                    encode_record(record) for record in mod.changelog_records()
-                ],
-            }
             header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
             columns = np.concatenate(
                 [
@@ -432,6 +486,12 @@ class Snapshotter:
                 )
                 _fsync_directory(tmp)
                 final = self._path_for(revision)
+                if final.is_dir():
+                    # Only an *invalid* directory can still be here (a
+                    # valid one returned early above, and writers hold the
+                    # lock); clear it or os.replace fails with ENOTEMPTY
+                    # and every retry at this revision fails the same way.
+                    shutil.rmtree(final)
                 os.replace(tmp, final)
                 _fsync_directory(self.directory)
             except BaseException:

@@ -24,6 +24,7 @@ snapshots — the unit a background loop (see
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -199,6 +200,7 @@ class PersistentStore:
         self._m_checkpoints = self._registry.counter(
             "repro_persistence_checkpoints_total", "Checkpoints completed"
         )
+        self._checkpoint_lock = threading.Lock()
         latest = self._snapshotter.latest()
         snapshot_revision = latest.revision if latest is not None else 0
         tip = max(snapshot_revision, self._wal.last_revision)
@@ -244,14 +246,24 @@ class PersistentStore:
 
         After a checkpoint the WAL holds only frames newer than the newest
         snapshot, which bounds both replay time and log size.
+
+        Thread safe: a manual ``await service.checkpoint()`` and the
+        background checkpoint loop land on different executor threads, so
+        the snapshot + truncate + prune sequence serializes on a lock —
+        otherwise two truncations interleave their scan/rewrite cycles.
         """
         if self._closed:
             raise PersistenceError("the persistent store is closed")
-        with trace_span("persistence.checkpoint", revision=self._mod.revision):
-            info = self._snapshotter.write(self._mod)
-            self._wal.flush()
-            self._wal.truncate_through(info.revision)
-            self._snapshotter.prune()
+        with self._checkpoint_lock:
+            if self._closed:
+                raise PersistenceError("the persistent store is closed")
+            with trace_span(
+                "persistence.checkpoint", revision=self._mod.revision
+            ):
+                info = self._snapshotter.write(self._mod)
+                self._wal.flush()
+                self._wal.truncate_through(info.revision)
+                self._snapshotter.prune()
         self._m_checkpoints.inc()
         return info
 

@@ -59,6 +59,7 @@ from .codec import (
     decode_trajectory,
     encode_record,
     encode_trajectory,
+    plain_loads,
 )
 
 _log = get_logger("persistence.wal")
@@ -127,7 +128,9 @@ def _encode_frame(
 
 
 def _decode_payload(payload: bytes) -> WalFrame:
-    decoded = pickle.loads(payload)
+    decoded = plain_loads(payload)
+    if not isinstance(decoded, dict):
+        raise WalError("frame payload is not a dict")
     record = decode_record(decoded["record"])
     trajectory_payload = decoded.get("trajectory")
     trajectory = (
@@ -189,7 +192,7 @@ def scan_wal(path: PathLike, *, strict: bool = False) -> WalScan:
             break
         try:
             frame = _decode_payload(payload)
-        except Exception as error:  # pragma: no cover - crc already guards
+        except Exception as error:
             reason = f"payload decode failure: {error}"
             break
         if frames and frame.record.revision <= frames[-1].record.revision:
@@ -281,12 +284,26 @@ class WriteAheadLog:
                     os.fsync(handle.fileno())
                 self._m_repaired.inc(scan.dropped_bytes)
             self._handle: io.BufferedWriter = open(self.path, "ab")
+            if self.path.stat().st_size < len(_HEADER):
+                # A crash during initial creation can leave a zero-byte or
+                # partial-header file (the scan above truncated any partial
+                # bytes to 0).  Rewrite the header before appending, or
+                # every later frame lands in a headerless file the next
+                # scan rejects outright.
+                self._write_header()
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "ab")
-            self._handle.write(_HEADER)
-            self._handle.flush()
+            self._write_header()
+            _fsync_directory(self.path.parent)
         self._closed = False
+
+    def _write_header(self) -> None:
+        """Write + fsync the file header (always synced: losing the header
+        makes the whole log unreadable, whatever the frame fsync policy)."""
+        self._handle.write(_HEADER)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -170,3 +170,108 @@ class TestRetention:
     def test_retain_must_be_positive(self, tmp_path):
         with pytest.raises(ValueError, match="retain"):
             Snapshotter(tmp_path, retain=0)
+
+
+class TestInvalidFinalDirectory:
+    def test_write_replaces_an_invalid_snapshot_directory(self, tmp_path):
+        # A corrupt (non-empty, manifest-less) directory squatting on the
+        # final name must not wedge every checkpoint at that revision with
+        # ENOTEMPTY from os.replace.
+        mod = make_mod()
+        snapshotter = Snapshotter(tmp_path)
+        final = tmp_path / f"snapshot-{mod.revision:012d}"
+        final.mkdir(parents=True)
+        (final / "junk.bin").write_bytes(b"not a snapshot")
+        info = snapshotter.write(mod)
+        assert info.revision == mod.revision
+        assert not (final / "junk.bin").exists()
+        assert_mods_equal(load_snapshot(info.path).build_mod(), mod)
+
+
+class TestConcurrentCapture:
+    def test_mutation_mid_capture_retries_to_a_consistent_snapshot(
+        self, tmp_path
+    ):
+        # A mutation landing between the column-pack build and the
+        # bookkeeping reads must not publish a manifest revision whose
+        # data is missing from the columns; write() re-checks the
+        # monotonic revision and recaptures.
+        mod = make_mod()
+        snapshotter = Snapshotter(tmp_path)
+        original = mod.changelog_records
+        calls = {"n": 0}
+
+        def mutate_once_then_delegate():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                mod.replace_trajectory(
+                    UncertainTrajectory(
+                        "a", [(2.0, 2.0, 0.0), (8.0, 8.0, 10.0)], 0.5
+                    )
+                )
+            return original()
+
+        mod.changelog_records = mutate_once_then_delegate
+        info = snapshotter.write(mod)
+        del mod.changelog_records
+        assert calls["n"] >= 2  # the first capture was torn and retried
+        assert info.revision == mod.revision
+        assert_mods_equal(load_snapshot(info.path).build_mod(), mod)
+
+    def test_unstable_store_raises_instead_of_tearing(self, tmp_path):
+        # If every capture attempt is torn, write() must fail loudly (the
+        # WAL still has every mutation; the next checkpoint retries)
+        # rather than truncate-away an uncaptured frame downstream.
+        from repro.persistence.snapshot import SnapshotError
+
+        mod = make_mod()
+        snapshotter = Snapshotter(tmp_path)
+        original = mod.changelog_records
+
+        def always_mutate():
+            mod.replace_trajectory(mod.get("a"))
+            return original()
+
+        mod.changelog_records = always_mutate
+        with pytest.raises(SnapshotError, match="no stable view"):
+            snapshotter.write(mod)
+        del mod.changelog_records
+
+
+class _EvilHeader:
+    """Pickles to a REDUCE of ``os.mkdir(marker)``."""
+
+    def __init__(self, marker):
+        self.marker = marker
+
+    def __reduce__(self):
+        import os
+
+        return (os.mkdir, (self.marker,))
+
+
+class TestTrustBoundary:
+    def test_tampered_header_is_rejected_not_executed(self, tmp_path):
+        import os
+        import pickle
+
+        _, info = (
+            Snapshotter(tmp_path),
+            Snapshotter(tmp_path).write(make_mod()),
+        )
+        marker = str(tmp_path / "pwned")
+        evil = pickle.dumps(_EvilHeader(marker))
+        (info.path / HEADER_NAME).write_bytes(evil)
+        # A tampering adversary can recompute sizes and checksums, so fix
+        # the manifest up to match: the unpickler itself is the last line
+        # of defense.
+        manifest_path = info.path / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["files"][HEADER_NAME]["bytes"] = len(evil)
+        import zlib
+
+        manifest["files"][HEADER_NAME]["crc32"] = zlib.crc32(evil)
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotCorruption, match="refusing to unpickle"):
+            load_snapshot(info.path, verify=False)
+        assert not os.path.exists(marker)

@@ -209,3 +209,66 @@ class TestTruncation:
         with WriteAheadLog(path) as wal:
             append_mutations(wal)
             assert wal.truncate_through(0) == 0
+
+
+class TestCreationRepair:
+    """A crash during initial creation must not leave a headerless log."""
+
+    def test_zero_byte_file_gets_a_header_on_reopen(self, tmp_path):
+        path = tmp_path / "log.wal"
+        path.write_bytes(b"")  # creation crashed before the header landed
+        with WriteAheadLog(path) as wal:
+            wal.append(ChangeRecord(1, "add", "a"), make_trajectory("a"))
+        assert path.read_bytes()[: len(WAL_MAGIC)] == WAL_MAGIC
+        scan = scan_wal(path)
+        assert scan.dropped_bytes == 0
+        assert scan.last_revision == 1
+
+    def test_partial_header_is_rewritten_on_reopen(self, tmp_path):
+        path = tmp_path / "log.wal"
+        path.write_bytes(WAL_MAGIC[:5])  # creation crashed mid-header
+        with WriteAheadLog(path) as wal:
+            wal.append(ChangeRecord(1, "add", "a"), make_trajectory("a"))
+            wal.append(ChangeRecord(2, "remove", "a"))
+        scan = scan_wal(path)
+        assert scan.dropped_bytes == 0
+        assert [f.record.revision for f in scan.frames] == [1, 2]
+
+
+class _EvilPayload:
+    """Pickles to a REDUCE of ``os.mkdir(marker)`` — running it on load
+    would create the marker directory."""
+
+    def __init__(self, marker):
+        self.marker = marker
+
+    def __reduce__(self):
+        return (os.mkdir, (self.marker,))
+
+
+class TestTrustBoundary:
+    def test_global_bearing_payload_is_rejected_not_executed(self, tmp_path):
+        import pickle
+        import struct
+        import zlib
+
+        path = tmp_path / "log.wal"
+        with WriteAheadLog(path) as wal:
+            append_mutations(wal)
+        clean = scan_wal(path)
+        marker = str(tmp_path / "pwned")
+        payload = pickle.dumps(
+            {
+                "record": (clean.last_revision + 1, "add", "evil", None),
+                "boom": _EvilPayload(marker),
+            }
+        )
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", len(payload), zlib.crc32(payload)))
+            handle.write(payload)
+        scan = scan_wal(path)  # valid CRC, but the payload is not plain data
+        assert not os.path.exists(marker)
+        assert_frames_equal(scan.frames, clean.frames)
+        assert scan.dropped_bytes > 0
+        with pytest.raises(WalCorruption, match="decode failure"):
+            scan_wal(path, strict=True)
