@@ -11,12 +11,19 @@ retained scalar paths they replace, per database size:
 * ``boxes`` — :func:`repro.trajectories.columnar.segment_boxes_bulk` +
   entry materialization vs the per-trajectory
   :func:`repro.index.boxes.segment_boxes` loop (the index bulk-load input);
-* ``band`` — :func:`repro.core.pruning.band_intervals_batch` over a
-  prepared context's candidates vs one scalar
-  :func:`~repro.core.pruning.band_intervals` call per candidate.
+* ``band`` — :func:`repro.core.pruning.band_intervals_batch` with
+  ``kernel="vector"`` (batched rows + shared base classification) vs the
+  pinned scalar oracle (``kernel="scalar"``, the original per-candidate
+  row builder) over a prepared context's candidates;
+* ``klevel`` — :func:`repro.geometry.envelope.klevel.k_level_envelopes`
+  with ``kernel="vector"`` (the kinetic arrangement sweep) vs the pinned
+  ``k_level_envelopes_scalar`` exclusion cascade.
 
-Every comparison asserts result equality before reporting, so a speedup
-can never come from a divergent answer.  Run with::
+Every comparison asserts result equality (bit-identical pieces and
+intervals) before reporting, so a speedup can never come from a divergent
+answer; in addition, one sharded fleet is answered across the serial,
+thread, and process backends under both kernels before any timing starts,
+asserting byte-identical answers end to end.  Run with::
 
     PYTHONPATH=src python benchmarks/bench_columnar.py
     PYTHONPATH=src python benchmarks/bench_columnar.py --sizes 500 --queries 8
@@ -35,6 +42,10 @@ import numpy as np
 
 from repro.core.pruning import band_intervals, band_intervals_batch
 from repro.engine import QueryEngine
+from repro.geometry.envelope.klevel import (
+    k_level_envelopes,
+    k_level_envelopes_scalar,
+)
 from repro.engine.filtering import (
     TrajectoryArrays,
     conservative_corridor_radius,
@@ -119,26 +130,134 @@ def bench_band(mod: MovingObjectsDatabase) -> Dict[str, float]:
     functions = list(context.functions.values())
 
     started = time.perf_counter()
-    scalar = [
-        band_intervals(function, context.envelope, context.band_width, lo, hi)
-        for function in functions
-    ]
+    scalar = band_intervals_batch(
+        functions, context.envelope, context.band_width, lo, hi, kernel="scalar"
+    )
     scalar_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
     batched = band_intervals_batch(
-        functions, context.envelope, context.band_width, lo, hi
+        functions, context.envelope, context.band_width, lo, hi, kernel="vector"
     )
     batch_seconds = time.perf_counter() - started
 
     if scalar != batched:
-        raise AssertionError("band batch kernel diverged from per-candidate calls")
+        raise AssertionError("vector band kernel diverged from the scalar oracle")
+    single = band_intervals(
+        functions[0], context.envelope, context.band_width, lo, hi, kernel="scalar"
+    )
+    if single != scalar[0]:
+        raise AssertionError("single-candidate call diverged from the batch row")
     return {
         "band_scalar_ms": scalar_seconds * 1000.0,
         "band_batch_ms": batch_seconds * 1000.0,
         "band_speedup": scalar_seconds / batch_seconds,
         "band_candidates": float(len(functions)),
     }
+
+
+def _identical_levels(vectorized, scalar) -> bool:
+    if len(vectorized) != len(scalar):
+        return False
+    for left, right in zip(vectorized.levels, scalar.levels):
+        if len(left.pieces) != len(right.pieces):
+            return False
+        for one, two in zip(left.pieces, right.pieces):
+            if (
+                one.object_id != two.object_id
+                or one.t_start != two.t_start
+                or one.t_end != two.t_end
+            ):
+                return False
+    return True
+
+
+def bench_klevel(mod: MovingObjectsDatabase, max_levels: int = 3) -> Dict[str, float]:
+    lo, hi = mod.common_time_span()
+    query_id = mod.object_ids[0]
+    context = QueryEngine(mod).prepare(query_id, lo, hi).context
+    # The engine computes level envelopes over the band-pruned survivors
+    # (QueryContext.level_envelopes), so the k-level kernel is timed on the
+    # same input a rank query would hand it.
+    functions = context.survivors() or list(context.functions.values())
+
+    started = time.perf_counter()
+    scalar = k_level_envelopes_scalar(functions, lo, hi, max_levels=max_levels)
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    vectorized = k_level_envelopes(
+        functions, lo, hi, max_levels=max_levels, kernel="vector"
+    )
+    vector_seconds = time.perf_counter() - started
+
+    if not _identical_levels(vectorized, scalar):
+        raise AssertionError("kinetic k-level sweep diverged from the scalar cascade")
+    return {
+        "klevel_scalar_ms": scalar_seconds * 1000.0,
+        "klevel_vector_ms": vector_seconds * 1000.0,
+        "klevel_speedup": scalar_seconds / vector_seconds,
+        "klevel_functions": float(len(functions)),
+    }
+
+
+def assert_backend_identity(num_objects: int = 96, seed: int = 23) -> None:
+    """Byte-identity of sharded answers across backends and kernels.
+
+    Runs one UQ3x and one UQ4x statement over a small fleet through the
+    serial, thread, and process sharded backends with the envelope kernel
+    flipped between ``vector`` and ``scalar`` via ``REPRO_ENVELOPE_KERNEL``
+    (inherited by spawned shard workers), and asserts every combination
+    returns exactly the same ids.  Raises before any timing happens, so a
+    reported speedup can never ride on a backend-dependent answer.
+    """
+    import os
+
+    from repro.parallel import ShardedEngine
+    from repro.query_language import CostModel, QueryExecutor
+
+    mod = build_mod(num_objects, seed=seed)
+    lo, hi = mod.common_time_span()
+    query_id = mod.object_ids[0]
+    window = f"TIME IN [{lo}, {hi}]"
+    texts = [
+        f"SELECT T FROM MOD WHERE EXISTS {window} "
+        f"AND PROBABILITY_NN(T, '{query_id}', TIME) > 0",
+        f"SELECT T FROM MOD WHERE EXISTS {window} "
+        f"AND RANK_NN(T, '{query_id}', TIME) <= 3",
+    ]
+
+    previous = os.environ.get("REPRO_ENVELOPE_KERNEL")
+    answers = {}
+    try:
+        for kernel in ("vector", "scalar"):
+            os.environ["REPRO_ENVELOPE_KERNEL"] = kernel
+            for backend in ("serial", "thread", "process"):
+                with ShardedEngine(
+                    mod, num_shards=2, backend=backend
+                ) as sharded:
+                    executor = QueryExecutor(
+                        mod,
+                        sharded=sharded,
+                        cost_model=CostModel(sharded_min_group=2),
+                    )
+                    answers[(kernel, backend)] = [
+                        result.object_ids
+                        for result in executor.execute_many(texts)
+                    ]
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_ENVELOPE_KERNEL", None)
+        else:
+            os.environ["REPRO_ENVELOPE_KERNEL"] = previous
+
+    reference = answers[("scalar", "serial")]
+    for key, value in answers.items():
+        if value != reference:
+            raise AssertionError(
+                f"sharded answers diverged for kernel/backend {key}: "
+                f"{value} != {reference}"
+            )
 
 
 def run_bench(
@@ -156,6 +275,8 @@ def run_bench(
     queries = queries or (8 if quick else 16)
     config = {"sizes": sizes, "queries": queries, "quick": quick}
     metrics: Dict[str, float] = {}
+    print("  backend/kernel byte-identity check (serial/thread/process) ...")
+    assert_backend_identity()
     for num_objects in sizes:
         mod = build_mod(num_objects)
         started = time.perf_counter()
@@ -165,6 +286,7 @@ def run_bench(
         numbers.update(bench_corridor(mod, queries))
         numbers.update(bench_boxes(mod))
         numbers.update(bench_band(mod))
+        numbers.update(bench_klevel(mod))
         print(
             f"N={num_objects}: pack {numbers['pack_ms']:6.1f} ms | "
             f"corridor {numbers['corridor_scalar_ms']:7.1f} -> "
@@ -175,7 +297,10 @@ def run_bench(
             f"({numbers['boxes_speedup']:4.2f}x) | "
             f"band {numbers['band_scalar_ms']:7.1f} -> "
             f"{numbers['band_batch_ms']:6.1f} ms "
-            f"({numbers['band_speedup']:4.2f}x)"
+            f"({numbers['band_speedup']:4.2f}x) | "
+            f"klevel {numbers['klevel_scalar_ms']:7.1f} -> "
+            f"{numbers['klevel_vector_ms']:6.1f} ms "
+            f"({numbers['klevel_speedup']:4.2f}x)"
         )
         for key, value in numbers.items():
             metrics[f"n{num_objects}_{key}"] = value

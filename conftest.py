@@ -12,3 +12,11 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running differential/backend tests; the CI perf job "
+        "selects them explicitly with -m slow",
+    )

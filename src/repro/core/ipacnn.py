@@ -27,7 +27,7 @@ from ..geometry.envelope.pieces import Envelope
 from .answer import IPACNode, IPACTree
 from .pruning import is_within_band_sometime, prune_by_band, PruningStatistics
 
-_TIME_TOLERANCE = 1e-9
+from .tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 
 def build_ipac_tree(

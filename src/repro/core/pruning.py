@@ -35,10 +35,16 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import brentq
 
+from ..geometry.envelope.bulk import resolve_kernel
 from ..geometry.envelope.hyperbola import DistanceFunction, Hyperbola
 from ..geometry.envelope.pieces import Envelope
 
-_TIME_TOLERANCE = 1e-9
+from .tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
+
+#: Two boundaries closer than this make the scalar tolerance-deduplication
+#: observable; the vectorized row builder refuses and the reference row
+#: builder (``_band_rows``) handles the affected candidate instead.
+_BOUNDARY_GUARD = 4.0 * _TIME_TOLERANCE
 #: Interior sample points per elementary interval used to bracket band crossings.
 _SAMPLES_PER_INTERVAL = 12
 #: Absolute slack when testing whole-window band coverage (UQ12/UQ32); shared
@@ -77,6 +83,7 @@ def band_intervals(
     band_width: float,
     t_lo: float,
     t_hi: float,
+    kernel: Optional[str] = None,
 ) -> List[Tuple[float, float]]:
     """Sub-intervals of ``[t_lo, t_hi]`` where the function is inside the band.
 
@@ -99,7 +106,9 @@ def band_intervals(
     Returns:
         Disjoint, time-ordered ``(start, end)`` intervals (possibly empty).
     """
-    return band_intervals_batch([function], envelope, band_width, t_lo, t_hi)[0]
+    return band_intervals_batch(
+        [function], envelope, band_width, t_lo, t_hi, kernel=kernel
+    )[0]
 
 
 def band_intervals_batch(
@@ -108,17 +117,28 @@ def band_intervals_batch(
     band_width: float,
     t_lo: float,
     t_hi: float,
+    kernel: Optional[str] = None,
 ) -> List[List[Tuple[float, float]]]:
     """Band intervals of *many* candidates against one envelope in one pass.
 
     The hot loop of every UQ3x answer runs :func:`band_intervals` once per
-    candidate; the per-candidate row construction is cheap, but each call
-    pays its own sample-grid evaluation.  This kernel concatenates every
-    candidate's rows into one (rows × samples) grid, evaluates the gap
-    function and the no-crossing midpoint tests in a single NumPy pass, and
-    refines each candidate's bracketed sign changes with the same
-    per-candidate bisection the scalar call uses — so the returned interval
-    lists are bit-identical to calling :func:`band_intervals` per function.
+    candidate; this kernel concatenates every candidate's rows into one
+    (rows × samples) grid, evaluates the gap function and the no-crossing
+    midpoint tests in a single NumPy pass, and refines each candidate's
+    bracketed sign changes with the same per-candidate bisection the scalar
+    call uses — so the returned interval lists are bit-identical to calling
+    :func:`band_intervals` per function.
+
+    With ``kernel="vector"`` (the default unless ``REPRO_ENVELOPE_KERNEL``
+    says otherwise) the row construction itself is array-oriented: the
+    candidate-independent boundary grid (envelope criticals plus owner
+    breakpoints) is built once and shared by every single-curve candidate,
+    and the crossing-subinterval classification runs as one batched gap
+    evaluation.  Candidates the vectorized builder cannot provably replicate
+    (piecewise candidates, boundaries inside the tolerance guard) fall back
+    to the reference row builder *per candidate*, so the output is always
+    bit-identical to ``kernel="scalar"`` — the pinned reference path the
+    differential suite compares against.
 
     Returns:
         One interval list per function, aligned with the input order.
@@ -134,21 +154,29 @@ def band_intervals_batch(
             gap = envelope.value(t_lo) + band_width - function.value(t_lo)
             results.append([(t_lo, t_hi)] if gap >= -_TIME_TOLERANCE else [])
         return results
+    vectorized = resolve_kernel(kernel) == "vector"
 
-    all_rows: List[Tuple[float, float, Hyperbola, Hyperbola]] = []
-    row_slices: List[Tuple[int, int]] = []
-    for function in functions:
-        rows = _band_rows(function, envelope, t_lo, t_hi)
-        row_slices.append((len(all_rows), len(all_rows) + len(rows)))
-        all_rows.extend(rows)
-    if not all_rows:
-        return [[] for _ in functions]
+    if vectorized:
+        lo, hi, env_coeffs, fun_coeffs, row_slices = _band_rows_vector(
+            functions, envelope, t_lo, t_hi
+        )
+        if lo.size == 0:
+            return [[] for _ in functions]
+    else:
+        all_rows: List[Tuple[float, float, Hyperbola, Hyperbola]] = []
+        row_slices = []
+        for function in functions:
+            rows = _band_rows(function, envelope, t_lo, t_hi)
+            row_slices.append((len(all_rows), len(all_rows) + len(rows)))
+            all_rows.extend(rows)
+        if not all_rows:
+            return [[] for _ in functions]
+        lo = np.array([row[0] for row in all_rows])
+        hi = np.array([row[1] for row in all_rows])
+        env_coeffs = np.array([[row[2].a, row[2].b, row[2].c] for row in all_rows])
+        fun_coeffs = np.array([[row[3].a, row[3].b, row[3].c] for row in all_rows])
 
-    lo = np.array([row[0] for row in all_rows])
-    hi = np.array([row[1] for row in all_rows])
-    env_coeffs = np.array([[row[2].a, row[2].b, row[2].c] for row in all_rows])
-    fun_coeffs = np.array([[row[3].a, row[3].b, row[3].c] for row in all_rows])
-    group_of_row = np.empty(len(all_rows), dtype=np.int64)
+    group_of_row = np.empty(lo.size, dtype=np.int64)
     for group, (start, end) in enumerate(row_slices):
         group_of_row[start:end] = group
 
@@ -167,6 +195,19 @@ def band_intervals_batch(
         group_of_row=group_of_row,
         group_count=len(functions),
     )
+    if vectorized:
+        return _classify_rows_batch(
+            lo,
+            hi,
+            env_coeffs,
+            fun_coeffs,
+            band_width,
+            roots_by_row,
+            midpoint_gaps,
+            row_slices,
+            group_of_row,
+        )
+
     # Bucket the refined roots per candidate, re-keyed to local row indices.
     local_roots: List[dict] = [{} for _ in functions]
     for row_index, row_roots in roots_by_row.items():
@@ -400,6 +441,188 @@ def _band_rows(
                 )
             )
     return rows
+
+
+def _is_single_curve(function: DistanceFunction, t_lo: float, t_hi: float) -> bool:
+    """True when the candidate behaves as ONE hyperbola over the whole window.
+
+    ``_band_rows`` consults the candidate twice per row: its breakpoints
+    split the elementary intervals, and ``piece_at`` picks the curve at each
+    row midpoint.  When the function spans the window, has no interior
+    breakpoints, and no piece ends strictly inside the window, every midpoint
+    resolves to the same piece — so the candidate-independent base rows plus
+    one tiled coefficient triple reproduce ``_band_rows`` exactly.
+    """
+    if function.t_start > t_lo or function.t_end < t_hi:
+        return False
+    if len(function.pieces) == 1:
+        return True
+    if function.breakpoints(t_lo, t_hi):
+        return False
+    return not any(t_lo < piece.t_end < t_hi for piece in function.pieces)
+
+
+def _base_band_rows(
+    envelope: Envelope, t_lo: float, t_hi: float
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Candidate-independent rows: envelope elementary intervals split at the
+    owner's interior breakpoints.
+
+    For a candidate without breakpoints in the window, these are exactly the
+    ``(lo, hi, env_curve)`` triples ``_band_rows`` derives — the candidate
+    only contributes its own (constant) curve column.  Returns ``None``
+    whenever the reference builder's tolerance-deduplication could become
+    observable (boundaries within ``_BOUNDARY_GUARD`` of each other) or the
+    envelope does not cover the window; callers then fall back to
+    ``_band_rows`` per candidate, which raises/dedups exactly as before.
+    """
+    interior = [t for t in envelope.critical_times if t_lo < t < t_hi]
+    bounds = np.unique(np.array([t_lo, t_hi] + interior))
+    if np.diff(bounds).min() <= _BOUNDARY_GUARD:
+        return None
+    starts: List[float] = []
+    ends: List[float] = []
+    env_curves: List[Hyperbola] = []
+    for interval_start, interval_end in zip(bounds[:-1], bounds[1:]):
+        try:
+            piece = envelope.piece_at((interval_start + interval_end) / 2.0)
+        except ValueError:
+            return None
+        owner = piece.function
+        marks = (
+            [interval_start]
+            + owner.breakpoints(interval_start, interval_end)
+            + [interval_end]
+        )
+        if any(b - a <= _BOUNDARY_GUARD for a, b in zip(marks, marks[1:])):
+            return None
+        for sub_start, sub_end in zip(marks, marks[1:]):
+            midpoint = (sub_start + sub_end) / 2.0
+            starts.append(sub_start)
+            ends.append(sub_end)
+            env_curves.append(owner.piece_at(midpoint).curve)
+    return (
+        np.array(starts),
+        np.array(ends),
+        np.array([[curve.a, curve.b, curve.c] for curve in env_curves]),
+    )
+
+
+def _band_rows_vector(
+    functions: Sequence[DistanceFunction],
+    envelope: Envelope,
+    t_lo: float,
+    t_hi: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, int]]]:
+    """Array-oriented row construction for a whole candidate batch.
+
+    Single-curve candidates share the base rows of ``_base_band_rows`` and
+    contribute one broadcast coefficient triple each; everything else (and
+    every candidate, when the base rows are unavailable) goes through the
+    reference ``_band_rows`` builder so the assembled arrays carry exactly
+    the floats the scalar kernel would produce.
+    """
+    base = _base_band_rows(envelope, t_lo, t_hi)
+    if base is not None:
+        base_lo, base_hi, base_env = base
+        window_mid = (t_lo + t_hi) / 2.0
+    lo_blocks: List[np.ndarray] = []
+    hi_blocks: List[np.ndarray] = []
+    env_blocks: List[np.ndarray] = []
+    fun_blocks: List[np.ndarray] = []
+    row_slices: List[Tuple[int, int]] = []
+    total = 0
+    for function in functions:
+        if base is not None and _is_single_curve(function, t_lo, t_hi):
+            curve = function.piece_at(window_mid).curve
+            count = base_lo.size
+            lo_blocks.append(base_lo)
+            hi_blocks.append(base_hi)
+            env_blocks.append(base_env)
+            fun_blocks.append(
+                np.broadcast_to(np.array([curve.a, curve.b, curve.c]), (count, 3))
+            )
+        else:
+            rows = _band_rows(function, envelope, t_lo, t_hi)
+            count = len(rows)
+            if count:
+                lo_blocks.append(np.array([row[0] for row in rows]))
+                hi_blocks.append(np.array([row[1] for row in rows]))
+                env_blocks.append(
+                    np.array([[row[2].a, row[2].b, row[2].c] for row in rows])
+                )
+                fun_blocks.append(
+                    np.array([[row[3].a, row[3].b, row[3].c] for row in rows])
+                )
+        row_slices.append((total, total + count))
+        total += count
+    if total == 0:
+        empty = np.empty(0)
+        return empty, empty, np.empty((0, 3)), np.empty((0, 3)), row_slices
+    return (
+        np.concatenate(lo_blocks),
+        np.concatenate(hi_blocks),
+        np.concatenate(env_blocks),
+        np.concatenate(fun_blocks),
+        row_slices,
+    )
+
+
+def _classify_rows_batch(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    env_coeffs: np.ndarray,
+    fun_coeffs: np.ndarray,
+    band_width: float,
+    roots_by_row: dict,
+    midpoint_gaps: np.ndarray,
+    row_slices: List[Tuple[int, int]],
+    group_of_row: np.ndarray,
+) -> List[List[Tuple[float, float]]]:
+    """Assemble every candidate's intervals with ONE batched sub-midpoint pass.
+
+    Bit-identical to running ``_classify_rows`` per candidate: crossing-free
+    rows reuse the already-computed midpoint gaps, and the crossing rows'
+    sub-interval midpoints are evaluated in a single ``_gap_at`` call whose
+    elementwise arithmetic matches the per-row broadcasts.  Interval order
+    within a candidate is irrelevant because ``_merge_intervals`` sorts.
+    """
+    buckets: List[List[Tuple[float, float]]] = [[] for _ in row_slices]
+    rows_with_roots = [
+        (row_index, roots) for row_index, roots in roots_by_row.items() if roots
+    ]
+    has_roots = np.zeros(lo.size, dtype=bool)
+    for row_index, _ in rows_with_roots:
+        has_roots[row_index] = True
+    for row_index in np.nonzero(~has_roots & (midpoint_gaps >= 0.0))[0].tolist():
+        buckets[int(group_of_row[row_index])].append((lo[row_index], hi[row_index]))
+    if rows_with_roots:
+        sub_row: List[int] = []
+        sub_start: List[float] = []
+        sub_end: List[float] = []
+        for row_index, roots in rows_with_roots:
+            marks = [lo[row_index]] + roots + [hi[row_index]]
+            for mark_start, mark_end in zip(marks, marks[1:]):
+                sub_row.append(row_index)
+                sub_start.append(mark_start)
+                sub_end.append(mark_end)
+        sub_row_arr = np.array(sub_row, dtype=np.int64)
+        start_arr = np.array(sub_start)
+        end_arr = np.array(sub_end)
+        sub_gaps = _gap_at(
+            (start_arr + end_arr) / 2.0,
+            env_coeffs[sub_row_arr],
+            fun_coeffs[sub_row_arr],
+            band_width,
+        )
+        kept = (end_arr - start_arr > _TIME_TOLERANCE) & (sub_gaps >= 0.0)
+        for index in np.nonzero(kept)[0].tolist():
+            group = int(group_of_row[sub_row_arr[index]])
+            # Index the Python lists, not the arrays: refined roots are
+            # Python floats and row bounds are np.float64, and the per-row
+            # classifier emits each mark with its original type.
+            buckets[group].append((sub_start[index], sub_end[index]))
+    return [_merge_intervals(bucket) for bucket in buckets]
 
 
 def _row_sample_grid(

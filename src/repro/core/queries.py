@@ -55,6 +55,7 @@ class QueryContext:
     band_width: float
     functions: Dict[object, DistanceFunction]
     envelope: Envelope
+    kernel: Optional[str] = None
     _levels: Optional[LevelEnvelopes] = None
     _levels_depth: int = 0
     _tree: Optional[IPACTree] = None
@@ -74,8 +75,14 @@ class QueryContext:
         t_start: float,
         t_end: float,
         band_width: float,
+        kernel: Optional[str] = None,
     ) -> "QueryContext":
-        """Build a context: O(N log N) envelope construction plus bookkeeping."""
+        """Build a context: O(N log N) envelope construction plus bookkeeping.
+
+        ``kernel`` selects the envelope/band execution kernel for every
+        computation derived from this context (``"vector"``/``"scalar"``;
+        ``None`` follows ``REPRO_ENVELOPE_KERNEL``, vector when unset).
+        """
         if not functions:
             raise ValueError("need at least one candidate distance function")
         if t_end < t_start:
@@ -93,6 +100,7 @@ class QueryContext:
             band_width=band_width,
             functions=by_id,
             envelope=envelope,
+            kernel=kernel,
         )
 
     @staticmethod
@@ -103,6 +111,7 @@ class QueryContext:
         t_end: float,
         band_width: Optional[float] = None,
         candidate_ids: Optional[Sequence[object]] = None,
+        kernel: Optional[str] = None,
     ) -> "QueryContext":
         """Build a context from a MOD, optionally restricted to pre-filtered candidates.
 
@@ -123,14 +132,16 @@ class QueryContext:
         if band_width is None:
             band_width = mod.default_band_width(query_id)
         functions = mod.distance_functions(
-            query_id, t_start, t_end, candidate_ids=candidate_ids
+            query_id, t_start, t_end, candidate_ids=candidate_ids, kernel=kernel
         )
         if not functions:
             raise ValueError(
                 "no candidate trajectories cover the query window; "
                 "check the window or the candidate filter"
             )
-        return QueryContext.build(functions, query_id, t_start, t_end, band_width)
+        return QueryContext.build(
+            functions, query_id, t_start, t_end, band_width, kernel=kernel
+        )
 
     # ------------------------------------------------------------------
     # Shared lazily-computed artefacts.
@@ -164,7 +175,12 @@ class QueryContext:
         if not self._intervals_complete:
             ordered = list(self.functions.values())
             batched = band_intervals_batch(
-                ordered, self.envelope, self.band_width, self.t_start, self.t_end
+                ordered,
+                self.envelope,
+                self.band_width,
+                self.t_start,
+                self.t_end,
+                kernel=self.kernel,
             )
             self._intervals = {
                 function.object_id: intervals
@@ -188,7 +204,12 @@ class QueryContext:
             self._intervals = {}
         if object_id not in self._intervals:
             self._intervals[object_id] = band_intervals_batch(
-                [function], self.envelope, self.band_width, self.t_start, self.t_end
+                [function],
+                self.envelope,
+                self.band_width,
+                self.t_start,
+                self.t_end,
+                kernel=self.kernel,
             )[0]
         return self._intervals[object_id]
 
@@ -221,7 +242,11 @@ class QueryContext:
             if not survivors:
                 survivors = list(self.functions.values())
             self._levels = k_level_envelopes(
-                survivors, self.t_start, self.t_end, max_levels=max_level
+                survivors,
+                self.t_start,
+                self.t_end,
+                max_levels=max_level,
+                kernel=self.kernel,
             )
             self._levels_depth = max_level
         return self._levels

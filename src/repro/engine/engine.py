@@ -134,6 +134,11 @@ class QueryEngine:
         registry: the :class:`~repro.obs.MetricsRegistry` engine metrics
             land in (``repro_engine_*``); a private registry when ``None``,
             so independent engines never mix counters.
+        envelope_kernel: execution kernel for the envelope/band machinery of
+            every prepared context — ``"vector"`` (NumPy kernels with scalar
+            fallback on degenerate inputs) or ``"scalar"`` (the pinned
+            reference paths); ``None`` follows the process default
+            (``REPRO_ENVELOPE_KERNEL``, vector when unset).
     """
 
     def __init__(
@@ -146,6 +151,7 @@ class QueryEngine:
         max_workers: Optional[int] = None,
         cache_size: int = 256,
         registry: Optional[MetricsRegistry] = None,
+        envelope_kernel: Optional[str] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -165,6 +171,7 @@ class QueryEngine:
         else:
             self._index = index  # prebuilt index object or None
         self._max_workers = max_workers
+        self._envelope_kernel = envelope_kernel
         self._cache_size = cache_size
         self._cache = ContextCache(max_size=cache_size)
         self._arrays = TrajectoryArrays()
@@ -721,6 +728,7 @@ class QueryEngine:
                 t_end,
                 band_width=band_width,
                 candidate_ids=candidate_ids,
+                kernel=self._envelope_kernel,
             )
         self._m_kernel.observe(time.perf_counter() - kernel_started)
         return PreparedQuery(

@@ -1,21 +1,36 @@
 """Lower-envelope machinery for hyperbolic distance functions (Section 3.2)."""
 
+from .bulk import (
+    DegenerateArrangement,
+    FunctionPack,
+    default_kernel,
+    k_level_envelopes_bulk,
+    pack_functions,
+    resolve_kernel,
+)
 from .divide_conquer import lower_envelope
 from .env2 import pairwise_envelope
 from .hyperbola import DistanceFunction, Hyperbola, HyperbolaPiece
-from .klevel import LevelEnvelopes, k_level_envelopes
+from .klevel import LevelEnvelopes, k_level_envelopes, k_level_envelopes_scalar
 from .merge import merge_envelopes
 from .naive import naive_lower_envelope
 from .pieces import Envelope, EnvelopePiece
 
 __all__ = [
+    "DegenerateArrangement",
     "DistanceFunction",
     "Envelope",
     "EnvelopePiece",
+    "FunctionPack",
     "Hyperbola",
     "HyperbolaPiece",
     "LevelEnvelopes",
+    "default_kernel",
     "k_level_envelopes",
+    "k_level_envelopes_bulk",
+    "k_level_envelopes_scalar",
+    "pack_functions",
+    "resolve_kernel",
     "lower_envelope",
     "merge_envelopes",
     "naive_lower_envelope",

@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-_EPSILON = 1e-12
+from ...core.tolerances import COEFF_EPSILON as _EPSILON
 
 
 @dataclass(frozen=True, slots=True)

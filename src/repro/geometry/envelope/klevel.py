@@ -14,11 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from .bulk import DegenerateArrangement, k_level_envelopes_bulk, resolve_kernel
 from .divide_conquer import lower_envelope
 from .hyperbola import DistanceFunction
 from .pieces import Envelope, EnvelopePiece
 
-_TIME_TOLERANCE = 1e-9
+from ...core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +91,7 @@ def k_level_envelopes(
     t_lo: float,
     t_hi: float,
     max_levels: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> LevelEnvelopes:
     """Compute the first ``max_levels`` level envelopes of a function set.
 
@@ -99,27 +101,73 @@ def k_level_envelopes(
         t_hi: window end.
         max_levels: number of levels to materialize; defaults to the number
             of functions (the full arrangement depth).
+        kernel: ``"vector"`` for the kinetic sweep of
+            :func:`repro.geometry.envelope.bulk.k_level_envelopes_bulk`
+            (bit-identical, with automatic fallback to the scalar cascade on
+            degenerate arrangements), ``"scalar"`` to force the pinned
+            exclusion cascade, or ``None`` for the process default
+            (``REPRO_ENVELOPE_KERNEL``, vector when unset).
 
     Returns:
         A :class:`LevelEnvelopes` stack.
+    """
+    functions, limit = _canonical_inputs(functions, max_levels)
+    if resolve_kernel(kernel) == "vector":
+        try:
+            levels = k_level_envelopes_bulk(functions, t_lo, t_hi, limit)
+            return LevelEnvelopes(t_lo, t_hi, levels)
+        except DegenerateArrangement:
+            pass
+    return _exclusion_cascade(functions, t_lo, t_hi, limit)
+
+
+def k_level_envelopes_scalar(
+    functions: Sequence[DistanceFunction],
+    t_lo: float,
+    t_hi: float,
+    max_levels: Optional[int] = None,
+) -> LevelEnvelopes:
+    """The pinned scalar oracle: the per-interval exclusion cascade.
+
+    This is the original ``k_level_envelopes`` implementation, retained
+    verbatim as the ground truth that the kinetic sweep of
+    :mod:`repro.geometry.envelope.bulk` is differentially tested against
+    (and as the fallback for degenerate arrangements).
+    """
+    functions, limit = _canonical_inputs(functions, max_levels)
+    return _exclusion_cascade(functions, t_lo, t_hi, limit)
+
+
+def _canonical_inputs(
+    functions: Sequence[DistanceFunction], max_levels: Optional[int]
+) -> Tuple[List[DistanceFunction], int]:
+    """Validate inputs and canonicalize the function order.
+
+    Ties between equal-valued functions are broken by input order inside
+    lower_envelope, and the per-interval exclusion cascade amplifies the
+    choice into different level *memberships*.  Canonicalizing the order
+    here makes every level a pure function of the function set, so rank
+    answers agree across execution layers that enumerate candidates
+    differently (insertion order, sorted corridor survivors, shards).  The
+    kinetic sweep inherits the same canonical order for its stable
+    tie-breaking.
     """
     if not functions:
         raise ValueError("cannot build level envelopes of an empty collection")
     limit = len(functions) if max_levels is None else min(max_levels, len(functions))
     if limit < 1:
         raise ValueError("max_levels must be at least 1")
-
-    # Ties between equal-valued functions are broken by input order inside
-    # lower_envelope, and the per-interval exclusion cascade amplifies the
-    # choice into different level *memberships*.  Canonicalizing the order
-    # here makes every level a pure function of the function set, so rank
-    # answers agree across execution layers that enumerate candidates
-    # differently (insertion order, sorted corridor survivors, shards).
-    functions = sorted(functions, key=lambda f: str(f.object_id))
-
-    by_id: Dict[object, DistanceFunction] = {f.object_id: f for f in functions}
-    if len(by_id) != len(functions):
+    ordered = sorted(functions, key=lambda f: str(f.object_id))
+    if len({f.object_id for f in ordered}) != len(ordered):
         raise ValueError("distance functions must have unique object ids")
+    return ordered, limit
+
+
+def _exclusion_cascade(
+    functions: List[DistanceFunction], t_lo: float, t_hi: float, limit: int
+) -> LevelEnvelopes:
+    """The scalar exclusion cascade over canonically-ordered functions."""
+    by_id: Dict[object, DistanceFunction] = {f.object_id: f for f in functions}
 
     levels: List[Envelope] = []
     first = lower_envelope(functions, t_lo, t_hi)

@@ -15,7 +15,7 @@ from typing import List
 from .env2 import pairwise_envelope
 from .pieces import Envelope, EnvelopePiece
 
-_TIME_TOLERANCE = 1e-9
+from ...core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 
 def merge_envelopes(first: Envelope, second: Envelope) -> Envelope:

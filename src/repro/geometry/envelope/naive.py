@@ -16,7 +16,7 @@ from typing import List, Sequence
 from .hyperbola import DistanceFunction
 from .pieces import Envelope, EnvelopePiece
 
-_TIME_TOLERANCE = 1e-9
+from ...core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 
 def naive_lower_envelope(

@@ -15,7 +15,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .hyperbola import DistanceFunction
 
-_TIME_TOLERANCE = 1e-9
+from ...core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 
 @dataclass(frozen=True, slots=True)

@@ -31,7 +31,7 @@ from ..trajectories.updates import (
 )
 from ..uncertainty.uniform import UniformDiskPDF
 
-_TIME_TOLERANCE = 1e-9
+from ..core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 LocationReport = Union[LocationUpdate, Tuple[float, float, float]]
 

@@ -11,12 +11,19 @@ two objects' sample times.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..geometry.envelope.hyperbola import DistanceFunction, Hyperbola, HyperbolaPiece
 from .trajectory import Trajectory
 
-_TIME_TOLERANCE = 1e-9
+from ..core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
+
+#: Interior piece marks closer than this to the window ends make the scalar
+#: segment-lookup tolerance observable; the bulk constructor refuses and the
+#: scalar path handles every candidate instead.
+_EDGE_MARGIN = 8.0 * _TIME_TOLERANCE
 
 
 def difference_distance_function(
@@ -117,6 +124,220 @@ def relative_position_at(
     pos_i = trajectory.position_at(t)
     pos_q = query.position_at(t)
     return (pos_i.x - pos_q.x, pos_i.y - pos_q.y)
+
+
+def difference_distance_functions_bulk(
+    trajectories: Sequence[Trajectory],
+    query: Trajectory,
+    t_lo: float,
+    t_hi: float,
+    skip_query: bool = True,
+    store=None,
+) -> List[DistanceFunction]:
+    """Batched distance-function construction over packed columnar arrays.
+
+    The hyperbola coefficients of every candidate whose samples never fall
+    strictly inside the window are computed in one NumPy pass over the
+    columnar pack: such a candidate moves along a single constant-velocity
+    leg across the whole open window, so the per-piece positions and
+    velocities reduce to broadcast interpolation against the query's shared
+    piece grid.  Query-side positions/velocities are computed once (instead
+    of once per candidate), with the same scalar calls as the reference.
+
+    Candidates the bulk path cannot provably replicate — interior samples,
+    window not covered, stale columns, or piece marks inside the tolerance
+    margin of the window ends — fall back to
+    :func:`difference_distance_function` individually, so the output is
+    always bit-identical to :func:`difference_distance_functions`.
+
+    Args:
+        store: a :class:`~repro.trajectories.columnar.ColumnarStore` (or any
+            object with ``pack()``, ``slot_of`` and ``columns_for``); when
+            ``None`` the scalar path runs for every candidate.
+    """
+    candidates = [
+        trajectory
+        for trajectory in trajectories
+        if not (skip_query and trajectory.object_id == query.object_id)
+    ]
+    shared = _shared_query_pieces(query, t_lo, t_hi) if store is not None else None
+    if shared is None or not candidates:
+        return [
+            difference_distance_function(candidate, query, t_lo, t_hi)
+            for candidate in candidates
+        ]
+    piece_bounds, refs, mids, q_px, q_py, q_vx, q_vy = shared
+
+    pack = store.pack()
+    ts = pack.ts
+    if ts.size < 2:
+        return [
+            difference_distance_function(candidate, query, t_lo, t_hi)
+            for candidate in candidates
+        ]
+    # Leg arrays over the whole pack: leg i joins samples i and i+1 of the
+    # same object; zero-duration legs are skipped exactly like ``segments()``.
+    leg_same_object = np.ones(ts.size - 1, dtype=bool)
+    leg_same_object[pack.starts[1:] - 1] = False
+    leg_usable = leg_same_object & ((ts[1:] - ts[:-1]) > _TIME_TOLERANCE)
+    leg_contains_lo = ts[:-1] - _TIME_TOLERANCE
+    leg_contains_hi = ts[1:] + _TIME_TOLERANCE
+
+    def _first_leg_per_slot(t: float) -> np.ndarray:
+        """First usable leg containing ``t``, per pack slot (-1 when none)."""
+        containing = leg_usable & (leg_contains_lo <= t) & (t <= leg_contains_hi)
+        hits = np.flatnonzero(containing)
+        if hits.size == 0:
+            return np.full(len(pack.ids), -1, dtype=np.int64)
+        position = np.searchsorted(hits, pack.starts)
+        found = position < hits.size
+        candidate_leg = hits[np.minimum(position, hits.size - 1)]
+        last_leg = pack.starts + pack.lengths - 1
+        return np.where(found & (candidate_leg < last_leg), candidate_leg, -1)
+
+    first_t = ts[pack.starts]
+    last_t = ts[pack.starts + pack.lengths - 1]
+    covers = ((first_t - _TIME_TOLERANCE) <= t_lo) & (
+        t_hi <= (last_t + _TIME_TOLERANCE)
+    )
+    inside_window = (ts > t_lo + _TIME_TOLERANCE) & (ts < t_hi - _TIME_TOLERANCE)
+    interior_samples = np.add.reduceat(inside_window.astype(np.int64), pack.starts)
+    leg_at_lo = _first_leg_per_slot(t_lo)
+    leg_interior = _first_leg_per_slot(float(mids[0]))
+    slot_qualifies = (
+        covers & (interior_samples == 0) & (leg_at_lo >= 0) & (leg_interior >= 0)
+    )
+
+    bulk_positions: List[int] = []
+    bulk_slots: List[int] = []
+    for position, candidate in enumerate(candidates):
+        if store.columns_for(candidate) is None:
+            continue
+        slot = store.slot_of(candidate.object_id)
+        if slot_qualifies[slot]:
+            bulk_positions.append(position)
+            bulk_slots.append(slot)
+
+    results: List[Optional[DistanceFunction]] = [None] * len(candidates)
+    if bulk_slots:
+        slots = np.array(bulk_slots, dtype=np.int64)
+        # Position at the first reference (t_lo) on its containing leg.
+        i0 = leg_at_lo[slots]
+        j0 = i0 + 1
+        duration0 = ts[j0] - ts[i0]
+        fraction0 = np.minimum(
+            1.0, np.maximum(0.0, (t_lo - ts[i0]) / duration0)
+        )
+        position_x = np.empty((slots.size, refs.size))
+        position_y = np.empty((slots.size, refs.size))
+        position_x[:, 0] = pack.xs[i0] + fraction0 * (pack.xs[j0] - pack.xs[i0])
+        position_y[:, 0] = pack.ys[i0] + fraction0 * (pack.ys[j0] - pack.ys[i0])
+        # Interior references and every midpoint share one leg per candidate.
+        ii = leg_interior[slots]
+        jj = ii + 1
+        duration = ts[jj] - ts[ii]
+        velocity_x = (pack.xs[jj] - pack.xs[ii]) / duration
+        velocity_y = (pack.ys[jj] - pack.ys[ii]) / duration
+        if refs.size > 1:
+            fraction = np.minimum(
+                1.0,
+                np.maximum(
+                    0.0, (refs[None, 1:] - ts[ii][:, None]) / duration[:, None]
+                ),
+            )
+            position_x[:, 1:] = (
+                pack.xs[ii][:, None]
+                + fraction * (pack.xs[jj] - pack.xs[ii])[:, None]
+            )
+            position_y[:, 1:] = (
+                pack.ys[ii][:, None]
+                + fraction * (pack.ys[jj] - pack.ys[ii])[:, None]
+            )
+
+        rel_x = position_x - q_px[None, :]
+        rel_y = position_y - q_py[None, :]
+        rel_vx = velocity_x[:, None] - q_vx[None, :]
+        rel_vy = velocity_y[:, None] - q_vy[None, :]
+        # Elementwise replica of ``Hyperbola.from_relative_motion``.
+        a = rel_vx * rel_vx + rel_vy * rel_vy
+        b_local = 2.0 * (rel_x * rel_vx + rel_y * rel_vy)
+        c_local = rel_x * rel_x + rel_y * rel_y
+        b = b_local - 2.0 * a * refs[None, :]
+        c = c_local - b_local * refs[None, :] + a * refs[None, :] * refs[None, :]
+
+        for row, position in enumerate(bulk_positions):
+            pieces = [
+                HyperbolaPiece(
+                    piece_start,
+                    piece_end,
+                    Hyperbola(a[row, k], b[row, k], c[row, k]),
+                )
+                for k, (piece_start, piece_end) in enumerate(piece_bounds)
+            ]
+            results[position] = DistanceFunction(
+                candidates[position].object_id, pieces
+            )
+
+    for position, candidate in enumerate(candidates):
+        if results[position] is None:
+            results[position] = difference_distance_function(
+                candidate, query, t_lo, t_hi
+            )
+    return results  # type: ignore[return-value]
+
+
+def _shared_query_pieces(
+    query: Trajectory, t_lo: float, t_hi: float
+) -> Optional[Tuple]:
+    """The query-determined piece grid shared by every breakpoint-free candidate.
+
+    For a candidate without samples strictly inside the window, the aligned
+    breakpoints of :func:`difference_distance_function` are exactly the
+    query's — so the piece boundaries, reference times, and the query-side
+    positions/velocities can be computed once.  Returns ``None`` when the
+    bulk path's margin preconditions fail (short window, query not covering,
+    marks within ``_EDGE_MARGIN`` of the window ends), in which case every
+    candidate takes the scalar path.
+    """
+    if t_hi - t_lo <= 2.0 * _EDGE_MARGIN:
+        return None
+    if not query.covers_interval(t_lo, t_hi):
+        return None
+    # Exact replica of ``_aligned_breakpoints`` with an empty candidate side.
+    times = [t_lo, t_hi]
+    times.extend(query.breakpoints_in(t_lo, t_hi))
+    times.sort()
+    marks: List[float] = []
+    for t in times:
+        if not marks or t - marks[-1] > _TIME_TOLERANCE:
+            marks.append(t)
+    if marks[-1] < t_hi - _TIME_TOLERANCE:
+        marks.append(t_hi)
+    marks[0] = t_lo
+    marks[-1] = t_hi
+    if any(not (t_lo + _EDGE_MARGIN < m < t_hi - _EDGE_MARGIN) for m in marks[1:-1]):
+        return None
+    piece_bounds: List[Tuple[float, float]] = []
+    for piece_start, piece_end in zip(marks, marks[1:]):
+        if piece_end - piece_start <= _TIME_TOLERANCE and len(marks) > 2:
+            continue
+        piece_bounds.append((piece_start, piece_end))
+    if not piece_bounds:
+        return None
+    refs = np.array([piece_start for piece_start, _ in piece_bounds])
+    ends = np.array([piece_end for _, piece_end in piece_bounds])
+    mids = (refs + ends) / 2.0
+    query_positions = [query.position_at(piece_start) for piece_start, _ in piece_bounds]
+    query_velocities = [query.velocity_at(float(mid)) for mid in mids]
+    return (
+        piece_bounds,
+        refs,
+        mids,
+        np.array([p.x for p in query_positions]),
+        np.array([p.y for p in query_positions]),
+        np.array([v.dx for v in query_velocities]),
+        np.array([v.dy for v in query_velocities]),
+    )
 
 
 def expected_distance_at(trajectory: Trajectory, query: Trajectory, t: float) -> float:

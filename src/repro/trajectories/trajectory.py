@@ -17,7 +17,7 @@ from ..geometry.segment import SpaceTimeSegment
 from ..uncertainty.pdf import RadialPDF
 from ..uncertainty.uniform import UniformDiskPDF
 
-_TIME_TOLERANCE = 1e-9
+from ..core.tolerances import TIME_TOLERANCE as _TIME_TOLERANCE
 
 
 @dataclass(frozen=True, slots=True)

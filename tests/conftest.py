@@ -1,9 +1,23 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
+
+# Seeded (derandomized) hypothesis profiles: the ``ci`` profile keeps the
+# property suites fast and reproducible on every push; the ``nightly``
+# profile (selected by HYPOTHESIS_PROFILE=nightly, see
+# .github/workflows/bench-trend.yml) spends two orders of magnitude more
+# examples hunting for adversarial inputs to the differential kernels.
+settings.register_profile("ci", max_examples=25, deadline=None, derandomize=True)
+settings.register_profile(
+    "nightly", max_examples=400, deadline=None, derandomize=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.geometry.envelope.hyperbola import DistanceFunction
 from repro.trajectories.mod import MovingObjectsDatabase

@@ -1,0 +1,117 @@
+"""Edge cases of the divide-and-conquer envelope and the sweep merge.
+
+Complements the property suites with the degenerate shapes that the
+adversarial differential families exercise implicitly: empty inputs,
+single-function windows, all-identical function sets, sub-tolerance
+slivers, and zero-length windows.
+"""
+
+import pytest
+
+from repro.core.tolerances import TIME_TOLERANCE
+from repro.geometry.envelope.divide_conquer import lower_envelope
+from repro.geometry.envelope.hyperbola import DistanceFunction
+from repro.geometry.envelope.merge import merge_envelopes
+from repro.geometry.envelope.pieces import Envelope, EnvelopePiece
+
+T_LO, T_HI = 0.0, 10.0
+
+
+def _motion(object_id, x0, y0, vx, vy, t_lo=T_LO, t_hi=T_HI):
+    return DistanceFunction.single_segment(object_id, x0, y0, vx, vy, t_lo, t_hi)
+
+
+class TestLowerEnvelopeEdgeCases:
+    def test_empty_collection_raises(self):
+        with pytest.raises(ValueError, match="empty collection"):
+            lower_envelope([], T_LO, T_HI)
+
+    def test_inverted_window_raises(self):
+        with pytest.raises(ValueError, match="empty window"):
+            lower_envelope([_motion("a", 1.0, 0.0, 0.5, 0.0)], 10.0, 0.0)
+
+    def test_single_function_spans_the_window(self):
+        function = _motion("a", 3.0, 4.0, -0.2, 0.1)
+        envelope = lower_envelope([function], T_LO, T_HI)
+        assert len(envelope.pieces) == 1
+        piece = envelope.pieces[0]
+        assert piece.object_id == "a"
+        assert piece.t_start == T_LO
+        assert piece.t_end == T_HI
+
+    def test_all_identical_functions_collapse_to_the_first(self):
+        # Identical curves tie everywhere; the merge's first-argument
+        # tie-break must hand the whole window to the first input, and
+        # coalescing must leave a single piece.
+        template = _motion("a", 2.0, -1.0, 0.3, 0.4)
+        clones = [
+            DistanceFunction(name, list(template.pieces))
+            for name in ("a", "b", "c", "d")
+        ]
+        envelope = lower_envelope(clones, T_LO, T_HI)
+        assert len(envelope.pieces) == 1
+        assert envelope.pieces[0].object_id == "a"
+
+    def test_zero_length_window(self):
+        functions = [
+            _motion("near", 1.0, 0.0, 0.0, 0.0, 5.0, 5.0),
+            _motion("far", 9.0, 0.0, 0.0, 0.0, 5.0, 5.0),
+        ]
+        envelope = lower_envelope(functions, 5.0, 5.0)
+        assert envelope.t_start == envelope.t_end == 5.0
+        assert envelope.pieces[0].object_id == "near"
+
+
+class TestMergeEnvelopesEdgeCases:
+    def test_mismatched_windows_raise(self):
+        left = lower_envelope([_motion("a", 1.0, 0.0, 0.0, 0.0)], T_LO, T_HI)
+        right = lower_envelope(
+            [_motion("b", 2.0, 0.0, 0.0, 0.0, 0.0, 5.0)], 0.0, 5.0
+        )
+        with pytest.raises(ValueError, match="same time window"):
+            merge_envelopes(left, right)
+
+    def test_merge_with_itself_is_identity(self):
+        envelope = lower_envelope(
+            [
+                _motion("a", 1.0, 0.0, 0.8, 0.0),
+                _motion("b", 9.0, 0.0, -0.9, 0.0),
+            ],
+            T_LO,
+            T_HI,
+        )
+        merged = merge_envelopes(envelope, envelope)
+        assert [
+            (p.object_id, p.t_start, p.t_end) for p in merged.pieces
+        ] == [(p.object_id, p.t_start, p.t_end) for p in envelope.pieces]
+
+    def test_sub_tolerance_pieces_collapse(self):
+        # A sliver piece narrower than the time tolerance must not
+        # survive the merge sweep: its interval is skipped and the
+        # neighbours' owners decide.
+        low = _motion("low", 1.0, 0.0, 0.0, 0.0)
+        high = _motion("high", 5.0, 0.0, 0.0, 0.0)
+        sliver = TIME_TOLERANCE / 2.0
+        left = Envelope(
+            [
+                EnvelopePiece(low, T_LO, 5.0),
+                EnvelopePiece(high, 5.0, 5.0 + sliver),
+                EnvelopePiece(low, 5.0 + sliver, T_HI),
+            ]
+        )
+        right = Envelope([EnvelopePiece(high, T_LO, T_HI)])
+        merged = merge_envelopes(left, right)
+        assert len(merged.pieces) == 1
+        assert merged.pieces[0].object_id == "low"
+        assert all(
+            piece.duration > TIME_TOLERANCE for piece in merged.pieces
+        )
+
+    def test_zero_length_window_falls_back_to_instant_comparison(self):
+        t = 5.0
+        near = _motion("near", 1.0, 0.0, 0.0, 0.0, t, t)
+        far = _motion("far", 9.0, 0.0, 0.0, 0.0, t, t)
+        left = Envelope([EnvelopePiece(far, t, t)])
+        right = Envelope([EnvelopePiece(near, t, t)])
+        merged = merge_envelopes(left, right)
+        assert merged.pieces[0].object_id == "near"

@@ -1,0 +1,502 @@
+"""Differential oracle: vectorized kernels are bit-identical to the scalar paths.
+
+Every vectorized kernel introduced for the envelope hot path —
+
+* the kinetic k-level sweep (:func:`repro.geometry.envelope.bulk.k_level_envelopes_bulk`),
+* the batched band classifier (:func:`repro.core.pruning.band_intervals_batch`
+  with ``kernel="vector"``), and
+* the bulk hyperbola-coefficient construction
+  (:func:`repro.trajectories.difference.difference_distance_functions_bulk`)
+
+— keeps its original scalar implementation pinned as the oracle and promises
+*bit-identical* output: not approximately equal, byte-for-byte the same
+floats, piece boundaries, and owner ids.  These properties drive both sides
+with adversarial inputs (tangent hyperbolas, exact ties at breakpoints,
+sub-tolerance gaps, zero-length segments, coincident trajectories) and
+compare with ``==``, never with a tolerance.
+
+The closing end-to-end section runs planned UQ2x/UQ4x statements under the
+vector kernel against the pinned naive interpreter forced onto the scalar
+kernel, so the equivalence is checked through the full planner/engine stack,
+not just at the kernel boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import pruning
+from repro.core.pruning import band_intervals, band_intervals_batch
+from repro.geometry.envelope.bulk import k_level_envelopes_bulk
+from repro.geometry.envelope.divide_conquer import lower_envelope
+from repro.geometry.envelope.env2 import pairwise_envelope
+from repro.geometry.envelope.hyperbola import (
+    DistanceFunction,
+    Hyperbola,
+    HyperbolaPiece,
+)
+from repro.geometry.envelope.klevel import (
+    k_level_envelopes,
+    k_level_envelopes_scalar,
+)
+from repro.trajectories import difference
+from repro.trajectories.mod import MovingObjectsDatabase
+from repro.trajectories.trajectory import UncertainTrajectory
+from repro.uncertainty.uniform import UniformDiskPDF
+from repro.query_language import QueryExecutor, execute_query_naive
+
+T_LO, T_HI = 0.0, 10.0
+
+coordinate = st.floats(
+    min_value=-25.0, max_value=25.0, allow_nan=False, allow_infinity=False
+)
+velocity = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+# Exactly-representable offsets so algebraic identities (double roots,
+# shared breakpoints) survive float arithmetic without rounding.
+dyadic_time = st.sampled_from([1.0, 2.0, 2.5, 4.0, 5.0, 6.25, 8.0])
+
+
+def _motion(object_id, x0, y0, vx, vy):
+    return DistanceFunction.single_segment(object_id, x0, y0, vx, vy, T_LO, T_HI)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial function families.
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def base_functions(draw, min_size=2, max_size=6):
+    """Random single-segment distance functions with canonical-sortable ids."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    functions = []
+    for index in range(count):
+        x0, y0 = draw(coordinate), draw(coordinate)
+        vx, vy = draw(velocity), draw(velocity)
+        functions.append(_motion(f"f{index:02d}", x0, y0, vx, vy))
+    return functions
+
+
+@st.composite
+def adversarial_functions(draw):
+    """Function sets stressing the degeneracies the kernels must survive.
+
+    Families:
+
+    * ``plain`` — generic position: random crossing hyperbolas.
+    * ``tangent`` — ``g = f + (t - q)^2`` for dyadic ``q``: the difference
+      quadratic has an exact double root at ``t = q`` (discriminant is
+      bitwise zero), probing the tangency guards.
+    * ``tie`` — ``g = f + s (t - r1)(t - r2)``: exact crossings at the
+      drawn dyadic times, landing breakpoints on top of each other.
+    * ``subtol`` — a function rebuilt with an interior piece shorter than
+      the time tolerance (a sub-tolerance gap between breakpoints).
+    * ``zero`` — a function carrying an exactly zero-length piece.
+    * ``coincident`` — a function duplicated under a different id: the
+      curves tie everywhere and only input order breaks the tie.
+    """
+    functions = draw(base_functions())
+    family = draw(
+        st.sampled_from(["plain", "tangent", "tie", "subtol", "zero", "coincident"])
+    )
+    first = functions[0]
+    curve = first.pieces[0].curve
+    if family == "tangent":
+        q = draw(dyadic_time)
+        tangent = Hyperbola(curve.a + 1.0, curve.b - 2.0 * q, curve.c + q * q)
+        functions.append(
+            DistanceFunction("t-tan", [HyperbolaPiece(T_LO, T_HI, tangent)])
+        )
+    elif family == "tie":
+        r1 = draw(dyadic_time)
+        r2 = draw(dyadic_time)
+        s = draw(st.sampled_from([0.5, 1.0, 2.0]))
+        crossing = Hyperbola(
+            curve.a + s, curve.b - s * (r1 + r2), curve.c + s * r1 * r2
+        )
+        functions.append(
+            DistanceFunction("t-tie", [HyperbolaPiece(T_LO, T_HI, crossing)])
+        )
+    elif family == "subtol":
+        tb = draw(dyadic_time)
+        sliver = 5e-10  # below TIME_TOLERANCE
+        functions.append(
+            DistanceFunction(
+                "t-sub",
+                [
+                    HyperbolaPiece(T_LO, tb, curve),
+                    HyperbolaPiece(tb, tb + sliver, curve),
+                    HyperbolaPiece(tb + sliver, T_HI, curve),
+                ],
+            )
+        )
+    elif family == "zero":
+        tb = draw(dyadic_time)
+        functions.append(
+            DistanceFunction(
+                "t-zero",
+                [
+                    HyperbolaPiece(T_LO, tb, curve),
+                    HyperbolaPiece(tb, tb, curve),
+                    HyperbolaPiece(tb, T_HI, curve),
+                ],
+            )
+        )
+    elif family == "coincident":
+        functions.append(DistanceFunction("t-coi", list(first.pieces)))
+    return functions
+
+
+def _canonical(functions):
+    """The canonical order every kernel layer sorts into."""
+    return sorted(functions, key=lambda f: str(f.object_id))
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity helpers — every comparison is exact, never a tolerance.
+# ---------------------------------------------------------------------------
+
+
+def assert_identical_envelopes(vectorized, scalar):
+    assert len(vectorized.pieces) == len(scalar.pieces)
+    for left, right in zip(vectorized.pieces, scalar.pieces):
+        assert left.object_id == right.object_id
+        assert left.t_start == right.t_start
+        assert left.t_end == right.t_end
+
+
+def assert_identical_functions(vectorized, scalar):
+    assert vectorized.object_id == scalar.object_id
+    assert len(vectorized.pieces) == len(scalar.pieces)
+    for left, right in zip(vectorized.pieces, scalar.pieces):
+        assert left.t_start == right.t_start
+        assert left.t_end == right.t_end
+        assert left.curve.a == right.curve.a
+        assert left.curve.b == right.curve.b
+        assert left.curve.c == right.curve.c
+
+
+# ---------------------------------------------------------------------------
+# Envelope and k-level kernels.
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelopeKernels:
+    @given(functions=adversarial_functions())
+    def test_lower_envelope_bit_identical(self, functions):
+        vectorized = k_level_envelopes(
+            functions, T_LO, T_HI, max_levels=1, kernel="vector"
+        )
+        scalar = lower_envelope(_canonical(functions), T_LO, T_HI)
+        assert_identical_envelopes(vectorized.level(1), scalar)
+
+    @given(
+        x0=coordinate, y0=coordinate, vx=velocity, vy=velocity, q=dyadic_time
+    )
+    def test_pairwise_envelope_bit_identical(self, x0, y0, vx, vy, q):
+        first = _motion("a", x0, y0, vx, vy)
+        tangent = Hyperbola(
+            first.pieces[0].curve.a + 1.0,
+            first.pieces[0].curve.b - 2.0 * q,
+            first.pieces[0].curve.c + q * q,
+        )
+        second = DistanceFunction("b", [HyperbolaPiece(T_LO, T_HI, tangent)])
+        vectorized = k_level_envelopes(
+            [first, second], T_LO, T_HI, max_levels=1, kernel="vector"
+        )
+        scalar = pairwise_envelope(first, second, T_LO, T_HI)
+        assert_identical_envelopes(vectorized.level(1), scalar)
+
+    @given(
+        functions=adversarial_functions(),
+        max_levels=st.integers(min_value=1, max_value=4),
+    )
+    def test_k_level_stack_bit_identical(self, functions, max_levels):
+        vectorized = k_level_envelopes(
+            functions, T_LO, T_HI, max_levels=max_levels, kernel="vector"
+        )
+        scalar = k_level_envelopes_scalar(
+            functions, T_LO, T_HI, max_levels=max_levels
+        )
+        assert len(vectorized) == len(scalar)
+        for level in range(1, len(scalar) + 1):
+            assert_identical_envelopes(
+                vectorized.level(level), scalar.level(level)
+            )
+
+    def test_kinetic_sweep_engages_without_fallback(self):
+        # A well-conditioned arrangement must be served by the sweep
+        # itself: k_level_envelopes_bulk raising DegenerateArrangement
+        # here would mean the vector kernel silently degenerated into
+        # the scalar cascade for ordinary inputs.  (The shared
+        # crossing_functions fixture is unsuitable: all three of its
+        # crossings land at exactly t = 5, a genuine degeneracy.)
+        functions = [
+            _motion("a", 1.0, 0.0, 0.8, 0.0),
+            _motion("b", 9.0, 0.0, -0.9, 0.0),
+            _motion("c", 0.0, 5.0, 0.0, 0.0),
+        ]
+        ordered = _canonical(functions)
+        levels = k_level_envelopes_bulk(ordered, T_LO, T_HI, len(ordered))
+        scalar = k_level_envelopes_scalar(functions, T_LO, T_HI)
+        assert len(levels) == len(scalar)
+        for index, level in enumerate(levels, start=1):
+            assert_identical_envelopes(level, scalar.level(index))
+
+
+# ---------------------------------------------------------------------------
+# Band-interval kernel.
+# ---------------------------------------------------------------------------
+
+
+class TestBandKernel:
+    @given(
+        functions=adversarial_functions(),
+        band_width=st.sampled_from([0.5, 2.0, 8.0]),
+    )
+    def test_band_intervals_batch_bit_identical(self, functions, band_width):
+        envelope = lower_envelope(functions, T_LO, T_HI)
+        vectorized = band_intervals_batch(
+            functions, envelope, band_width, T_LO, T_HI, kernel="vector"
+        )
+        scalar = band_intervals_batch(
+            functions, envelope, band_width, T_LO, T_HI, kernel="scalar"
+        )
+        assert vectorized == scalar
+
+    @given(functions=base_functions(min_size=3, max_size=6))
+    def test_single_call_matches_batch_row(self, functions):
+        envelope = lower_envelope(functions, T_LO, T_HI)
+        for kernel in ("vector", "scalar"):
+            batch = band_intervals_batch(
+                functions, envelope, 2.0, T_LO, T_HI, kernel=kernel
+            )
+            for position, function in enumerate(functions):
+                single = band_intervals(
+                    function, envelope, 2.0, T_LO, T_HI, kernel=kernel
+                )
+                assert single == batch[position]
+
+    def test_vector_fast_path_engages(self, crossing_functions, monkeypatch):
+        # Single-curve candidates over a well-separated envelope must be
+        # classified by the batched rows, not the per-candidate fallback.
+        envelope = lower_envelope(crossing_functions, T_LO, T_HI)
+        scalar = band_intervals_batch(
+            crossing_functions, envelope, 2.0, T_LO, T_HI, kernel="scalar"
+        )
+        calls = []
+        original = pruning._band_rows
+        monkeypatch.setattr(
+            pruning,
+            "_band_rows",
+            lambda *args: calls.append(args) or original(*args),
+        )
+        vectorized = band_intervals_batch(
+            crossing_functions, envelope, 2.0, T_LO, T_HI, kernel="vector"
+        )
+        assert vectorized == scalar
+        assert not calls, "vector band kernel fell back to _band_rows"
+
+
+# ---------------------------------------------------------------------------
+# Bulk difference-function construction.
+# ---------------------------------------------------------------------------
+
+SAMPLE_TIMES = (0.0, 4.0, 10.0)
+
+
+@st.composite
+def fleets(draw, min_size=3, max_size=6):
+    """Fleets with zero-length legs, edge samples, and coincident twins."""
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    radius = draw(st.sampled_from([0.1, 0.4]))
+    pdf = UniformDiskPDF(radius)
+    trajectories = []
+    for index in range(count):
+        style = draw(
+            st.sampled_from(["plain", "plain", "dup", "edge", "outside"])
+        )
+        if style == "dup":
+            # A duplicated timestamp: a zero-length leg mid-trajectory.
+            times = (0.0, 4.0, 4.0, 10.0)
+        elif style == "edge":
+            # Samples landing exactly on the window boundaries.
+            times = (0.0, 0.0, 10.0)
+        elif style == "outside":
+            times = (-5.0, 5.0, 15.0)
+        else:
+            times = SAMPLE_TIMES
+        samples = [
+            (draw(coordinate), draw(coordinate), t) for t in times
+        ]
+        trajectories.append(
+            UncertainTrajectory(f"o{index}", samples, radius, pdf)
+        )
+    if draw(st.booleans()):
+        # A coincident twin of the first trajectory under another id.
+        twin = trajectories[0]
+        trajectories.append(
+            UncertainTrajectory(
+                "o-twin",
+                [(s.x, s.y, s.t) for s in twin.samples],
+                radius,
+                pdf,
+            )
+        )
+    return MovingObjectsDatabase(trajectories)
+
+
+class TestBulkDifferenceConstruction:
+    @given(mod=fleets(), window=st.sampled_from([(0.0, 10.0), (1.0, 9.0), (2.5, 6.25)]))
+    def test_coefficients_bit_identical(self, mod, window):
+        t_lo, t_hi = window
+        query_id = next(iter(mod.object_ids))
+        vectorized = mod.distance_functions(query_id, t_lo, t_hi, kernel="vector")
+        scalar = mod.distance_functions(query_id, t_lo, t_hi, kernel="scalar")
+        assert len(vectorized) == len(scalar)
+        for left, right in zip(vectorized, scalar):
+            assert_identical_functions(left, right)
+
+    def test_bulk_path_engages(self, small_mod, monkeypatch):
+        # Single-leg candidates over the full window must be built from
+        # the packed columns; a fall back to the per-candidate scalar
+        # builder would erase the batching entirely.
+        query_id = next(iter(small_mod.object_ids))
+        t_lo, t_hi = small_mod.common_time_span()
+        scalar = small_mod.distance_functions(query_id, t_lo, t_hi, kernel="scalar")
+        calls = []
+        original = difference.difference_distance_function
+        monkeypatch.setattr(
+            difference,
+            "difference_distance_function",
+            lambda *args, **kwargs: calls.append(args)
+            or original(*args, **kwargs),
+        )
+        vectorized = small_mod.distance_functions(
+            query_id, t_lo, t_hi, kernel="vector"
+        )
+        for left, right in zip(vectorized, scalar):
+            assert_identical_functions(left, right)
+        assert not calls, "bulk construction fell back to the scalar builder"
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: planned statements under the vector kernel vs the naive
+# interpreter forced onto the scalar kernel.
+# ---------------------------------------------------------------------------
+
+
+def _uq_statements(query_id, target_id, t_lo, t_hi):
+    """One UQ2x (targeted) and one UQ4x (open) statement per variant."""
+    window = f"TIME IN [{t_lo}, {t_hi}]"
+    return [
+        # UQ2x: rank-k with an explicit target (Category 2).
+        f"SELECT T FROM MOD WHERE EXISTS {window} "
+        f"AND RANK_NN(T, '{query_id}', TIME) <= 2 AND T = '{target_id}'",
+        f"SELECT T FROM MOD WHERE FORALL {window} "
+        f"AND RANK_NN(T, '{query_id}', TIME) <= 3 AND T = '{target_id}'",
+        # UQ4x: open rank-k (Category 4).
+        f"SELECT T FROM MOD WHERE EXISTS {window} "
+        f"AND RANK_NN(T, '{query_id}', TIME) <= 2",
+        f"SELECT T FROM MOD WHERE FORALL {window} "
+        f"AND RANK_NN(T, '{query_id}', TIME) <= 2",
+        f"SELECT T FROM MOD WHERE FRACTION {window} >= 0.25 "
+        f"AND RANK_NN(T, '{query_id}', TIME) <= 3",
+    ]
+
+
+class TestEndToEndKernelEquivalence:
+    def test_planned_vector_answers_equal_scalar_naive_answers(
+        self, small_mod, monkeypatch
+    ):
+        ids = sorted(small_mod.object_ids, key=str)
+        t_lo, t_hi = small_mod.common_time_span()
+        texts = _uq_statements(ids[0], ids[1], t_lo, t_hi)
+
+        monkeypatch.setenv("REPRO_ENVELOPE_KERNEL", "vector")
+        executor = QueryExecutor(small_mod)
+        planned = executor.execute_many(texts)
+
+        monkeypatch.setenv("REPRO_ENVELOPE_KERNEL", "scalar")
+        for position, text in enumerate(texts):
+            oracle = execute_query_naive(text, small_mod)
+            assert planned[position].object_ids == oracle.object_ids, (
+                f"vector-planned answer diverged from the scalar oracle:\n"
+                f"{text}\nplanned={planned[position].object_ids}\n"
+                f"oracle ={oracle.object_ids}"
+            )
+
+    def test_probability_statements_agree_across_kernels(
+        self, tiny_mod, monkeypatch
+    ):
+        t_lo, t_hi = tiny_mod.common_time_span()
+        window = f"TIME IN [{t_lo}, {t_hi}]"
+        texts = [
+            f"SELECT T FROM MOD WHERE EXISTS {window} "
+            f"AND PROBABILITY_NN(T, 'q', TIME) > 0",
+            f"SELECT T FROM MOD WHERE FORALL {window} "
+            f"AND PROBABILITY_NN(T, 'q', TIME) > 0",
+            f"SELECT T FROM MOD WHERE EXISTS {window} "
+            f"AND PROBABILITY_NN(T, 'q', TIME) > 0 AND T = 'near'",
+        ]
+        answers = {}
+        for kernel in ("vector", "scalar"):
+            monkeypatch.setenv("REPRO_ENVELOPE_KERNEL", kernel)
+            executor = QueryExecutor(tiny_mod)
+            answers[kernel] = [
+                result.object_ids for result in executor.execute_many(texts)
+            ]
+        assert answers["vector"] == answers["scalar"]
+
+
+@pytest.mark.slow
+class TestShardedKernelEquivalence:
+    """The differential contract holds through the sharded backends.
+
+    The CI perf job runs this class (``-m slow``) with the process
+    backend included; the default profile keeps it in the regular run
+    too, since a 16-object fleet shards in well under a second on the
+    serial and thread backends.
+    """
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_sharded_vector_answers_equal_scalar_naive_answers(
+        self, backend, monkeypatch
+    ):
+        from repro.parallel import ShardedEngine
+        from repro.query_language import CostModel
+
+        config_mod = MovingObjectsDatabase(
+            [
+                UncertainTrajectory(
+                    f"s{index}",
+                    [
+                        (float(index), 0.0, 0.0),
+                        (float(index) + 3.0, 5.0, 5.0),
+                        (float(index), 10.0, 10.0),
+                    ],
+                    0.3,
+                    UniformDiskPDF(0.3),
+                )
+                for index in range(10)
+            ]
+        )
+        t_lo, t_hi = config_mod.common_time_span()
+        texts = _uq_statements("s0", "s1", t_lo, t_hi)
+
+        monkeypatch.setenv("REPRO_ENVELOPE_KERNEL", "vector")
+        with ShardedEngine(config_mod, num_shards=2, backend=backend) as sharded:
+            executor = QueryExecutor(
+                config_mod,
+                sharded=sharded,
+                cost_model=CostModel(sharded_min_group=2),
+            )
+            planned = executor.execute_many(texts)
+
+        monkeypatch.setenv("REPRO_ENVELOPE_KERNEL", "scalar")
+        for position, text in enumerate(texts):
+            oracle = execute_query_naive(text, config_mod)
+            assert planned[position].object_ids == oracle.object_ids
